@@ -1,0 +1,62 @@
+"""A4 — aggregate push-down in the bulletin federation (extension).
+
+The paper's GridView fetches cluster-wide rows through the federation's
+single access point.  This ablation measures an optional optimization we
+added on top: letting the federation compute the banner aggregates
+(avg CPU/mem/swap) member-side, so the access point receives
+O(partitions) bytes instead of O(nodes) rows per refresh — relevant
+exactly where §4.3 worries about thousand-node scale.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.cluster import Cluster, ClusterSpec
+from repro.experiments.report import format_dict_rows
+from repro.kernel import KernelTimings, PhoenixKernel
+from repro.sim import Simulator
+from repro.userenv.monitoring import install_gridview
+
+
+def run_mode(nodes: int, aggregate_mode: bool, seed: int = 0) -> dict:
+    sim = Simulator(seed=seed, trace_capacity=20_000)
+    cluster = Cluster(sim, ClusterSpec.build(partitions=nodes // 16, computes=14))
+    kernel = PhoenixKernel(cluster, timings=KernelTimings(heartbeat_interval=30.0))
+    kernel.boot()
+    gv = install_gridview(kernel, refresh_interval=30.0, aggregate_mode=aggregate_mode)
+    db_node = kernel.placement[("db", cluster.node(gv.node_id).partition_id)]
+    sim.run(until=5.0)
+    rx0 = sim.trace.counter(f"rx.{db_node}")
+    bytes0 = sum(sim.trace.counter(f"net.{n}.bytes") for n in cluster.networks)
+    sim.run(until=95.0)
+    refreshes = [r for r in sim.trace.records("gridview.refresh") if r.time > 5.0]
+    nbytes = sum(sim.trace.counter(f"net.{n}.bytes") for n in cluster.networks) - bytes0
+    return {
+        "mode": "aggregate" if aggregate_mode else "rows",
+        "nodes": nodes,
+        "refreshes": len(refreshes),
+        "latency_ms": round(1000 * sum(r["latency"] for r in refreshes) / len(refreshes), 3),
+        "ap_msgs_per_refresh": round(
+            (sim.trace.counter(f"rx.{db_node}") - rx0) / len(refreshes), 1),
+        "total_bytes": int(nbytes),
+        "snapshot_cpu": gv.latest.avg_cpu_pct,
+        "rows_seen": gv.latest.nodes_reporting,
+    }
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_aggregate_pushdown_vs_row_fetch(benchmark, save_artifact):
+    def run():
+        return [run_mode(320, False), run_mode(320, True)]
+
+    rows_mode, agg_mode = once(benchmark, run)
+    save_artifact("ablation_aggregate", format_dict_rows(
+        [rows_mode, agg_mode],
+        ["mode", "nodes", "refreshes", "latency_ms", "ap_msgs_per_refresh", "total_bytes"],
+        title="A4 — bulletin row fetch vs aggregate push-down (320 nodes)"))
+    # Both modes see the whole cluster and agree on the banner.
+    assert rows_mode["rows_seen"] == agg_mode["rows_seen"] == 320
+    assert agg_mode["snapshot_cpu"] == pytest.approx(rows_mode["snapshot_cpu"], abs=2.0)
+    # Push-down moves fewer bytes overall (the per-row payloads vanish).
+    assert agg_mode["total_bytes"] < rows_mode["total_bytes"]
+    benchmark.extra_info["bytes_saved"] = rows_mode["total_bytes"] - agg_mode["total_bytes"]

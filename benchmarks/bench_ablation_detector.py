@@ -1,0 +1,37 @@
+"""A6 — failure-detector quality on lossy fabrics.
+
+Quantifies the redundant-heartbeat design's robustness: per-NIC
+suspicions rise roughly linearly with loss (one dropped beat looks like
+a quiet NIC and clears on the next beat), while *false verdicts* against
+healthy nodes need a triple-drop followed by failed probes — vanishingly
+rare below a few percent loss, and self-correcting when they happen
+(restarting a live daemon is refused; the monitor resumes on the next
+beat).
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.ablations import detector_quality_sweep
+from repro.experiments.report import format_dict_rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_detector_quality_under_loss(benchmark, save_artifact):
+    rows = once(benchmark, lambda: detector_quality_sweep((0.0, 0.01, 0.05, 0.10)))
+    save_artifact("ablation_detector", format_dict_rows(
+        rows,
+        ["loss_rate", "nic_suspicions", "full_misses", "false_verdicts",
+         "suspicions_per_node_hour"],
+        title="A6 — failure-detector quality on lossy fabrics (quiet cluster)"))
+    by_loss = {r["loss_rate"]: r for r in rows}
+    # Clean fabrics: dead silent.
+    assert by_loss[0.0]["nic_suspicions"] == 0
+    assert by_loss[0.0]["false_verdicts"] == 0
+    # 1% loss: benign per-NIC suspicions only, no false verdicts.
+    assert by_loss[0.01]["nic_suspicions"] > 0
+    assert by_loss[0.01]["false_verdicts"] == 0
+    # Suspicions grow with loss; false verdicts stay rare even at 10%.
+    assert by_loss[0.10]["nic_suspicions"] > by_loss[0.01]["nic_suspicions"]
+    assert by_loss[0.10]["false_verdicts"] <= 5
+    benchmark.extra_info["rows"] = rows

@@ -1,0 +1,45 @@
+"""A2/A3 — structural ablations behind §4.3's design argument.
+
+A2: "it is unacceptable for all nodes joining a group managed by group
+membership protocol" — a flat (single-partition, master-slave-like)
+deployment concentrates all heartbeat traffic on one node; the paper's
+partitioning divides it by the partition count.
+
+A3: PPM's tree fan-out makes remote job loading ~log(n) instead of the
+serial ~n.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.ablations import launch_comparison, structure_comparison
+from repro.experiments.report import format_dict_rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_flat_vs_partitioned_hotspot(benchmark, save_artifact):
+    rows = once(benchmark, lambda: structure_comparison(nodes=256))
+    flat, partitioned = rows
+    save_artifact("ablation_structure", format_dict_rows(
+        rows, ["nodes", "partitions", "hottest_node_rx_per_s", "mean_server_rx_per_s"],
+        title="A2 — flat group vs partitioned meta-group"))
+    assert flat["partitions"] == 1
+    assert partitioned["partitions"] == 16
+    # The hot spot cools roughly by the partition count.
+    ratio = flat["hottest_node_rx_per_s"] / partitioned["hottest_node_rx_per_s"]
+    assert ratio > 8.0
+    benchmark.extra_info["hotspot_ratio"] = ratio
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_tree_fanout_vs_serial_launch(benchmark, save_artifact):
+    rows = once(benchmark, lambda: launch_comparison((8, 16, 32, 64)))
+    save_artifact("ablation_launch", format_dict_rows(
+        rows, ["targets", "tree_ms", "serial_ms", "speedup"],
+        title="A3 — tree fan-out vs serial remote job loading"))
+    assert all(r["speedup"] > 1.5 for r in rows)
+    speedups = [r["speedup"] for r in rows]
+    assert speedups == sorted(speedups)  # grows with target count
+    # Serial grows ~linearly; tree stays near-flat.
+    assert rows[-1]["serial_ms"] / rows[0]["serial_ms"] > 4.0
+    assert rows[-1]["tree_ms"] / rows[0]["tree_ms"] < 3.0

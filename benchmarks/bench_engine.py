@@ -1,0 +1,44 @@
+"""Engine throughput benchmarks (not a paper artifact; guards against
+performance regressions that would make the 640-node sweeps painful)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.kernel import KernelTimings, PhoenixKernel
+from repro.sim import Simulator
+
+
+@pytest.mark.benchmark(group="engine")
+def test_event_loop_throughput(benchmark):
+    def run():
+        sim = Simulator(seed=0)
+
+        def ping_pong():
+            count = 0
+            while count < 20_000:
+                yield 0.001
+                count += 1
+            return count
+
+        sim.spawn(ping_pong())
+        sim.run()
+        return sim.events_executed
+
+    executed = benchmark(run)
+    assert executed >= 20_000
+
+
+@pytest.mark.benchmark(group="engine")
+def test_booted_cluster_simulation_rate(benchmark):
+    """Simulate 60 s of a quiet 136-node kernel (the paper testbed)."""
+
+    def run():
+        sim = Simulator(seed=0, trace_capacity=10_000)
+        cluster = Cluster(sim, ClusterSpec.paper_fault_testbed())
+        kernel = PhoenixKernel(cluster, timings=KernelTimings(heartbeat_interval=30.0))
+        kernel.boot()
+        sim.run(until=60.0)
+        return sim.events_executed
+
+    executed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert executed > 1000

@@ -1,0 +1,81 @@
+"""Figure 4 — event service group supervised by the GSD.
+
+Reproduces both recovery arms of the figure: (a) the ES process dies and
+the local GSD restarts it, state restored from the checkpoint service;
+(b) the ES's node dies and the service migrates with the GSD to the
+backup node, again restoring state.  In both cases an event consumer
+registered *before* the failure keeps receiving events *after* it.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.cluster import Cluster, ClusterSpec, FaultInjector
+from repro.experiments.report import format_table
+from repro.kernel import KernelTimings, PhoenixKernel, ports
+from repro.kernel.events.types import Event
+from repro.sim import Simulator
+
+
+def run_es_recovery(kind: str, seed: int = 0, interval: float = 30.0) -> dict:
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, ClusterSpec.build(partitions=3, computes=3))
+    kernel = PhoenixKernel(cluster, timings=KernelTimings(heartbeat_interval=interval))
+    kernel.boot()
+    injector = FaultInjector(cluster)
+    sim.run(until=5.0)
+
+    inbox = []
+    cluster.transport.bind(
+        "p1c0", "sink", lambda m: inbox.append(Event.from_payload(m.payload["event"]))
+    )
+    sig = kernel.client("p1c0").subscribe("durable-consumer", "sink", types=("custom.event",),
+                                          partition="p1")
+    sim.run(until=sim.now + 2.0)
+    assert sig.value and sig.value["ok"]
+
+    sim.run(until=2 * interval + 0.001)
+    t0 = sim.now
+    if kind == "process":
+        injector.kill_process("p1s0", "es")
+    else:
+        injector.crash_node("p1s0")
+    sim.run(until=sim.now + 2.5 * interval)
+    recovered = [r for r in sim.trace.records("failure.recovered", component="es") if r.time > t0]
+    state_recovered = [r for r in sim.trace.records("es.state_recovered") if r.time > t0]
+
+    # Publish after recovery: the surviving subscription must still work.
+    kernel.client("p1c1").publish("custom.event", {"phase": "after"}, partition="p1")
+    sim.run(until=sim.now + 1.0)
+    return {
+        "recovery_latency": recovered[0].time - t0 if recovered else None,
+        "state_recovered_subs": state_recovered[0]["subs"] if state_recovered else 0,
+        "delivered_after_recovery": [e.data.get("phase") for e in inbox],
+        "es_location": kernel.placement[("es", "p1")],
+    }
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_process_failure_arm(benchmark, save_artifact):
+    result = once(benchmark, lambda: run_es_recovery("process"))
+    assert result["recovery_latency"] == pytest.approx(30.1, abs=1.0)
+    assert result["state_recovered_subs"] == 1
+    assert result["delivered_after_recovery"] == ["after"]
+    assert result["es_location"] == "p1s0"  # restarted in place
+    save_artifact("fig4_es_process", format_table(
+        ["metric", "value"],
+        [[k, str(v)] for k, v in result.items()],
+        title="Figure 4(a) — ES process failure: local restart + checkpoint state"))
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_node_failure_arm(benchmark, save_artifact):
+    result = once(benchmark, lambda: run_es_recovery("node"))
+    assert result["recovery_latency"] == pytest.approx(33.6, abs=1.5)
+    assert result["state_recovered_subs"] == 1
+    assert result["delivered_after_recovery"] == ["after"]
+    assert result["es_location"] == "p1b0"  # migrated to the backup node
+    save_artifact("fig4_es_node", format_table(
+        ["metric", "value"],
+        [[k, str(v)] for k, v in result.items()],
+        title="Figure 4(b) — ES node failure: migration + checkpoint state"))

@@ -1,0 +1,64 @@
+"""Figures 7–8 — PBS's monolith vs PWS on the Phoenix kernel.
+
+Two measurements: the structural one (how much of the job-management
+stack each system implements itself — the Figure 7 vs Figure 8 diagram
+difference) and the behavioral one (control traffic and dispatch latency
+for the same synthetic trace, baseline-subtracted).
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.pws_vs_pbs import (
+    RESPONSIBILITIES,
+    compare_traffic,
+    kernel_supplied_fraction,
+)
+from repro.experiments.report import format_table
+from repro.units import fmt_bytes
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_structure_and_traffic(benchmark, save_artifact):
+    comparison = once(
+        benchmark,
+        lambda: compare_traffic(job_count=30, seed=0, sim_time=1500.0, poll_interval=10.0),
+    )
+    pws, pbs = comparison["pws"], comparison["pbs"]
+    # Same workload completes on both systems.
+    assert pws["submitted"] == pbs["submitted"] == 30
+    assert pws["done"] >= 25 and pbs["done"] >= 25
+    # Claim 1 (Figures 7 vs 8): the kernel supplies most PBS functions.
+    assert kernel_supplied_fraction("pws") >= 0.6
+    assert kernel_supplied_fraction("pbs") == 0.0
+    # Claim 2: polling vs events — PBS burns far more control messages.
+    assert pbs["polls"] > 1000
+    assert pws["polls"] == 0
+    assert comparison["pws_extra_msgs"] < 0.5 * comparison["pbs_extra_msgs"]
+    # Event-driven dispatch beats poll-bounded dispatch.
+    assert pws["mean_wait_s"] < pbs["mean_wait_s"]
+
+    structure_rows = [
+        [block, "kernel" if RESPONSIBILITIES["pws"][block] else "PWS",
+         "PBS (self)" if not RESPONSIBILITIES["pbs"][block] else "kernel"]
+        for block in RESPONSIBILITIES["pws"]
+    ]
+    traffic_rows = [
+        ["PWS", pws["done"], f"{pws['mean_wait_s']:.1f}s",
+         int(comparison["pws_extra_msgs"]), fmt_bytes(int(comparison["pws_extra_bytes"])),
+         int(pws["events_seen"])],
+        ["PBS", pbs["done"], f"{pbs['mean_wait_s']:.1f}s",
+         int(comparison["pbs_extra_msgs"]), fmt_bytes(int(comparison["pbs_extra_bytes"])),
+         int(pbs["polls"])],
+    ]
+    text = (
+        format_table(["function block", "PWS gets it from", "PBS implements"],
+                     structure_rows, title="Figures 7 vs 8 — who implements what")
+        + "\n\n"
+        + format_table(["system", "done", "mean wait", "extra msgs", "extra bytes",
+                        "events/polls"],
+                       traffic_rows, title="Same 30-job trace, baseline-subtracted traffic")
+    )
+    save_artifact("fig8_pws_vs_pbs", text)
+    benchmark.extra_info["pbs_extra_msgs"] = comparison["pbs_extra_msgs"]
+    benchmark.extra_info["pws_extra_msgs"] = comparison["pws_extra_msgs"]

@@ -1,0 +1,66 @@
+"""Figure 9 — the integrated PWS management console in action.
+
+The paper's screenshot shows the Web GUI's Start/Shutdown Nodes
+operation.  This bench drives the full operator cycle — drain a node,
+shut it down, watch the kernel notice, bring it back — and renders the
+console surface as the artifact.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.cluster import ClusterSpec
+from repro.kernel import KernelTimings
+from repro.sim import Simulator
+from repro.userenv.construction import ConstructionTool
+from repro.userenv.pws import PoolSpec, install_pws
+from repro.userenv.pws.console import ManagementConsole, render_console
+
+
+def drive(sim, signal, max_time=10.0):
+    deadline = sim.now + max_time
+    while not signal.fired and sim.peek() is not None and sim.peek() <= deadline:
+        sim.step()
+    return signal.value if signal.fired else None
+
+
+def run_console_cycle(seed: int = 0) -> dict:
+    sim = Simulator(seed=seed)
+    tool = ConstructionTool(sim)
+    kernel = tool.build(
+        ClusterSpec.build(partitions=2, computes=4),
+        timings=KernelTimings(heartbeat_interval=10.0),
+    )
+    sim.run(until=6.0)
+    install_pws(kernel, [PoolSpec("default", kernel.cluster.compute_nodes())])
+    sim.run(until=sim.now + 2.0)
+    console = ManagementConsole(kernel, tool, "p1c3")
+
+    target = "p0c1"
+    assert drive(sim, console.drain_node(target))["ok"]
+    console.shutdown_node(target)
+    t_down = sim.now
+    sim.run(until=sim.now + 15.0)
+    noticed = kernel.gsd("p0").node_state[target] == "down"
+    drive(sim, console.start_node(target))
+    sim.run(until=sim.now + 12.0)
+    back_up = kernel.gsd("p0").node_state[target] == "up"
+
+    jobs = drive(sim, console.job_summary())
+    pools = drive(sim, console.pool_summary())
+    nodes = drive(sim, console.node_status())
+    return {
+        "noticed_down": noticed,
+        "back_up": back_up,
+        "board": render_console(jobs, pools, nodes["rows"]),
+        "target": target,
+    }
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_console_start_shutdown_cycle(benchmark, save_artifact):
+    result = once(benchmark, run_console_cycle)
+    assert result["noticed_down"]
+    assert result["back_up"]
+    assert f"{result['target']}[UP]" in result["board"]
+    save_artifact("fig9_console", result["board"])

@@ -1,0 +1,30 @@
+"""Table 1 — three unhealthy situations for the watch daemon (§5.1).
+
+Paper (30 s heartbeat): process 30/0.29/~0.1 s; node 30/2/0 s;
+network 30 s/348 us/0 s.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.fault_tables import render_table, run_table
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_wd(benchmark, save_artifact):
+    results = once(benchmark, lambda: run_table("wd", heartbeat_interval=30.0))
+    save_artifact("table1_wd", render_table("wd", results))
+    by_situation = {r.situation: r for r in results}
+    for r in results:
+        assert r.detect == pytest.approx(30.1, abs=0.3)
+    assert by_situation["process"].diagnose == pytest.approx(0.29, abs=0.02)
+    assert by_situation["process"].recover == pytest.approx(0.1, abs=0.05)
+    assert by_situation["node"].diagnose == pytest.approx(2.03, abs=0.1)
+    assert by_situation["node"].recover == 0.0
+    assert by_situation["network"].diagnose == pytest.approx(348e-6, rel=0.05)
+    assert by_situation["network"].recover == 0.0
+    # "the sum ... is almost equal to the interval of sending heartbeat"
+    assert all(r.total == pytest.approx(30.0, abs=3.0) for r in results)
+    benchmark.extra_info["rows"] = {
+        r.situation: [r.detect, r.diagnose, r.recover] for r in results
+    }

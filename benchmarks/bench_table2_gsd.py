@@ -1,0 +1,28 @@
+"""Table 2 — three unhealthy situations for the GSD (§5.1).
+
+Paper (30 s heartbeat): process 30/0.29/2.03 s; node 30/0.3/2.95 s;
+network 30 s/348 us/0 s.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.fault_tables import render_table, run_table
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_gsd(benchmark, save_artifact):
+    results = once(benchmark, lambda: run_table("gsd", heartbeat_interval=30.0))
+    save_artifact("table2_gsd", render_table("gsd", results))
+    by_situation = {r.situation: r for r in results}
+    for r in results:
+        assert r.detect == pytest.approx(30.1, abs=0.3)
+    assert by_situation["process"].diagnose == pytest.approx(0.29, abs=0.02)
+    assert by_situation["process"].recover == pytest.approx(2.03, abs=0.15)
+    assert by_situation["node"].diagnose == pytest.approx(0.3, abs=0.05)
+    assert by_situation["node"].recover == pytest.approx(2.95, abs=0.2)
+    assert by_situation["network"].diagnose == pytest.approx(348e-6, rel=0.05)
+    assert by_situation["network"].recover == 0.0
+    benchmark.extra_info["rows"] = {
+        r.situation: [r.detect, r.diagnose, r.recover] for r in results
+    }

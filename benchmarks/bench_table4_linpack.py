@@ -1,0 +1,54 @@
+"""Table 4 — Phoenix's impact on Linpack performance (§5.2).
+
+Paper claim: overhead stays in the low single-digit percents at 4, 16,
+64 and 128 CPUs — "Phoenix kernel has little impact on scientific
+computing".
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.linpack_impact import (
+    render_simulated,
+    render_table4,
+    run_simulated_table4,
+    run_table4,
+)
+from repro.workloads.linpack import run_real_linpack
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_model(benchmark, save_artifact):
+    rows = once(benchmark, run_table4)
+    save_artifact("table4_linpack", render_table4(rows))
+    assert [r["cpus"] for r in rows] == [4, 16, 64, 128]
+    for row in rows:
+        assert 0.0 < row["overhead_pct"] < 2.5
+    benchmark.extra_info["overhead_pct"] = {int(r["cpus"]): r["overhead_pct"] for r in rows}
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_simulated_hpl(benchmark, save_artifact):
+    """The executable variant: an HPL-shaped job run inside the simulator
+    with and without the kernel's daemons.  Overhead (and its mild growth
+    with scale — OS noise amplified through barriers) emerges from the
+    run rather than a formula."""
+    rows = once(benchmark, run_simulated_table4)
+    save_artifact("table4_simulated", render_simulated(rows))
+    for row in rows:
+        assert 0.0 < row["overhead_pct"] < 2.5
+    overheads = [r["overhead_pct"] for r in rows]
+    assert overheads[-1] > overheads[0]  # grows with scale...
+    assert overheads[-1] < 3 * overheads[0]  # ...but does not blow up
+    benchmark.extra_info["overhead_pct"] = {int(r["cpus"]): r["overhead_pct"] for r in rows}
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_real_kernel(benchmark):
+    """Hardware-grounded cross-check: an actual LU solve runs at a sane
+    rate and produces a correct solution (overhead deltas are too noisy
+    to assert on a shared host; see EXPERIMENTS.md)."""
+    result = once(benchmark, lambda: run_real_linpack(n=700, repeats=3))
+    assert result["gflops"] > 0.1
+    assert result["residual"] < 1e-8
+    benchmark.extra_info["gflops"] = result["gflops"]

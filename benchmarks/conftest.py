@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper table/figure.  Besides the
+pytest-benchmark timing, each bench saves its rendered artifact under
+``benchmarks/results/`` (and prints it, visible with ``pytest -s``), so
+``pytest benchmarks/ --benchmark-only`` leaves the reproduced tables on
+disk for EXPERIMENTS.md cross-checking.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def save_artifact():
+    """Callable(name, text): persist + print a regenerated table/figure."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    These harnesses are deterministic simulations — repeating them only
+    re-measures interpreter noise, so one round is the honest protocol.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,7 @@
+"""Legacy shim so ``pip install -e . --no-use-pep517 --no-build-isolation``
+works on environments without the ``wheel`` package (metadata lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""Fire Phoenix cluster operating system kernel — reproduction.
+
+Reproduces "Fire Phoenix Cluster Operating System Kernel and its
+Evaluation" (Zhan & Sun, IEEE CLUSTER 2005) as an executable Python
+system on a deterministic discrete-event simulator.
+
+Layers (paper Figure 1):
+
+* :mod:`repro.sim` — the discrete-event engine;
+* :mod:`repro.cluster` — simulated hardware + host OSes (the Dawning
+  4000A stand-in) with fault injection;
+* :mod:`repro.kernel` — the Phoenix kernel: group service (WD/GSD/
+  meta-group ring), checkpoint, event, data bulletin, configuration,
+  security, detectors, parallel process management;
+* :mod:`repro.userenv` — user environments built on kernel interfaces;
+* :mod:`repro.workloads` / :mod:`repro.experiments` — workload
+  generators and the table/figure regeneration harnesses.
+
+Quick start::
+
+    from repro.sim import Simulator
+    from repro.cluster import Cluster, ClusterSpec
+    from repro.kernel import PhoenixKernel
+
+    sim = Simulator(seed=1)
+    kernel = PhoenixKernel(Cluster(sim, ClusterSpec.paper_fault_testbed()))
+    kernel.boot()
+    sim.run(until=120.0)
+"""
+
+from repro.cluster import Cluster, ClusterSpec, FaultInjector
+from repro.kernel import KernelTimings, PhoenixKernel
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "FaultInjector",
+    "KernelTimings",
+    "PhoenixKernel",
+    "Simulator",
+    "__version__",
+]

@@ -1,0 +1,79 @@
+"""Command-line front door: ``python -m repro <command>``.
+
+Commands map to the experiment harnesses and a demo boot, so a user can
+reproduce the paper without writing driver code:
+
+    python -m repro tables            # Tables 1-3 (add --component wd|gsd|es)
+    python -m repro linpack [--real]  # Table 4
+    python -m repro scalability       # §5.3 sweep (+ --show-snapshot)
+    python -m repro compare           # §5.4 PWS vs PBS
+    python -m repro ablations         # design-rationale ablations
+    python -m repro report [--quick]  # full evaluation -> REPORT.md
+    python -m repro demo              # boot + fault + recovery narration
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    command, rest = args[0], args[1:]
+    if command == "tables":
+        from repro.experiments.fault_tables import main as run
+
+        run(rest)
+    elif command == "linpack":
+        from repro.experiments.linpack_impact import main as run
+
+        run(rest)
+    elif command == "scalability":
+        from repro.experiments.scalability import main as run
+
+        run(rest)
+    elif command == "compare":
+        from repro.experiments.pws_vs_pbs import main as run
+
+        run(rest)
+    elif command == "ablations":
+        from repro.experiments.ablations import main as run
+
+        run(rest)
+    elif command == "report":
+        from repro.experiments.full_report import main as run
+
+        run(rest)
+    elif command == "campaign":
+        from repro.experiments.fault_campaign import main as run
+
+        run(rest)
+    elif command == "demo":
+        import runpy
+        import pathlib
+
+        quickstart = pathlib.Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+        if quickstart.exists():
+            runpy.run_path(str(quickstart), run_name="__main__")
+        else:  # installed without the examples tree: inline mini-demo
+            from repro import Cluster, ClusterSpec, FaultInjector, PhoenixKernel, Simulator
+
+            sim = Simulator(seed=7)
+            kernel = PhoenixKernel(Cluster(sim, ClusterSpec.build(partitions=2, computes=3)))
+            kernel.boot()
+            sim.run(until=60.001)
+            FaultInjector(kernel.cluster).crash_node("p1c0")
+            sim.run(until=120.0)
+            for rec in sim.trace.records("failure."):
+                print(f"[t={rec.time:8.3f}s] {rec.category} {rec.fields}")
+    else:
+        print(f"unknown command {command!r}\n{__doc__}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

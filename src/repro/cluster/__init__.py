@@ -1,0 +1,33 @@
+"""Simulated cluster hardware + host OS substrate (the Dawning 4000A stand-in)."""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.faults import FaultInjector, InjectedFault
+from repro.cluster.hostos import HostOS, HostProcess
+from repro.cluster.message import Message
+from repro.cluster.metrics import LoadProfile, ResourceModel
+from repro.cluster.network import Network
+from repro.cluster.node import Node, NodeMetrics, NodeState
+from repro.cluster.spec import ClusterSpec, NetworkSpec, NodeRole, NodeSpec, PartitionSpec
+from repro.cluster.transport import OS_PING_PORT, Transport
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "FaultInjector",
+    "InjectedFault",
+    "HostOS",
+    "HostProcess",
+    "LoadProfile",
+    "Message",
+    "Network",
+    "NetworkSpec",
+    "Node",
+    "NodeMetrics",
+    "NodeRole",
+    "NodeSpec",
+    "NodeState",
+    "OS_PING_PORT",
+    "PartitionSpec",
+    "ResourceModel",
+    "Transport",
+]

@@ -1,0 +1,123 @@
+"""Fault injection — the instrument behind Tables 1–3.
+
+"By the means of fault injection, we get the information in Table 1-3"
+(paper §5.1).  Each injector method both performs the fault and marks a
+``fault.injected`` trace record carrying a caller-chosen ``case`` tag;
+detection/diagnosis/recovery marks from the kernel carry the affected
+identity, and the experiment harness joins them into per-case latencies.
+
+The three "unhealthy situations" per component:
+
+* ``kill_process``  — failure of the WD/GSD/ES process;
+* ``crash_node``    — failure of the node the process runs on;
+* ``fail_nic``      — failure of one network interface of that node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import Cluster
+from repro.errors import ClusterError
+
+
+@dataclass
+class InjectedFault:
+    """Record of one injected fault (returned for harness bookkeeping)."""
+
+    kind: str
+    node_id: str
+    target: str
+    time: float
+    case: str
+    extra: dict = field(default_factory=dict)
+
+
+class FaultInjector:
+    """Schedules and performs faults against a live cluster."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.injected: list[InjectedFault] = []
+
+    # -- immediate faults ----------------------------------------------------
+    def kill_process(self, node_id: str, process_name: str, case: str = "") -> InjectedFault:
+        """Kill one daemon process, leaving node and other daemons alive."""
+        hostos = self.cluster.hostos(node_id)
+        if not hostos.process_alive(process_name):
+            raise ClusterError(f"{node_id}: process {process_name!r} not running")
+        hostos.kill_process(process_name)
+        return self._record("process", node_id, process_name, case)
+
+    def crash_node(self, node_id: str, case: str = "") -> InjectedFault:
+        """Crash a node (kills every daemon on it, OS stops answering)."""
+        node = self.cluster.node(node_id)
+        if not node.up:
+            raise ClusterError(f"{node_id}: already down")
+        node.crash()
+        return self._record("node", node_id, node_id, case)
+
+    def fail_nic(self, node_id: str, network: str, case: str = "") -> InjectedFault:
+        """Fail one network interface of one node."""
+        net = self.cluster.networks.get(network)
+        if net is None:
+            raise ClusterError(f"unknown network {network!r}")
+        if not net.link_up(node_id):
+            raise ClusterError(f"{node_id}: NIC on {network} already down")
+        net.set_link(node_id, False)
+        return self._record("network", node_id, network, case)
+
+    def restore_nic(self, node_id: str, network: str) -> None:
+        self.cluster.networks[network].set_link(node_id, True)
+
+    def boot_node(self, node_id: str) -> None:
+        self.cluster.boot_node(node_id)
+
+    def fail_fabric(self, network: str, case: str = "") -> InjectedFault:
+        """Take a whole fabric down (all nodes lose that network)."""
+        net = self.cluster.networks.get(network)
+        if net is None:
+            raise ClusterError(f"unknown network {network!r}")
+        net.set_fabric(False)
+        return self._record("fabric", "*", network, case)
+
+    def restore_fabric(self, network: str) -> None:
+        self.cluster.networks[network].set_fabric(True)
+
+    def split_network(self, network: str, groups: list[set[str]], case: str = "") -> InjectedFault:
+        """Partition one fabric into isolated connectivity groups."""
+        net = self.cluster.networks.get(network)
+        if net is None:
+            raise ClusterError(f"unknown network {network!r}")
+        net.split(groups)
+        return self._record(
+            "split", "*", network, case, extra={"groups": [sorted(g) for g in groups]}
+        )
+
+    def heal_network(self, network: str) -> None:
+        self.cluster.networks[network].heal()
+
+    # -- scheduled faults ----------------------------------------------------
+    def at(self, delay: float, method_name: str, *args, **kwargs) -> None:
+        """Schedule ``self.<method_name>(*args, **kwargs)`` after ``delay``."""
+        method = getattr(self, method_name)
+        self.sim.schedule(delay, lambda: method(*args, **kwargs))
+
+    # -- internals -----------------------------------------------------------
+    def _record(
+        self, kind: str, node_id: str, target: str, case: str, extra: dict | None = None
+    ) -> InjectedFault:
+        fault = InjectedFault(
+            kind=kind,
+            node_id=node_id,
+            target=target,
+            time=self.sim.now,
+            case=case,
+            extra=extra or {},
+        )
+        self.injected.append(fault)
+        self.sim.trace.mark(
+            "fault.injected", kind=kind, node=node_id, target=target, case=case, **fault.extra
+        )
+        return fault

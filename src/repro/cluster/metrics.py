@@ -1,0 +1,84 @@
+"""Synthetic physical-resource usage model.
+
+The physical resource detector "monitors usage of physical resources,
+such as CPU, memory, swap, disk I/O and network I/O of each node" (paper
+§4.2).  We have no production traces from the Dawning 4000A, so the model
+below synthesizes per-node samples with the statistical shape of the
+paper's Figure 6 snapshot under "common load": average memory usage
+≈ 18.6%, CPU ≈ 5.5%, swap ≈ 0.72%.
+
+Jobs raise a node's CPU/memory proportionally to the CPUs they pin, so
+the monitoring and scheduling stacks see realistic load movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.node import Node, NodeMetrics
+from repro.sim import Simulator
+
+
+def _clamp(x: float, lo: float = 0.0, hi: float = 100.0) -> float:
+    return max(lo, min(hi, x))
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Baseline (idle) resource levels plus noise scales."""
+
+    cpu_base: float = 5.5
+    mem_base: float = 18.6
+    swap_base: float = 0.72
+    disk_io_base: float = 2.0
+    net_io_base: float = 1.0
+    cpu_noise: float = 1.5
+    mem_noise: float = 1.0
+    swap_noise: float = 0.2
+    io_noise: float = 0.8
+
+    @classmethod
+    def common_load(cls) -> "LoadProfile":
+        """The Figure 6 'common load' profile (default)."""
+        return cls()
+
+    @classmethod
+    def heavy_load(cls) -> "LoadProfile":
+        return cls(cpu_base=60.0, mem_base=55.0, swap_base=6.0, disk_io_base=40.0, net_io_base=25.0)
+
+
+class ResourceModel:
+    """Per-node metric sampler with smooth (AR(1)) noise."""
+
+    def __init__(self, sim: Simulator, profile: LoadProfile | None = None, smoothing: float = 0.8) -> None:
+        if not 0.0 <= smoothing < 1.0:
+            raise ValueError(f"smoothing must be in [0, 1), got {smoothing}")
+        self.sim = sim
+        self.profile = profile or LoadProfile.common_load()
+        self.smoothing = smoothing
+        self._state: dict[str, np.ndarray] = {}
+        self._rng = sim.rngs.stream("metrics")
+
+    def sample(self, node: Node) -> NodeMetrics:
+        """One metrics sample for ``node`` at the current instant."""
+        p = self.profile
+        prev = self._state.get(node.node_id)
+        noise_scales = np.array([p.cpu_noise, p.mem_noise, p.swap_noise, p.io_noise, p.io_noise])
+        shock = self._rng.normal(0.0, noise_scales)
+        if prev is None:
+            state = shock
+        else:
+            state = self.smoothing * prev + (1.0 - self.smoothing) * shock
+        self._state[node.node_id] = state
+
+        busy_frac = node.busy_cpus / node.spec.cpus if node.spec.cpus else 0.0
+        cpu = _clamp(p.cpu_base + busy_frac * 92.0 + state[0])
+        mem = _clamp(p.mem_base + busy_frac * 45.0 + state[1])
+        swap = _clamp(p.swap_base + max(0.0, busy_frac - 0.8) * 20.0 + state[2], 0.0, 100.0)
+        disk = max(0.0, p.disk_io_base + busy_frac * 15.0 + state[3])
+        net = max(0.0, p.net_io_base + busy_frac * 30.0 + state[4])
+        return NodeMetrics(
+            cpu_pct=cpu, mem_pct=mem, swap_pct=swap, disk_io_mbps=disk, net_io_mbps=net
+        )

@@ -1,0 +1,158 @@
+"""Simulated physical network fabrics.
+
+Each Dawning-4000A-like node attaches one NIC to every fabric; the watch
+daemon heartbeats over *all* of them, which is how the paper gets
+"recovery time of network is 0, because each node has three networks".
+
+Failure surface modelled here:
+
+* per-node NIC (link) failure on one fabric — paper Tables 1–3 "failure
+  of one network interface";
+* whole-fabric outage;
+* fabric *split* into connectivity groups (network partition);
+* independent per-message loss.
+
+Delivery is datagram-like: any failed check silently drops the message
+and marks a ``net.drop`` trace record; protocols above detect loss via
+heartbeats/timeouts exactly as the real system would.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.cluster.message import Message
+from repro.cluster.spec import NetworkSpec
+from repro.errors import ClusterError
+from repro.sim import Simulator
+
+
+class Network:
+    """One physical fabric connecting every node's NIC on it.
+
+    ``node_groups`` (node id → group tag, typically the partition id)
+    enables the two-level topology's uplink charge for cross-group
+    traffic; with a flat topology it is ignored.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: NetworkSpec,
+        node_ids: list[str],
+        node_groups: dict[str, str] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.name = spec.name
+        self._node_groups = node_groups or {}
+        self.fabric_up = True
+        self._link_up: dict[str, bool] = {nid: True for nid in node_ids}
+        #: None = fully connected; else node -> group tag, cross-group drops.
+        self._split: dict[str, int] | None = None
+        self._rng = sim.rngs.stream(f"net.{self.name}")
+        #: Messages delivered / dropped (also mirrored into trace counters).
+        self.delivered = 0
+        self.dropped = 0
+
+    # -- state manipulation (used by the fault injector) --------------------
+    def set_fabric(self, up: bool) -> None:
+        self.fabric_up = up
+
+    def set_link(self, node_id: str, up: bool) -> None:
+        if node_id not in self._link_up:
+            raise ClusterError(f"network {self.name}: unknown node {node_id}")
+        self._link_up[node_id] = up
+
+    def link_up(self, node_id: str) -> bool:
+        return self._link_up[node_id]
+
+    def split(self, groups: list[set[str]]) -> None:
+        """Partition the fabric: traffic crosses groups only within one group."""
+        assignment: dict[str, int] = {}
+        for tag, group in enumerate(groups):
+            for node_id in group:
+                if node_id not in self._link_up:
+                    raise ClusterError(f"network {self.name}: unknown node {node_id}")
+                if node_id in assignment:
+                    raise ClusterError(f"network {self.name}: node {node_id} in two groups")
+                assignment[node_id] = tag
+        self._split = assignment
+
+    def heal(self) -> None:
+        """Undo :meth:`split`."""
+        self._split = None
+
+    # -- sender-visible health --------------------------------------------
+    def usable_from(self, node_id: str) -> bool:
+        """Can ``node_id`` transmit on this fabric right now?
+
+        This is what a *sender* can observe locally (its NIC + carrier);
+        remote link state is invisible until timeouts reveal it.
+        """
+        return self.fabric_up and self._link_up.get(node_id, False)
+
+    def path_open(self, src: str, dst: str) -> bool:
+        """Full path check used at delivery time."""
+        if not self.fabric_up:
+            return False
+        if not self._link_up.get(src, False) or not self._link_up.get(dst, False):
+            return False
+        if self._split is not None and self._split.get(src) != self._split.get(dst):
+            return False
+        return True
+
+    # -- transmission --------------------------------------------------------
+    def latency_sample(self, src: str = "", dst: str = "", size: int = 0) -> float:
+        """Per-message delay: base + optional uplink hop + optional
+        serialization (size/bandwidth) + exponential jitter."""
+        base = self.spec.base_latency
+        if (
+            self.spec.topology == "two_level"
+            and src
+            and dst
+            and self._node_groups.get(src) != self._node_groups.get(dst)
+        ):
+            base += self.spec.uplink_latency  # edge -> core -> edge hop
+        if self.spec.bandwidth is not None and size > 0:
+            base += size / self.spec.bandwidth
+        if self.spec.jitter > 0:
+            return base + float(self._rng.exponential(self.spec.jitter))
+        return base
+
+    def transmit(self, msg: Message, deliver: Callable[[Message], None]) -> bool:
+        """Accept ``msg`` for transmission; returns False on immediate drop.
+
+        ``deliver`` runs after the sampled latency, and re-checks nothing:
+        the path is evaluated once at send time plus once at delivery time
+        via the closure below, approximating store-and-forward fabrics.
+        """
+        trace = self.sim.trace
+        if not self.path_open(msg.src_node, msg.dst_node):
+            self.dropped += 1
+            trace.count(f"net.{self.name}.drops")
+            trace.mark("net.drop", network=self.name, src=msg.src_node, dst=msg.dst_node, mtype=msg.mtype)
+            return False
+        if self.spec.loss_rate > 0 and self._rng.random() < self.spec.loss_rate:
+            self.dropped += 1
+            trace.count(f"net.{self.name}.drops")
+            trace.mark("net.loss", network=self.name, src=msg.src_node, dst=msg.dst_node, mtype=msg.mtype)
+            return False
+        trace.count(f"net.{self.name}.msgs")
+        trace.count(f"net.{self.name}.bytes", msg.size)
+
+        def _arrive() -> None:
+            # The destination link may have failed while in flight.
+            if not self.path_open(msg.src_node, msg.dst_node):
+                self.dropped += 1
+                trace.count(f"net.{self.name}.drops")
+                trace.mark(
+                    "net.drop", network=self.name, src=msg.src_node, dst=msg.dst_node,
+                    mtype=msg.mtype, in_flight=True,
+                )
+                return
+            self.delivered += 1
+            deliver(msg)
+
+        self.sim.schedule(self.latency_sample(msg.src_node, msg.dst_node, msg.size), _arrive)
+        return True

@@ -1,0 +1,115 @@
+"""Runtime node model: power state, compute occupancy, live metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.cluster.spec import NodeRole, NodeSpec
+from repro.errors import ClusterError, NodeDown
+from repro.sim import Simulator
+
+
+class NodeState(Enum):
+    UP = "up"
+    DOWN = "down"
+
+
+@dataclass
+class NodeMetrics:
+    """A point-in-time physical-resource sample (what the physical
+    resource detector reports: CPU, memory, swap, disk I/O, network I/O —
+    paper §4.2)."""
+
+    cpu_pct: float = 0.0
+    mem_pct: float = 0.0
+    swap_pct: float = 0.0
+    disk_io_mbps: float = 0.0
+    net_io_mbps: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "cpu_pct": self.cpu_pct,
+            "mem_pct": self.mem_pct,
+            "swap_pct": self.swap_pct,
+            "disk_io_mbps": self.disk_io_mbps,
+            "net_io_mbps": self.net_io_mbps,
+        }
+
+
+class Node:
+    """One cluster node.
+
+    The node itself is deliberately dumb: daemons live in the host OS
+    (:mod:`repro.cluster.hostos`), reachability lives in the networks.
+    ``busy_cpus`` is the number of CPUs currently pinned by user jobs, and
+    feeds the synthetic metrics model.
+    """
+
+    def __init__(self, sim: Simulator, spec: NodeSpec) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.state = NodeState.UP
+        self.busy_cpus = 0
+        #: Set by Cluster during construction.
+        self.hostos = None  # type: ignore[assignment]
+        self.boot_count = 1
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def node_id(self) -> str:
+        return self.spec.node_id
+
+    @property
+    def partition_id(self) -> str:
+        return self.spec.partition_id
+
+    @property
+    def role(self) -> NodeRole:
+        return self.spec.role
+
+    @property
+    def up(self) -> bool:
+        return self.state is NodeState.UP
+
+    # -- compute occupancy ----------------------------------------------------
+    @property
+    def free_cpus(self) -> int:
+        return self.spec.cpus - self.busy_cpus
+
+    def allocate_cpus(self, n: int) -> None:
+        """Pin ``n`` CPUs for a job; rejects oversubscription and down nodes."""
+        if not self.up:
+            raise NodeDown(self.node_id)
+        if n < 0 or n > self.free_cpus:
+            raise ClusterError(f"{self.node_id}: cannot allocate {n} cpus ({self.free_cpus} free)")
+        self.busy_cpus += n
+
+    def release_cpus(self, n: int) -> None:
+        if n < 0 or n > self.busy_cpus:
+            raise ClusterError(f"{self.node_id}: cannot release {n} cpus ({self.busy_cpus} busy)")
+        self.busy_cpus -= n
+
+    # -- power -----------------------------------------------------------
+    def crash(self) -> None:
+        """Hard-fail the node: all host processes die, jobs evaporate."""
+        if not self.up:
+            return
+        self.state = NodeState.DOWN
+        self.busy_cpus = 0
+        if self.hostos is not None:
+            self.hostos.handle_node_crash()
+
+    def boot(self) -> None:
+        """Power the node back on with an empty process table.
+
+        Daemons are *not* restarted automatically — that is the job of the
+        system construction tool / GSD recovery, as in the paper.
+        """
+        if self.up:
+            return
+        self.state = NodeState.UP
+        self.boot_count += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Node({self.node_id}, {self.state.value}, {self.busy_cpus}/{self.spec.cpus} busy)"

@@ -1,0 +1,228 @@
+"""Endpoint registry and message routing over the simulated fabrics.
+
+Phoenix kernel services expose "documented interfaces ... in different
+forms with uniformed semantics (such as Socket, RPC and ORB)" (paper
+§4.2).  This module provides the two forms every service here uses:
+
+* :meth:`Transport.send` — one-way datagram, silently lost on any failed
+  hop (heartbeats, event pushes);
+* :meth:`Transport.rpc` — correlated request/reply with timeout (bulletin
+  queries, checkpoint save, parallel command calls).
+
+Network selection mirrors reality: a sender picks the first fabric that is
+*locally* usable (its own NIC + carrier); remote failures only surface as
+timeouts.  :meth:`Transport.send_all_networks` duplicates a datagram on
+every locally-usable fabric — the watch daemon's heartbeat pattern.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.cluster.hostos import HostProcess
+from repro.cluster.message import Message
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.errors import TransportError
+from repro.sim import Signal, Simulator
+from repro.util import IdAllocator
+
+Handler = Callable[[Message], Any]
+
+#: Reserved port answered by the host OS itself (diagnosis pings).
+OS_PING_PORT = "_os.ping"
+
+
+class Endpoint:
+    """One bound (node, port) handler, optionally tied to a host process."""
+
+    __slots__ = ("node_id", "port", "handler", "owner")
+
+    def __init__(self, node_id: str, port: str, handler: Handler, owner: HostProcess | None) -> None:
+        self.node_id = node_id
+        self.port = port
+        self.handler = handler
+        self.owner = owner
+
+    @property
+    def receiving(self) -> bool:
+        return self.owner is None or self.owner.alive
+
+
+class Transport:
+    """Cluster-wide message router."""
+
+    def __init__(self, sim: Simulator, networks: dict[str, Network], nodes: dict[str, Node]) -> None:
+        self.sim = sim
+        self.networks = networks
+        self.nodes = nodes
+        self._net_order = list(networks)
+        self._endpoints: dict[tuple[str, str], Endpoint] = {}
+        self._rpc_ids = IdAllocator("rpc")
+        for node_id in nodes:
+            # The host OS answers pings as long as the node is up, daemon or not.
+            self.bind(node_id, OS_PING_PORT, lambda msg: {"pong": True}, owner=None)
+
+    # -- endpoints ---------------------------------------------------------
+    def bind(self, node_id: str, port: str, handler: Handler, owner: HostProcess | None = None) -> None:
+        """Register ``handler`` for messages to ``node_id:port``.
+
+        With an ``owner``, delivery additionally requires the owning host
+        process to be alive; rebinding an existing port is allowed only if
+        the previous owner is dead (daemon restart).
+        """
+        if node_id not in self.nodes:
+            raise TransportError(f"unknown node {node_id!r}")
+        key = (node_id, port)
+        existing = self._endpoints.get(key)
+        if existing is not None and existing.receiving and existing.owner is not None:
+            if owner is not existing.owner:
+                raise TransportError(f"{node_id}:{port} already bound by a live process")
+        self._endpoints[key] = Endpoint(node_id, port, handler, owner)
+
+    def unbind(self, node_id: str, port: str) -> None:
+        self._endpoints.pop((node_id, port), None)
+
+    def bound(self, node_id: str, port: str) -> bool:
+        ep = self._endpoints.get((node_id, port))
+        return ep is not None and ep.receiving
+
+    # -- datagrams ---------------------------------------------------------
+    def send(
+        self,
+        src_node: str,
+        dst_node: str,
+        dst_port: str,
+        mtype: str,
+        payload: dict[str, Any] | None = None,
+        network: str | None = None,
+        rpc_id: str = "",
+        src_port: str = "",
+    ) -> bool:
+        """One-way datagram; returns False when dropped at send time.
+
+        In-flight and receive-side losses are invisible to the sender, as
+        on a real network.
+        """
+        src = self.nodes.get(src_node)
+        if src is None:
+            raise TransportError(f"unknown source node {src_node!r}")
+        if dst_node not in self.nodes:
+            raise TransportError(f"unknown destination node {dst_node!r}")
+        if not src.up:
+            return False  # a crashed node sends nothing
+        net = self._pick_network(src_node, network)
+        if net is None:
+            self.sim.trace.mark("net.no_path", src=src_node, dst=dst_node, mtype=mtype)
+            return False
+        msg = Message(
+            src_node=src_node,
+            dst_node=dst_node,
+            dst_port=dst_port,
+            mtype=mtype,
+            payload=dict(payload or {}),
+            network=net.name,
+            src_port=src_port,
+            sent_at=self.sim.now,
+            rpc_id=rpc_id,
+        )
+        return net.transmit(msg, self._deliver)
+
+    def send_all_networks(
+        self,
+        src_node: str,
+        dst_node: str,
+        dst_port: str,
+        mtype: str,
+        payload: dict[str, Any] | None = None,
+    ) -> int:
+        """Duplicate a datagram on every locally-usable fabric.
+
+        Returns the number of copies accepted for transmission.  This is
+        the WD heartbeat pattern: one NIC failure costs nothing because
+        the other fabrics still carry the beat.
+        """
+        sent = 0
+        for name in self._net_order:
+            if self.networks[name].usable_from(src_node):
+                if self.send(src_node, dst_node, dst_port, mtype, payload, network=name):
+                    sent += 1
+        return sent
+
+    # -- request/reply -----------------------------------------------------
+    def rpc(
+        self,
+        src_node: str,
+        dst_node: str,
+        dst_port: str,
+        mtype: str,
+        payload: dict[str, Any] | None = None,
+        network: str | None = None,
+        timeout: float = 1.0,
+    ) -> Signal:
+        """Send a request; returns a signal that fires with the reply
+        payload (a dict) or ``None`` on timeout/loss.
+
+        The callee's handler return value is the reply: returning ``None``
+        means "no reply" and the caller times out.
+        """
+        rpc_id = self._rpc_ids.next()
+        reply_port = f"_rpc.{rpc_id}"
+        signal = self.sim.signal(name=f"rpc.{rpc_id}")
+
+        def on_reply(msg: Message) -> None:
+            self.unbind(src_node, reply_port)
+            if not signal.fired:
+                signal.fire(msg.payload)
+
+        def on_timeout() -> None:
+            self.unbind(src_node, reply_port)
+            if not signal.fired:
+                signal.fire(None)
+
+        self.bind(src_node, reply_port, on_reply, owner=None)
+        self.sim.schedule(timeout, on_timeout)
+        self.send(src_node, dst_node, dst_port, mtype, payload, network=network, rpc_id=rpc_id)
+        return signal
+
+    def ping(self, src_node: str, dst_node: str, network: str, timeout: float = 0.25) -> Signal:
+        """OS-level reachability probe on one specific fabric."""
+        return self.rpc(
+            src_node, dst_node, OS_PING_PORT, "os.ping", {}, network=network, timeout=timeout
+        )
+
+    # -- internals -----------------------------------------------------------
+    def _pick_network(self, src_node: str, requested: str | None) -> Network | None:
+        if requested is not None:
+            net = self.networks.get(requested)
+            if net is None:
+                raise TransportError(f"unknown network {requested!r}")
+            return net if net.usable_from(src_node) else None
+        for name in self._net_order:
+            net = self.networks[name]
+            if net.usable_from(src_node):
+                return net
+        return None
+
+    def _deliver(self, msg: Message) -> None:
+        dst = self.nodes[msg.dst_node]
+        trace = self.sim.trace
+        if not dst.up:
+            trace.mark("net.dst_down", dst=msg.dst_node, mtype=msg.mtype)
+            return
+        ep = self._endpoints.get((msg.dst_node, msg.dst_port))
+        if ep is None or not ep.receiving:
+            trace.mark("net.unbound", dst=msg.dst_node, port=msg.dst_port, mtype=msg.mtype)
+            return
+        trace.count(f"rx.{msg.dst_node}")
+        result = ep.handler(msg)
+        if msg.rpc_id and isinstance(result, dict):
+            self.send(
+                msg.dst_node,
+                msg.src_node,
+                f"_rpc.{msg.rpc_id}",
+                f"{msg.mtype}.reply",
+                result,
+                network=msg.network,
+            )

@@ -1,0 +1,27 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+| Harness | Paper artifact |
+|---|---|
+| :mod:`repro.experiments.fault_tables`   | Tables 1–3 (§5.1) |
+| :mod:`repro.experiments.linpack_impact` | Table 4 (§5.2) |
+| :mod:`repro.experiments.scalability`    | Figure 6 / §5.3 |
+| :mod:`repro.experiments.pws_vs_pbs`     | Figures 7–9 / §5.4 |
+| :mod:`repro.experiments.ablations`      | design-rationale ablations |
+"""
+
+from repro.experiments.fault_tables import FaultResult, run_fault_case, run_table
+from repro.experiments.linpack_impact import run_table4
+from repro.experiments.pws_vs_pbs import compare_ha, compare_traffic, run_trace_on
+from repro.experiments.scalability import run_point, run_sweep
+
+__all__ = [
+    "FaultResult",
+    "compare_ha",
+    "compare_traffic",
+    "run_fault_case",
+    "run_point",
+    "run_sweep",
+    "run_table",
+    "run_table4",
+    "run_trace_on",
+]

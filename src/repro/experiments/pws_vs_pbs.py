@@ -1,0 +1,223 @@
+"""§5.4 harness: PWS-on-Phoenix vs the PBS-style baseline (Figures 7–9).
+
+The paper's four PWS claims, and how we measure each:
+
+1. *The kernel provides most PBS functions* — counted structurally:
+   which subsystems each server implements itself vs consumes from the
+   kernel (see :data:`RESPONSIBILITIES`).
+2. *Scalability: bulletin + events instead of polling* — both systems run
+   the same synthetic job trace on the same cluster; a third baseline run
+   with no job manager isolates each scheduler's own control traffic.
+3. *Fault tolerance* — the scheduler's host process (or whole node) is
+   killed mid-trace; PWS comes back via the GSD service group with its
+   checkpointed queue, PBS stays dead.
+4. *Multi-pool + dynamic leasing* — exercised in the PWS test-suite and
+   the pools example; reported here via the lease trace counters.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cluster import Cluster, ClusterSpec, FaultInjector
+from repro.experiments.report import format_table
+from repro.kernel import KernelTimings, PhoenixKernel
+from repro.sim import Simulator
+from repro.units import fmt_bytes
+from repro.userenv.pbs import PBSServer
+from repro.userenv.pbs.server import PORT as PBS_PORT
+from repro.userenv.pbs.server import SUBMIT as PBS_SUBMIT
+from repro.userenv.pws import PoolSpec, install_pws
+from repro.userenv.pws.server import PORT as PWS_PORT
+from repro.userenv.pws.server import SUBMIT as PWS_SUBMIT
+from repro.workloads.jobs import TraceConfig, TraceEntry, generate_trace
+
+#: Functional blocks of a job management system (paper Figures 7 vs 8):
+#: True = the kernel supplies it, False = the user environment implements it.
+RESPONSIBILITIES = {
+    "pbs": {
+        "user interface": False,
+        "scheduling": False,
+        "resource monitoring": False,
+        "configuration": False,
+        "parallel process management": False,
+        "fault tolerance": False,
+    },
+    "pws": {
+        "user interface": False,  # PWS implements its own UI...
+        "scheduling": False,  # ...and its scheduling policies (the paper's point)
+        "resource monitoring": True,  # data bulletin federation
+        "configuration": True,  # configuration service
+        "parallel process management": True,  # PPM parallel commands
+        "fault tolerance": True,  # group service + checkpoint
+    },
+}
+
+
+def kernel_supplied_fraction(system: str) -> float:
+    """Fraction of the job-management stack the kernel supplies."""
+    blocks = RESPONSIBILITIES[system]
+    return sum(blocks.values()) / len(blocks)
+
+
+def _build(seed: int, heartbeat_interval: float) -> tuple[Simulator, PhoenixKernel]:
+    sim = Simulator(seed=seed, trace_capacity=50_000)
+    cluster = Cluster(sim, ClusterSpec.build(partitions=4, computes=14))
+    kernel = PhoenixKernel(cluster, timings=KernelTimings(heartbeat_interval=heartbeat_interval))
+    kernel.boot()
+    return sim, kernel
+
+
+def _total_traffic(sim, cluster) -> tuple[float, float]:
+    msgs = sum(sim.trace.counter(f"net.{n}.msgs") for n in cluster.networks)
+    nbytes = sum(sim.trace.counter(f"net.{n}.bytes") for n in cluster.networks)
+    return msgs, nbytes
+
+
+def run_trace_on(
+    system: str,
+    trace: list[TraceEntry],
+    seed: int = 0,
+    sim_time: float = 1800.0,
+    poll_interval: float = 10.0,
+    heartbeat_interval: float = 30.0,
+    kill_scheduler_at: float | None = None,
+    kill_kind: str = "process",
+) -> dict:
+    """Run the trace under ``system`` ("pws" | "pbs" | "none"); return metrics."""
+    sim, kernel = _build(seed, heartbeat_interval)
+    cluster = kernel.cluster
+    sim.run(until=6.0)
+
+    submit_port, submit_mtype, server = None, None, None
+    scheduler_node = cluster.partitions[0].server
+    if system == "pws":
+        server = install_pws(kernel, [PoolSpec("default", cluster.compute_nodes())])
+        submit_port, submit_mtype = PWS_PORT, PWS_SUBMIT
+    elif system == "pbs":
+        server = PBSServer(kernel, scheduler_node, nodes=cluster.compute_nodes(),
+                           poll_interval=poll_interval)
+        kernel.registry.register("pbs", lambda k, n: server)
+        kernel.start_service("pbs", scheduler_node)
+        submit_port, submit_mtype = PBS_PORT, PBS_SUBMIT
+    elif system != "none":
+        raise ValueError(f"unknown system {system!r}")
+    sim.run(until=10.0)
+
+    # Schedule submissions at trace arrival times from a client node.
+    client_node = cluster.partitions[-1].computes[0]
+    if system != "none":
+        for i, entry in enumerate(trace):
+            payload = entry.submit_payload()
+            payload["job_id"] = f"trace-{i}"
+            sim.schedule(
+                entry.arrival,
+                lambda p=payload: cluster.transport.rpc(
+                    client_node, kernel.placement.get((system, "p0"), scheduler_node),
+                    submit_port, submit_mtype, p, timeout=5.0,
+                ),
+            )
+    if kill_scheduler_at is not None and system != "none":
+        injector = FaultInjector(cluster)
+        if kill_kind == "process":
+            injector.at(kill_scheduler_at, "kill_process", scheduler_node, system)
+        else:
+            injector.at(kill_scheduler_at, "crash_node", scheduler_node)
+
+    t0 = sim.now
+    msgs0, bytes0 = _total_traffic(sim, cluster)
+    sim.run(until=t0 + sim_time)
+    msgs, nbytes = _total_traffic(sim, cluster)
+
+    result = {
+        "system": system,
+        "sim_time": sim_time,
+        "msgs": msgs - msgs0,
+        "bytes": nbytes - bytes0,
+        "polls": sim.trace.counter("pbs.polls"),
+        "events_seen": sim.trace.counter("pws.events_seen"),
+        "leases": len(sim.trace.records("pws.lease")),
+    }
+    if system != "none":
+        live = kernel.live_daemon(system, kernel.placement.get((system, "p0"), scheduler_node))
+        jobs = dict(live.jobs) if live is not None else {}
+        waits = [
+            j.started_at - j.submitted_at for j in jobs.values() if j.started_at is not None
+        ]
+        result.update(
+            {
+                "submitted": len(jobs),
+                "done": sum(1 for j in jobs.values() if j.state.value == "done"),
+                "failed": sum(1 for j in jobs.values() if j.state.value == "failed"),
+                "mean_wait_s": sum(waits) / len(waits) if waits else float("nan"),
+                "scheduler_alive": live is not None and live.alive,
+            }
+        )
+    return result
+
+
+def compare_traffic(
+    job_count: int = 40, seed: int = 0, sim_time: float = 1800.0, poll_interval: float = 10.0
+) -> dict:
+    """Claim 2: scheduler-attributable network traffic, baseline-subtracted."""
+    trace = generate_trace(job_count, TraceConfig(max_nodes=4), seed=seed)
+    baseline = run_trace_on("none", trace, seed=seed, sim_time=sim_time)
+    pws = run_trace_on("pws", trace, seed=seed, sim_time=sim_time)
+    pbs = run_trace_on("pbs", trace, seed=seed, sim_time=sim_time, poll_interval=poll_interval)
+    return {
+        "baseline": baseline,
+        "pws": pws,
+        "pbs": pbs,
+        "pws_extra_msgs": pws["msgs"] - baseline["msgs"],
+        "pbs_extra_msgs": pbs["msgs"] - baseline["msgs"],
+        "pws_extra_bytes": pws["bytes"] - baseline["bytes"],
+        "pbs_extra_bytes": pbs["bytes"] - baseline["bytes"],
+    }
+
+
+def compare_ha(job_count: int = 20, seed: int = 0, sim_time: float = 1800.0) -> dict:
+    """Claim 3: kill the scheduler process mid-trace on both systems."""
+    trace = generate_trace(job_count, TraceConfig(max_nodes=4), seed=seed)
+    pws = run_trace_on("pws", trace, seed=seed, sim_time=sim_time, kill_scheduler_at=300.0)
+    pbs = run_trace_on("pbs", trace, seed=seed, sim_time=sim_time, kill_scheduler_at=300.0)
+    return {"pws": pws, "pbs": pbs}
+
+
+def render_comparison(traffic: dict, ha: dict) -> str:
+    """Combined traffic + HA comparison table."""
+    rows = []
+    for name in ("pws", "pbs"):
+        t = traffic[name]
+        h = ha[name]
+        rows.append([
+            name.upper(),
+            t["done"],
+            f"{t['mean_wait_s']:.1f}s",
+            traffic[f"{name}_extra_msgs"],
+            fmt_bytes(int(traffic[f"{name}_extra_bytes"])),
+            int(t["polls"] if name == "pbs" else t["events_seen"]),
+            "recovered" if h["scheduler_alive"] else "DEAD",
+            h["done"],
+            f"{100 * kernel_supplied_fraction(name):.0f}%",
+        ])
+    headers = [
+        "system", "jobs done", "mean wait", "extra msgs", "extra bytes",
+        "polls/events", "after scheduler kill", "jobs done (HA run)", "kernel-supplied",
+    ]
+    return format_table(headers, rows, title="§5.4 — PWS vs PBS on the same job trace")
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI: run and print the section 5.4 comparison."""
+    parser = argparse.ArgumentParser(description="Regenerate the §5.4 comparison")
+    parser.add_argument("--jobs", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sim-time", type=float, default=1800.0)
+    args = parser.parse_args(argv)
+    traffic = compare_traffic(job_count=args.jobs, seed=args.seed, sim_time=args.sim_time)
+    ha = compare_ha(job_count=max(10, args.jobs // 2), seed=args.seed, sim_time=args.sim_time)
+    print(render_comparison(traffic, ha))
+
+
+if __name__ == "__main__":
+    main()

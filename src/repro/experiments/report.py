@@ -1,0 +1,28 @@
+"""Table formatting shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Plain aligned text table (the paper's tables, in monospace)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_dict_rows(rows: Sequence[dict], columns: Sequence[str], title: str = "") -> str:
+    """Table from dict rows, selecting and ordering by ``columns``."""
+    return format_table(columns, [[row.get(c, "") for c in columns] for row in rows], title=title)

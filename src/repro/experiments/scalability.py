@@ -1,0 +1,125 @@
+"""§5.3 harness: monitoring a Dawning-4000A-scale system (Figure 6).
+
+The paper's scalability evidence is existence-style: GridView, built on
+nothing but the bulletin/event/configuration interfaces, monitors the
+whole 640-node machine.  We reproduce that and quantify it with a sweep:
+for increasing node counts, boot the kernel, attach GridView, and measure
+
+* collection latency per refresh (one federation query, any instance);
+* kernel background traffic per node per second (heartbeats, detector
+  exports) — flat per node, i.e. total traffic linear in nodes;
+* messages handled by the monitoring access point per refresh —
+  O(partitions), not O(nodes), which is the partitioned design's point.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.experiments.report import format_dict_rows
+from repro.kernel import KernelTimings, PhoenixKernel
+from repro.sim import Simulator
+from repro.userenv.monitoring import install_gridview, render_snapshot
+
+#: Node counts for the sweep (the paper's machine is the 640 point).
+DEFAULT_SWEEP = (64, 128, 256, 640)
+NODES_PER_PARTITION = 16
+
+
+def spec_for(nodes: int) -> ClusterSpec:
+    """Regular 16-nodes-per-partition spec for a node count."""
+    if nodes % NODES_PER_PARTITION:
+        raise ValueError(f"nodes must be a multiple of {NODES_PER_PARTITION}")
+    return ClusterSpec.build(
+        partitions=nodes // NODES_PER_PARTITION, computes=NODES_PER_PARTITION - 2, backups=1
+    )
+
+
+def run_point(
+    nodes: int,
+    seed: int = 0,
+    refresh_interval: float = 30.0,
+    measure_time: float = 90.0,
+    heartbeat_interval: float = 30.0,
+) -> dict:
+    """One sweep point; returns the measured scaling quantities."""
+    sim = Simulator(seed=seed, trace_capacity=50_000)
+    cluster = Cluster(sim, spec_for(nodes))
+    kernel = PhoenixKernel(cluster, timings=KernelTimings(heartbeat_interval=heartbeat_interval))
+    kernel.boot()
+    gv = install_gridview(kernel, refresh_interval=refresh_interval)
+    access_node = gv.node_id
+    db_node = kernel.placement[("db", cluster.node(access_node).partition_id)]
+
+    sim.run(until=5.0)  # first detector exports land
+    msgs0 = sum(sim.trace.counter(f"net.{n}.msgs") for n in cluster.networks)
+    bytes0 = sum(sim.trace.counter(f"net.{n}.bytes") for n in cluster.networks)
+    db_rx0 = sim.trace.counter(f"rx.{db_node}")
+    t_start = sim.now
+    sim.run(until=t_start + measure_time)
+    msgs = sum(sim.trace.counter(f"net.{n}.msgs") for n in cluster.networks) - msgs0
+    nbytes = sum(sim.trace.counter(f"net.{n}.bytes") for n in cluster.networks) - bytes0
+    db_rx = sim.trace.counter(f"rx.{db_node}") - db_rx0
+
+    refreshes = [r for r in sim.trace.records("gridview.refresh") if r.time > t_start]
+    if not refreshes:
+        raise RuntimeError("no GridView refresh completed in the measurement window")
+    latencies = [r["latency"] for r in refreshes]
+    return {
+        "nodes": nodes,
+        "partitions": len(cluster.partitions),
+        "refreshes": len(refreshes),
+        "rows_per_refresh": refreshes[-1]["rows"],
+        "refresh_latency_ms": 1000.0 * sum(latencies) / len(latencies),
+        "msgs_per_node_per_s": msgs / nodes / measure_time,
+        "bytes_per_node_per_s": nbytes / nodes / measure_time,
+        "access_point_msgs_per_refresh": db_rx / len(refreshes),
+        "snapshot": gv.latest,
+    }
+
+
+def run_sweep(node_counts: tuple[int, ...] = DEFAULT_SWEEP, seed: int = 0, **kwargs) -> list[dict]:
+    """run_point over each node count."""
+    return [run_point(nodes, seed=seed, **kwargs) for nodes in node_counts]
+
+
+def render_sweep(rows: list[dict]) -> str:
+    """Text table of the sweep's scaling quantities."""
+    display = [
+        {
+            "nodes": r["nodes"],
+            "partitions": r["partitions"],
+            "rows/refresh": r["rows_per_refresh"],
+            "latency(ms)": f"{r['refresh_latency_ms']:.2f}",
+            "msgs/node/s": f"{r['msgs_per_node_per_s']:.2f}",
+            "bytes/node/s": f"{r['bytes_per_node_per_s']:.0f}",
+            "AP msgs/refresh": f"{r['access_point_msgs_per_refresh']:.0f}",
+        }
+        for r in rows
+    ]
+    return format_dict_rows(
+        display,
+        ["nodes", "partitions", "rows/refresh", "latency(ms)", "msgs/node/s",
+         "bytes/node/s", "AP msgs/refresh"],
+        title="§5.3 — GridView monitoring scalability sweep",
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI: run and print the scalability sweep."""
+    parser = argparse.ArgumentParser(description="Regenerate the §5.3 scalability evaluation")
+    parser.add_argument("--nodes", type=int, nargs="*", default=list(DEFAULT_SWEEP))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--show-snapshot", action="store_true",
+                        help="print the Figure 6 style board for the largest point")
+    args = parser.parse_args(argv)
+    rows = run_sweep(tuple(args.nodes), seed=args.seed)
+    print(render_sweep(rows))
+    if args.show_snapshot:
+        print()
+        print(render_snapshot(rows[-1]["snapshot"], columns=10))
+
+
+if __name__ == "__main__":
+    main()

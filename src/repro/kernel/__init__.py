@@ -1,0 +1,26 @@
+"""Phoenix cluster operating system kernel (the paper's contribution).
+
+Boot it onto a simulated cluster::
+
+    from repro.sim import Simulator
+    from repro.cluster import Cluster, ClusterSpec
+    from repro.kernel import PhoenixKernel
+
+    sim = Simulator(seed=1)
+    cluster = Cluster(sim, ClusterSpec.paper_fault_testbed())
+    kernel = PhoenixKernel(cluster)
+    kernel.boot()
+    sim.run(until=120.0)
+"""
+
+from repro.kernel.api import KernelClient, PhoenixKernel
+from repro.kernel.daemon import DaemonRegistry, ServiceDaemon
+from repro.kernel.timings import KernelTimings
+
+__all__ = [
+    "DaemonRegistry",
+    "KernelClient",
+    "KernelTimings",
+    "PhoenixKernel",
+    "ServiceDaemon",
+]

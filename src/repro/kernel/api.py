@@ -1,0 +1,402 @@
+"""PhoenixKernel — boot the kernel onto a cluster; public client API.
+
+This is the documented surface user environments build on (paper §4.1
+principle 2: "maintaining a stable minimum set of core functions ... we
+can easily construct, adapt and extend user environments on the basis of
+Phoenix kernel").  User environments import *this module* (plus the port
+constants), never the service internals.
+
+Deployment (paper §4.4): one configuration service and one security
+service in the whole system; per partition, one instance each of the
+group/event/bulletin/checkpoint services on the server node plus a
+checkpoint replica on the backup node; on every node, the watch daemon,
+detector services, and parallel process management.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.cluster import Cluster
+from repro.errors import KernelError, ServiceUnavailable
+from repro.kernel import ports
+from repro.kernel.bulletin.service import BulletinDaemon
+from repro.kernel.checkpoint.service import CheckpointDaemon, CheckpointReplicaDaemon
+from repro.kernel.config.service import ConfigServiceDaemon
+from repro.kernel.daemon import DaemonRegistry, ServiceDaemon
+from repro.kernel.detectors.service import DetectorDaemon
+from repro.kernel.events.service import EventServiceDaemon
+from repro.kernel.group.gsd import GSDDaemon
+from repro.kernel.group.metagroup import View
+from repro.kernel.group.watchdaemon import WatchDaemon
+from repro.kernel.ppm.parallel import subtree_timeout
+from repro.kernel.ppm.service import PPMDaemon
+from repro.kernel.timings import KernelTimings
+from repro.sim import Signal
+
+#: Services whose placement is tracked per partition id (config/security
+#: are single-instance but recorded under their hosting partition).
+PARTITION_SERVICES = ("gsd", "es", "db", "ckpt", "ckpt.replica", "config", "security")
+#: Services placed on every node.
+NODE_SERVICES = ("wd", "ppm", "detector")
+
+
+class PhoenixKernel:
+    """The Phoenix cluster operating system kernel bound to one cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        timings: KernelTimings | None = None,
+        secret: bytes = b"phoenix-cluster-secret",
+    ) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.timings = timings or KernelTimings()
+        self.secret = secret
+        self.registry = DaemonRegistry()
+        #: (service, scope) -> node currently hosting it.  Scope is the
+        #: partition id for partition services, or a wider tag such as
+        #: ("metagroup", "leader").
+        self.placement: dict[tuple[str, str], str] = {}
+        self._live: dict[tuple[str, str], ServiceDaemon] = {}
+        #: User-environment services supervised by a partition's GSD
+        #: (service name -> partition id).  See :meth:`register_user_service`.
+        self.user_services: dict[str, str] = {}
+        self.booted = False
+        self._register_default_factories()
+
+    def _register_default_factories(self) -> None:
+        self.registry.register("config", ConfigServiceDaemon)
+        self.registry.register("security", SecurityFactory())
+        self.registry.register("ckpt", CheckpointDaemon)
+        self.registry.register("ckpt.replica", CheckpointReplicaDaemon)
+        self.registry.register("db", BulletinDaemon)
+        self.registry.register("es", EventServiceDaemon)
+        self.registry.register("gsd", GSDDaemon)
+        self.registry.register("wd", WatchDaemon)
+        self.registry.register("ppm", PPMDaemon)
+        self.registry.register("detector", DetectorDaemon)
+
+    # -- boot ------------------------------------------------------------
+    def boot(self) -> None:
+        """Start every kernel daemon and install the initial meta-group view.
+
+        Boot is the construction tool's moment: placement follows the
+        static spec, and the initial view is configuration, not election.
+        """
+        if self.booted:
+            raise KernelError("kernel already booted")
+        first_server = self.cluster.partitions[0].server
+        self.start_service("config", first_server)
+        self.start_service("security", first_server)
+
+        for part in self.cluster.partitions:
+            self.start_service("ckpt.replica", part.backups[0])
+            for svc in ("ckpt", "db", "es"):
+                self.start_service(svc, part.server)
+
+        for node_id in self.cluster.nodes:
+            for svc in NODE_SERVICES:
+                self.start_service(svc, node_id)
+
+        for part in self.cluster.partitions:
+            self.start_service("gsd", part.server)
+
+        members = tuple((p.partition_id, p.server) for p in self.cluster.partitions)
+        view = View(view_id=1, members=members)
+        for part in self.cluster.partitions:
+            self.gsd(part.partition_id).metagroup.install_view(view)
+        self.note_placement("metagroup", "leader", members[0][1])
+        self.booted = True
+        self.sim.trace.mark("kernel.booted", nodes=self.cluster.size, partitions=len(members))
+
+    # -- service lifecycle ---------------------------------------------------
+    def start_service(self, service: str, node_id: str) -> ServiceDaemon:
+        """Create and start a fresh instance of ``service`` on ``node_id``.
+
+        Used at boot and by every recovery/restart path (via PPM), so
+        placement bookkeeping is always current.
+        """
+        daemon = self.registry.create(service, self, node_id)
+        daemon.start()
+        self._live[(service, node_id)] = daemon
+        if service not in NODE_SERVICES:
+            # Anything that is not a per-node daemon is placed per partition
+            # (kernel partition services, single instances, user services).
+            partition_id = self.cluster.node(node_id).partition_id
+            self.placement[(service, partition_id)] = node_id
+        return daemon
+
+    def register_user_service(self, service: str, factory, partition_id: str) -> None:
+        """Register a user-environment service for GSD supervision.
+
+        This is the paper's "scheduling service group ... created on the
+        basis of group service with high availability guaranteed" (§5.4):
+        the named service joins the partition's service group — the GSD
+        restarts it on process death and migrates it with the group on
+        node death.  Place the instance with :meth:`start_service` on the
+        partition's server node.
+        """
+        if service in ("gsd", *GSDDaemon.MANAGED, *NODE_SERVICES, "config", "security"):
+            raise KernelError(f"{service!r} is a kernel service name")
+        self.registry.register(service, factory)
+        self.user_services[service] = partition_id
+
+    def live_daemon(self, service: str, node_id: str | None) -> ServiceDaemon | None:
+        """The live (or last) daemon instance of ``service`` on ``node_id``."""
+        if node_id is None:
+            return None
+        return self._live.get((service, node_id))
+
+    def note_placement(self, service: str, scope: str, node_id: str) -> None:
+        """Record that ``service`` for ``scope`` now lives on ``node_id``."""
+        self.placement[(service, scope)] = node_id
+
+    # -- service accessors (host-side introspection) -------------------------
+    def _partition_daemon(self, service: str, partition_id: str) -> ServiceDaemon:
+        node = self.placement.get((service, partition_id))
+        daemon = self.live_daemon(service, node)
+        if daemon is None:
+            raise ServiceUnavailable(f"{service} for partition {partition_id} is not placed")
+        return daemon
+
+    def gsd(self, partition_id: str) -> GSDDaemon:
+        """The partition's live group service daemon."""
+        return self._partition_daemon("gsd", partition_id)  # type: ignore[return-value]
+
+    def es(self, partition_id: str) -> EventServiceDaemon:
+        """The partition's live event service instance."""
+        return self._partition_daemon("es", partition_id)  # type: ignore[return-value]
+
+    def bulletin(self, partition_id: str) -> BulletinDaemon:
+        """The partition's live data bulletin instance."""
+        return self._partition_daemon("db", partition_id)  # type: ignore[return-value]
+
+    def checkpoint(self, partition_id: str) -> CheckpointDaemon:
+        """The partition's live checkpoint service primary."""
+        return self._partition_daemon("ckpt", partition_id)  # type: ignore[return-value]
+
+    def config_service(self) -> ConfigServiceDaemon:
+        """The single configuration service instance."""
+        first = self.cluster.partitions[0].partition_id
+        node = self.placement.get(("config", first))
+        daemon = self.live_daemon("config", node)
+        if daemon is None:
+            raise ServiceUnavailable("configuration service is not running")
+        return daemon  # type: ignore[return-value]
+
+    def security_service(self):
+        """The single security service instance."""
+        first = self.cluster.partitions[0].partition_id
+        node = self.placement.get(("security", first))
+        daemon = self.live_daemon("security", node)
+        if daemon is None:
+            raise ServiceUnavailable("security service is not running")
+        return daemon
+
+    def es_locations(self) -> dict[str, str]:
+        """partition id -> node currently hosting its event service."""
+        return {
+            p.partition_id: self.placement[("es", p.partition_id)]
+            for p in self.cluster.partitions
+            if ("es", p.partition_id) in self.placement
+        }
+
+    def db_locations(self) -> dict[str, str]:
+        """partition id -> node currently hosting its data bulletin."""
+        return {
+            p.partition_id: self.placement[("db", p.partition_id)]
+            for p in self.cluster.partitions
+            if ("db", p.partition_id) in self.placement
+        }
+
+    # -- client API ----------------------------------------------------------
+    def client(self, node_id: str) -> "KernelClient":
+        """Documented user-environment interface, bound to one node."""
+        return KernelClient(self, node_id)
+
+
+class SecurityFactory:
+    """Factory wrapper so the registry can build the security daemon
+    (kept tiny; exists to avoid an import cycle at module top level)."""
+
+    def __call__(self, kernel: PhoenixKernel, node_id: str) -> ServiceDaemon:
+        from repro.kernel.security.service import SecurityServiceDaemon
+
+        return SecurityServiceDaemon(kernel, node_id)
+
+
+class KernelClient:
+    """Client-side bindings of the kernel's documented interfaces.
+
+    Each method issues the underlying protocol traffic from ``node_id``
+    and returns a :class:`Signal` that fires with the reply (or ``None``
+    on timeout) — callers in coroutines simply ``yield`` it.
+    """
+
+    def __init__(self, kernel: PhoenixKernel, node_id: str) -> None:
+        self.kernel = kernel
+        self.node_id = node_id
+        self.sim = kernel.sim
+        self._transport = kernel.cluster.transport
+
+    # -- data bulletin federation (single access point, Figure 5) -----------
+    def query_bulletin(
+        self,
+        table: str,
+        where: dict[str, Any] | None = None,
+        partition: str | None = None,
+        timeout: float = 5.0,
+        aggregate: list[str] | None = None,
+    ) -> Signal:
+        """Query cluster-wide state through *any* bulletin instance.
+
+        With ``aggregate=[fields...]``, the federation computes mergeable
+        partial aggregates member-side and returns ``{"aggregate": {field:
+        {sum, count, min, max}}, "row_count": N}`` instead of rows —
+        O(partitions) bytes at the access point instead of O(nodes).
+        """
+        part = partition or self._own_partition()
+        db_node = self.kernel.placement.get(("db", part))
+        if db_node is None:
+            raise ServiceUnavailable(f"no bulletin placed for partition {part}")
+        payload: dict[str, Any] = {"table": table, "where": where, "scope": "global"}
+        if aggregate:
+            payload["aggregate"] = list(aggregate)
+        return self._transport.rpc(
+            self.node_id, db_node, ports.DB, ports.DB_QUERY, payload, timeout=timeout
+        )
+
+    # -- event service ---------------------------------------------------
+    def subscribe(
+        self,
+        consumer_id: str,
+        port: str,
+        types: tuple[str, ...] = (),
+        where: dict[str, Any] | None = None,
+        partition: str | None = None,
+        replay: int = 0,
+    ) -> Signal:
+        """Register as an event consumer; events arrive on ``port`` of this
+        client's node as ``es.event`` messages.
+
+        ``replay`` asks the instance to re-push its last N matching
+        retained events first (late-joiner catch-up); type entries may
+        use family wildcards (``"node.*"``).
+        """
+        part = partition or self._own_partition()
+        es_node = self.kernel.placement.get(("es", part))
+        if es_node is None:
+            raise ServiceUnavailable(f"no event service placed for partition {part}")
+        return self._transport.rpc(
+            self.node_id, es_node, ports.ES, ports.ES_SUBSCRIBE,
+            {
+                "consumer_id": consumer_id,
+                "node": self.node_id,
+                "port": port,
+                "types": list(types),
+                "where": dict(where or {}),
+                "replay": int(replay),
+            },
+        )
+
+    def unsubscribe(self, consumer_id: str, partition: str | None = None) -> Signal:
+        """Remove an event subscription by consumer id."""
+        part = partition or self._own_partition()
+        es_node = self.kernel.placement.get(("es", part))
+        if es_node is None:
+            raise ServiceUnavailable(f"no event service placed for partition {part}")
+        return self._transport.rpc(
+            self.node_id, es_node, ports.ES, ports.ES_UNSUBSCRIBE, {"consumer_id": consumer_id}
+        )
+
+    def publish(self, event_type: str, data: dict[str, Any], partition: str | None = None) -> Signal:
+        """Publish an event through the partition's event service."""
+        part = partition or self._own_partition()
+        es_node = self.kernel.placement.get(("es", part))
+        if es_node is None:
+            raise ServiceUnavailable(f"no event service placed for partition {part}")
+        return self._transport.rpc(
+            self.node_id, es_node, ports.ES, ports.ES_PUBLISH,
+            {"type": event_type, "data": data},
+        )
+
+    # -- parallel commands (PPM tree fan-out) --------------------------------
+    def parallel_command(
+        self,
+        cmd: str,
+        targets: list[str],
+        args: dict[str, Any] | None = None,
+        timeout: float | None = None,
+    ) -> Signal:
+        """Run ``cmd`` on every node in ``targets``; fires with
+        ``{"results": {node: ...}, "errors": {node: reason}}``."""
+        if not targets:
+            raise KernelError("parallel command needs at least one target")
+        if timeout is None:
+            timeout = subtree_timeout(self.kernel.timings.rpc_timeout, len(targets)) + 2.0
+        return self._transport.rpc(
+            self.node_id, self.node_id, ports.PPM, ports.PPM_PCMD,
+            {"cmd": cmd, "args": dict(args or {}), "targets": list(targets)},
+            timeout=timeout,
+        )
+
+    def spawn_job(
+        self, node: str, job_id: str, cpus: int, duration: float, user: str = ""
+    ) -> Signal:
+        """Load one job task on one node (remote job loading)."""
+        return self._transport.rpc(
+            self.node_id, node, ports.PPM, ports.PPM_SPAWN_JOB,
+            {"job_id": job_id, "cpus": cpus, "duration": duration, "user": user},
+        )
+
+    def kill_job(self, node: str, job_id: str) -> Signal:
+        """Kill one job task on one node via its PPM daemon."""
+        return self._transport.rpc(
+            self.node_id, node, ports.PPM, ports.PPM_KILL_JOB, {"job_id": job_id}
+        )
+
+    # -- configuration service ---------------------------------------------
+    def config_get(self, key: str) -> Signal:
+        """Read one configuration key."""
+        return self._config_rpc(ports.CONFIG_GET, {"key": key})
+
+    def config_set(self, key: str, value: Any) -> Signal:
+        """Write one configuration key (publishes config.changed)."""
+        return self._config_rpc(ports.CONFIG_SET, {"key": key, "value": value})
+
+    def config_list(self, prefix: str = "") -> Signal:
+        """List configuration keys under a prefix."""
+        return self._config_rpc(ports.CONFIG_LIST, {"prefix": prefix})
+
+    def introspect(self) -> Signal:
+        """Run the configuration service's cluster self-introspection."""
+        return self._config_rpc(ports.CONFIG_INTROSPECT, {})
+
+    def _config_rpc(self, mtype: str, payload: dict[str, Any]) -> Signal:
+        first = self.kernel.cluster.partitions[0].partition_id
+        node = self.kernel.placement.get(("config", first))
+        if node is None:
+            raise ServiceUnavailable("configuration service is not placed")
+        return self._transport.rpc(self.node_id, node, ports.CONFIG, mtype, payload)
+
+    # -- security service --------------------------------------------------
+    def authenticate(self, user: str, password: str) -> Signal:
+        """Exchange credentials for a signed token at the security service."""
+        return self._security_rpc(ports.SEC_AUTH, {"user": user, "password": password})
+
+    def authorize(self, token: str, action: str) -> Signal:
+        """Check ``token`` against the role policy for ``action``."""
+        return self._security_rpc(ports.SEC_AUTHORIZE, {"token": token, "action": action})
+
+    def _security_rpc(self, mtype: str, payload: dict[str, Any]) -> Signal:
+        first = self.kernel.cluster.partitions[0].partition_id
+        node = self.kernel.placement.get(("security", first))
+        if node is None:
+            raise ServiceUnavailable("security service is not placed")
+        return self._transport.rpc(self.node_id, node, ports.SECURITY, mtype, payload)
+
+    # -- helpers ---------------------------------------------------------
+    def _own_partition(self) -> str:
+        return self.kernel.cluster.node(self.node_id).partition_id

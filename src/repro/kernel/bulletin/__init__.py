@@ -1,0 +1,19 @@
+"""Data bulletin service: in-memory cluster DB with federated queries."""
+
+from repro.kernel.bulletin.service import (
+    TABLE_APPS,
+    TABLE_NET_STATE,
+    TABLE_NODE_METRICS,
+    TABLE_NODE_STATE,
+    BulletinDaemon,
+)
+from repro.kernel.bulletin.store import BulletinStore
+
+__all__ = [
+    "BulletinDaemon",
+    "BulletinStore",
+    "TABLE_APPS",
+    "TABLE_NET_STATE",
+    "TABLE_NODE_METRICS",
+    "TABLE_NODE_STATE",
+]

@@ -1,0 +1,151 @@
+"""Data bulletin service — the cluster-wide in-memory database.
+
+"Data bulletin service is an in-memory database which stores the state of
+cluster-wide physical resource and application state; it provides
+interfaces for non-persistent data storage and data query" (paper §4.2).
+
+One instance per partition holds that partition's detector exports.  The
+instances form a federation shaped like a complete graph (Figure 5): a
+**global** query sent to *any* instance fans out to every peer, merges
+the rows, and reports which partitions could not answer — so users see a
+single access point, and one failed instance only hides one partition's
+state until the GSD restarts it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.message import Message
+from repro.kernel import ports
+from repro.kernel.bulletin.store import BulletinStore
+from repro.kernel.daemon import ServiceDaemon
+from repro.kernel.query import aggregate_rows, merge_aggregates, validate_where
+
+#: Well-known bulletin tables.
+TABLE_NODE_METRICS = "node_metrics"
+TABLE_NODE_STATE = "node_state"
+TABLE_NET_STATE = "net_state"
+TABLE_APPS = "apps"
+
+
+#: Tables whose rows go stale when their producer stops exporting
+#: (detector feeds); mapped to expiry in units of the detector interval.
+EXPIRING_TABLES = {
+    TABLE_NODE_METRICS: 4.0,
+    TABLE_NET_STATE: 4.0,
+    TABLE_APPS: 12.0,
+}
+
+
+class BulletinDaemon(ServiceDaemon):
+    """Per-partition data bulletin instance."""
+
+    SERVICE = "db"
+
+    def __init__(self, kernel, node_id: str) -> None:
+        super().__init__(kernel, node_id)
+        self.store = BulletinStore()
+
+    def on_start(self) -> None:
+        self.bind(ports.DB, self._dispatch)
+        self.spawn(self._housekeeping(), name=f"{self.node_id}/db.housekeeping")
+
+    def _housekeeping(self):
+        """Evict rows whose producers stopped exporting (e.g. a crashed
+        node's last metrics sample) — the bulletin is a live cache, not
+        an archive ("non-persistent data storage", §4.2)."""
+        interval = self.timings.detector_interval
+        while True:
+            yield interval
+            for table, multiple in EXPIRING_TABLES.items():
+                expired = self.store.expire(table, max_age=multiple * interval, now=self.sim.now)
+                if expired:
+                    self.sim.trace.count("db.expired", expired)
+
+    # -- dispatch ----------------------------------------------------------
+    def _dispatch(self, msg: Message) -> dict[str, Any] | None:
+        if msg.mtype == ports.DB_PUT:
+            self.store.put(
+                msg.payload["table"],
+                msg.payload["key"],
+                msg.payload["row"],
+                now=self.sim.now,
+                partition=self.partition_id,
+            )
+            self.sim.trace.count("db.puts")
+            return {"ok": True} if msg.rpc_id else None
+        if msg.mtype == ports.DB_DELETE:
+            ok = self.store.delete(msg.payload["table"], msg.payload["key"])
+            return {"ok": ok} if msg.rpc_id else None
+        if msg.mtype == ports.DB_QUERY:
+            return self._on_query(msg)
+        self.sim.trace.mark("db.unknown_mtype", mtype=msg.mtype)
+        return None
+
+    def _on_query(self, msg: Message) -> dict[str, Any] | None:
+        table = msg.payload["table"]
+        where = msg.payload.get("where")
+        scope = msg.payload.get("scope", "global")
+        aggregate = msg.payload.get("aggregate")  # list of numeric fields or None
+        try:
+            validate_where(where)
+        except Exception as exc:
+            return {"error": str(exc), "rows": [], "partitions_missing": []}
+        self.sim.trace.count("db.queries")
+        local_rows = self.store.query(table, where)
+        if scope == "local":
+            if aggregate:
+                # Push-down: ship mergeable partials, not rows.
+                return {
+                    "aggregate": aggregate_rows(local_rows, aggregate),
+                    "row_count": len(local_rows),
+                    "partitions_missing": [],
+                }
+            return {"rows": local_rows, "partitions_missing": []}
+        # Global scope: fan out to peers asynchronously, then answer the RPC
+        # ourselves (the handler returns None so the transport does not
+        # auto-reply).
+        self.spawn(
+            self._global_query(msg, table, where, aggregate, local_rows),
+            name=f"{self.node_id}/db.fanout",
+        )
+        return None
+
+    def _global_query(self, msg: Message, table: str, where, aggregate, local_rows):
+        peers = {
+            part_id: node
+            for part_id, node in self.kernel.db_locations().items()
+            if part_id != self.partition_id
+        }
+        request = {"table": table, "where": where, "scope": "local"}
+        if aggregate:
+            request["aggregate"] = aggregate
+        signals = {
+            part_id: self.rpc(node, ports.DB, ports.DB_QUERY, dict(request))
+            for part_id, node in peers.items()
+        }
+        rows = list(local_rows)
+        partials = [aggregate_rows(local_rows, aggregate)] if aggregate else []
+        row_count = len(local_rows)
+        missing: list[str] = []
+        for part_id, signal in signals.items():
+            reply = yield signal
+            if reply is None:
+                missing.append(part_id)
+            elif aggregate:
+                partials.append(reply.get("aggregate", {}))
+                row_count += int(reply.get("row_count", 0))
+            else:
+                rows.extend(reply.get("rows", []))
+        if msg.rpc_id:
+            if aggregate:
+                payload = {
+                    "aggregate": merge_aggregates(partials),
+                    "row_count": row_count,
+                    "partitions_missing": sorted(missing),
+                }
+            else:
+                rows.sort(key=lambda r: (r.get("_partition", ""), r.get("_key", "")))
+                payload = {"rows": rows, "partitions_missing": sorted(missing)}
+            self.send(msg.src_node, f"_rpc.{msg.rpc_id}", f"{ports.DB_QUERY}.reply", payload)

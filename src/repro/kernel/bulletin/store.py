@@ -1,0 +1,70 @@
+"""In-memory table store backing the data bulletin service."""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+from repro.errors import KernelError
+from repro.kernel.query import matches as where_matches
+
+
+class BulletinStore:
+    """Tables of keyed rows with metadata columns.
+
+    Every row gets ``_key``, ``_partition`` (the partition whose detectors
+    produced it) and ``_updated_at`` (virtual time of the last put).  The
+    bulletin is explicitly *non-persistent* (paper §4.2): a restarted
+    instance starts empty and refills from the next detector export cycle.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, dict[str, dict[str, Any]]] = {}
+
+    def put(self, table: str, key: str, row: dict[str, Any], now: float, partition: str) -> None:
+        if not table or not key:
+            raise KernelError("bulletin put needs a table and a key")
+        stored = dict(row)
+        stored["_key"] = key
+        stored["_partition"] = partition
+        stored["_updated_at"] = now
+        self._tables.setdefault(table, {})[key] = stored
+
+    def delete(self, table: str, key: str) -> bool:
+        rows = self._tables.get(table)
+        if rows is None:
+            return False
+        return rows.pop(key, None) is not None
+
+    def query(self, table: str, where: dict[str, Any] | None = None) -> list[dict[str, Any]]:
+        """Rows of ``table`` matching the ``where`` clause (plain values
+        mean equality, operator dicts per :mod:`repro.kernel.query`),
+        ordered by key for determinism."""
+        rows = self._tables.get(table, {})
+        result = []
+        for key in sorted(rows):
+            row = rows[key]
+            if where and not where_matches(where, row):
+                continue
+            result.append(copy.deepcopy(row))
+        return result
+
+    def get(self, table: str, key: str) -> dict[str, Any] | None:
+        row = self._tables.get(table, {}).get(key)
+        return copy.deepcopy(row) if row is not None else None
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    def row_count(self, table: str | None = None) -> int:
+        if table is not None:
+            return len(self._tables.get(table, {}))
+        return sum(len(rows) for rows in self._tables.values())
+
+    def expire(self, table: str, max_age: float, now: float) -> int:
+        """Drop rows older than ``max_age``; returns how many were dropped."""
+        rows = self._tables.get(table, {})
+        stale = [k for k, row in rows.items() if now - row["_updated_at"] > max_age]
+        for key in stale:
+            del rows[key]
+        return len(stale)

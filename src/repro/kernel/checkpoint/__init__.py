@@ -1,0 +1,6 @@
+"""Checkpoint service: per-partition primary + backup-node replica."""
+
+from repro.kernel.checkpoint.service import CheckpointDaemon, CheckpointReplicaDaemon
+from repro.kernel.checkpoint.store import CheckpointEntry, CheckpointStore
+
+__all__ = ["CheckpointDaemon", "CheckpointEntry", "CheckpointReplicaDaemon", "CheckpointStore"]

@@ -1,0 +1,132 @@
+"""Checkpoint service — durable state for upper-layer services.
+
+"Based on group service, it provides interfaces for upper-layer services
+to save system data, which means that upper-layer services themselves are
+responsible for saving and deleting system state by calling interface of
+checkpoint service" (paper §4.2).
+
+Deployment per partition: a **primary** on the server node and a
+**replica** on the backup node.  Saves are applied locally and replicated
+asynchronously; a (re)started primary pulls the replica's contents first
+(anti-entropy), which is what lets a service migrated to the backup node
+find its state there.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.message import Message
+from repro.kernel import ports
+from repro.kernel.checkpoint.store import CheckpointStore
+from repro.kernel.daemon import ServiceDaemon
+
+
+class CheckpointDaemon(ServiceDaemon):
+    """Primary checkpoint service instance of one partition."""
+
+    SERVICE = "ckpt"
+
+    def __init__(self, kernel, node_id: str) -> None:
+        super().__init__(kernel, node_id)
+        self.store = CheckpointStore()
+
+    def on_start(self) -> None:
+        self.bind(ports.CKPT, self._dispatch)
+        self.spawn(self._sync_from_replica(), name=f"{self.node_id}/ckpt.sync")
+
+    def _sync_from_replica(self):
+        replica_node = self.kernel.placement.get(("ckpt.replica", self.partition_id))
+        if replica_node is None:
+            return
+        reply = yield self.rpc(replica_node, ports.CKPT_REPLICA, ports.CKPT_PULL, {})
+        if reply and "dump" in reply:
+            updated = self.store.absorb(reply["dump"], self.sim.now)
+            self.sim.trace.mark("ckpt.synced", node=self.node_id, keys=updated)
+
+    def _dispatch(self, msg: Message) -> dict[str, Any] | None:
+        if msg.mtype == ports.CKPT_SAVE:
+            # Saves pay a size-dependent storage commit before acking.
+            self.spawn(self._save(msg), name=f"{self.node_id}/ckpt.save")
+            return None
+        if msg.mtype == ports.CKPT_LOAD:
+            entry = self.store.load(msg.payload["key"], version=msg.payload.get("version"))
+            if entry is None:
+                return {"found": False}
+            return {
+                "found": True,
+                "data": entry.data,
+                "version": entry.version,
+                "versions": self.store.versions(msg.payload["key"]),
+            }
+        if msg.mtype == ports.CKPT_DELETE:
+            ok = self.store.delete(msg.payload["key"])
+            replica_node = self.kernel.placement.get(("ckpt.replica", self.partition_id))
+            if replica_node is not None:
+                self.send(
+                    replica_node, ports.CKPT_REPLICA, ports.CKPT_DELETE,
+                    {"key": msg.payload["key"]},
+                )
+            return {"ok": ok}
+        if msg.mtype == ports.CKPT_PULL:
+            return {"dump": self.store.dump()}
+        self.sim.trace.mark("ckpt.unknown_mtype", mtype=msg.mtype)
+        return None
+
+    def _save(self, msg: Message):
+        key, data = msg.payload["key"], msg.payload["data"]
+        yield self.timings.ckpt_write_cost(len(repr(data)))
+        version = self.store.save(key, data, self.sim.now)
+        self._replicate(key, data, version)
+        self.sim.trace.count("ckpt.saves")
+        self.reply(msg, {"ok": True, "version": version})
+
+    def _replicate(self, key: str, data: dict[str, Any], version: int) -> None:
+        replica_node = self.kernel.placement.get(("ckpt.replica", self.partition_id))
+        if replica_node is None:
+            return
+        self.send(
+            replica_node,
+            ports.CKPT_REPLICA,
+            ports.CKPT_REPLICATE,
+            {"key": key, "data": data, "version": version},
+        )
+
+
+class CheckpointReplicaDaemon(ServiceDaemon):
+    """Replica on the partition's backup node."""
+
+    SERVICE = "ckpt.replica"
+
+    def __init__(self, kernel, node_id: str) -> None:
+        super().__init__(kernel, node_id)
+        self.store = CheckpointStore()
+
+    def on_start(self) -> None:
+        self.bind(ports.CKPT_REPLICA, self._dispatch)
+
+    def _dispatch(self, msg: Message) -> dict[str, Any] | None:
+        if msg.mtype == ports.CKPT_REPLICATE:
+            try:
+                self.store.save(
+                    msg.payload["key"],
+                    msg.payload["data"],
+                    self.sim.now,
+                    version=msg.payload["version"],
+                )
+            except Exception:
+                # Stale replication write: the primary already moved on.
+                self.sim.trace.mark("ckpt.replica_stale", key=msg.payload["key"])
+            return None
+        if msg.mtype == ports.CKPT_PULL:
+            return {"dump": self.store.dump()}
+        if msg.mtype == ports.CKPT_DELETE:
+            self.store.delete(msg.payload["key"])
+            return None
+        if msg.mtype == ports.CKPT_LOAD:
+            entry = self.store.load(msg.payload["key"])
+            if entry is None:
+                return {"found": False}
+            return {"found": True, "data": entry.data, "version": entry.version}
+        self.sim.trace.mark("ckpt.unknown_mtype", mtype=msg.mtype)
+        return None

@@ -1,0 +1,6 @@
+"""Configuration service: static + dynamic cluster configuration."""
+
+from repro.kernel.config.introspect import introspect_cluster
+from repro.kernel.config.service import ConfigServiceDaemon
+
+__all__ = ["ConfigServiceDaemon", "introspect_cluster"]

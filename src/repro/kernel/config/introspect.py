@@ -1,0 +1,55 @@
+"""Self-introspection: automatically find and diagnose cluster resources."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.cluster import Cluster
+
+
+def introspect_cluster(cluster: Cluster) -> dict[str, Any]:
+    """Scan the live cluster and report discovered resources and problems.
+
+    This is the configuration service's "self-introspection mechanism to
+    automatically find and diagnose cluster resources" (paper §4.2): it
+    enumerates nodes, CPUs, memory and network attachment, and flags
+    anomalies (down nodes, dead NICs, fabric outages).
+    """
+    nodes_up: list[str] = []
+    nodes_down: list[str] = []
+    total_cpus = 0
+    total_mem_mb = 0
+    problems: list[dict[str, Any]] = []
+
+    for node_id in sorted(cluster.nodes):
+        node = cluster.nodes[node_id]
+        total_cpus += node.spec.cpus
+        total_mem_mb += node.spec.mem_mb
+        if node.up:
+            nodes_up.append(node_id)
+        else:
+            nodes_down.append(node_id)
+            problems.append({"kind": "node_down", "node": node_id})
+
+    networks: dict[str, Any] = {}
+    for name, net in cluster.networks.items():
+        dead_links = sorted(
+            node_id for node_id in cluster.nodes if not net.link_up(node_id)
+        )
+        networks[name] = {"fabric_up": net.fabric_up, "dead_links": dead_links}
+        if not net.fabric_up:
+            problems.append({"kind": "fabric_down", "network": name})
+        for node_id in dead_links:
+            problems.append({"kind": "nic_down", "network": name, "node": node_id})
+
+    return {
+        "node_count": cluster.size,
+        "nodes_up": nodes_up,
+        "nodes_down": nodes_down,
+        "total_cpus": total_cpus,
+        "total_mem_mb": total_mem_mb,
+        "partitions": [p.partition_id for p in cluster.partitions],
+        "networks": networks,
+        "problems": problems,
+        "healthy": not problems,
+    }

@@ -1,0 +1,148 @@
+"""Base class for Phoenix kernel service daemons.
+
+A :class:`ServiceDaemon` is one OS process on one node.  The base class
+handles the mechanics every service shares — host-process registration,
+port binding tied to process liveness, coroutine spawning, and trace
+marks for start/stop — so service modules contain protocol logic only.
+
+Restart/migration never reuses a daemon object: the recovery machinery
+builds a *fresh* instance via the kernel's :class:`DaemonRegistry`,
+mirroring a real exec of a new process (state comes back from the
+checkpoint service, not from Python object reuse).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from typing import TYPE_CHECKING, Any
+
+from repro.cluster.hostos import HostProcess
+from repro.cluster.message import Message
+from repro.errors import ServiceUnavailable
+from repro.sim import Proc, Signal
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.api import PhoenixKernel
+
+
+class ServiceDaemon:
+    """One kernel service instance on one node."""
+
+    #: Host-process name and default port; subclasses override.
+    SERVICE = "svc"
+
+    def __init__(self, kernel: "PhoenixKernel", node_id: str) -> None:
+        self.kernel = kernel
+        self.node_id = node_id
+        self.cluster = kernel.cluster
+        self.sim = kernel.sim
+        self.transport = kernel.cluster.transport
+        self.timings = kernel.timings
+        self.hp: HostProcess | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Register the host process, bind ports, and start loops."""
+        hostos = self.cluster.hostos(self.node_id)
+        self.hp = hostos.start_process(self.SERVICE)
+        self.sim.trace.mark("service.started", service=self.SERVICE, node=self.node_id)
+        self.on_start()
+
+    def on_start(self) -> None:
+        """Subclass hook: bind ports and spawn loops here."""
+
+    def stop(self) -> None:
+        """Graceful stop (administrative, not a fault)."""
+        if self.hp is not None and self.hp.alive:
+            self.hp.kill()
+            self.sim.trace.mark("service.stopped", service=self.SERVICE, node=self.node_id)
+
+    @property
+    def alive(self) -> bool:
+        return self.hp is not None and self.hp.alive and self.cluster.node(self.node_id).up
+
+    def require_alive(self) -> None:
+        if not self.alive:
+            raise ServiceUnavailable(f"{self.SERVICE}@{self.node_id} is not running")
+
+    # -- plumbing shared by subclasses --------------------------------------
+    def bind(self, port: str, handler: Callable[[Message], Any]) -> None:
+        """Bind ``port`` on this node, owned by this daemon's process."""
+        assert self.hp is not None, "bind() before start()"
+        self.transport.bind(self.node_id, port, handler, owner=self.hp)
+
+    def spawn(self, body: Generator[Any, Any, Any], name: str = "") -> Proc:
+        assert self.hp is not None, "spawn() before start()"
+        return self.hp.adopt(body, name=name or f"{self.node_id}/{self.SERVICE}")
+
+    def send(
+        self,
+        dst_node: str,
+        dst_port: str,
+        mtype: str,
+        payload: dict[str, Any] | None = None,
+        network: str | None = None,
+    ) -> bool:
+        return self.transport.send(self.node_id, dst_node, dst_port, mtype, payload, network=network)
+
+    def send_all_networks(
+        self, dst_node: str, dst_port: str, mtype: str, payload: dict[str, Any] | None = None
+    ) -> int:
+        return self.transport.send_all_networks(self.node_id, dst_node, dst_port, mtype, payload)
+
+    def rpc(
+        self,
+        dst_node: str,
+        dst_port: str,
+        mtype: str,
+        payload: dict[str, Any] | None = None,
+        network: str | None = None,
+        timeout: float | None = None,
+    ) -> Signal:
+        return self.transport.rpc(
+            self.node_id,
+            dst_node,
+            dst_port,
+            mtype,
+            payload,
+            network=network,
+            timeout=self.timings.rpc_timeout if timeout is None else timeout,
+        )
+
+    def reply(self, msg: Message, payload: dict[str, Any]) -> None:
+        """Answer an RPC later than its handler (for async handlers that
+        returned ``None`` and finish in a spawned coroutine)."""
+        if msg.rpc_id:
+            self.send(msg.src_node, f"_rpc.{msg.rpc_id}", f"{msg.mtype}.reply", payload)
+
+    @property
+    def partition_id(self) -> str:
+        return self.cluster.node(self.node_id).partition_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "dead"
+        return f"{type(self).__name__}({self.node_id}, {state})"
+
+
+class DaemonRegistry:
+    """Maps service names to daemon factories for (re)starts anywhere.
+
+    The PPM daemon on each node uses this to honor "start service X here"
+    requests during recovery and system construction.
+    """
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable[["PhoenixKernel", str], ServiceDaemon]] = {}
+
+    def register(self, service: str, factory: Callable[["PhoenixKernel", str], ServiceDaemon]) -> None:
+        self._factories[service] = factory
+
+    def create(self, service: str, kernel: "PhoenixKernel", node_id: str) -> ServiceDaemon:
+        try:
+            factory = self._factories[service]
+        except KeyError:
+            raise ServiceUnavailable(f"no factory registered for service {service!r}") from None
+        return factory(kernel, node_id)
+
+    def known(self) -> list[str]:
+        return sorted(self._factories)

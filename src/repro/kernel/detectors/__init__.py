@@ -1,0 +1,5 @@
+"""Detector services: physical, application, node and network state."""
+
+from repro.kernel.detectors.service import DetectorDaemon
+
+__all__ = ["DetectorDaemon"]

@@ -1,0 +1,7 @@
+"""Event service: supplier/consumer registry, filtering, federation."""
+
+from repro.kernel.events.filters import Subscription
+from repro.kernel.events.service import EventServiceDaemon
+from repro.kernel.events.types import Event
+
+__all__ = ["Event", "EventServiceDaemon", "Subscription"]

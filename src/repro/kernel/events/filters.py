@@ -1,0 +1,72 @@
+"""Event filtering — "event service also provides functions like events
+filtering and real-time notification" (paper §4.2).
+
+A subscription carries the event types it wants plus an optional ``where``
+clause of exact-match constraints against the event's ``data`` fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import KernelError
+from repro.kernel.events.types import Event
+from repro.kernel.query import matches as where_matches
+from repro.kernel.query import validate_where
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One consumer registration at the event service."""
+
+    consumer_id: str
+    node: str  # where ES pushes notifications
+    port: str  # consumer's port for ES_EVENT messages
+    types: tuple[str, ...]  # empty = all types
+    where: dict[str, Any] = field(default_factory=dict, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.consumer_id:
+            raise KernelError("subscription needs a consumer_id")
+        if not self.node or not self.port:
+            raise KernelError("subscription needs a delivery node and port")
+        validate_where(self.where)
+
+    def matches(self, event: Event) -> bool:
+        """Type filter plus the :mod:`repro.kernel.query` where clause
+        (plain values mean equality; operator dicts allow comparisons).
+
+        A type entry ending in ``.*`` matches the whole family
+        (``"node.*"`` matches ``node.failure`` and ``node.recovery``).
+        """
+        if self.types and not any(_type_matches(t, event.type) for t in self.types):
+            return False
+        return where_matches(self.where, event.data)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "consumer_id": self.consumer_id,
+            "node": self.node,
+            "port": self.port,
+            "types": list(self.types),
+            "where": dict(self.where),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "Subscription":
+        return cls(
+            consumer_id=payload["consumer_id"],
+            node=payload["node"],
+            port=payload["port"],
+            types=tuple(payload.get("types", ())),
+            where=dict(payload.get("where", {})),
+        )
+
+
+def _type_matches(pattern: str, event_type: str) -> bool:
+    if pattern.endswith(".*"):
+        return event_type.startswith(pattern[:-1])
+    return event_type == pattern
+
+

@@ -1,0 +1,154 @@
+"""Event service daemon — the communication channel of the Phoenix kernel.
+
+One instance runs on each partition's server node; the instances federate
+(complete graph): an event published at any instance reaches matching
+consumers registered at *every* instance, so from a consumer's point of
+view there is a single cluster-wide event bus with a single access point
+(paper §4.4).
+
+State (the subscription registry) is checkpointed after every change;
+a restarted or migrated instance "will retrieve its state data from the
+checkpoint service" (paper, Figure 4 discussion) and re-announces its
+location to its federation peers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.cluster.message import Message
+from repro.kernel import ports
+from repro.kernel.daemon import ServiceDaemon
+from repro.kernel.events.filters import Subscription
+from repro.kernel.events.types import Event
+from repro.util import IdAllocator
+
+#: Checkpoint key prefix under which each ES instance stores its state.
+CKPT_KEY = "es.subscriptions"
+
+
+class EventServiceDaemon(ServiceDaemon):
+    """Per-partition event service instance."""
+
+    SERVICE = "es"
+
+    #: Recent events retained for late-subscriber replay (extension; the
+    #: paper's ES is purely real-time).
+    HISTORY = 256
+
+    def __init__(self, kernel, node_id: str) -> None:
+        super().__init__(kernel, node_id)
+        self._subs: dict[str, Subscription] = {}
+        self._ids = IdAllocator(f"ev.{self.partition_id}")
+        self._history: deque[Event] = deque(maxlen=self.HISTORY)
+        self.published = 0
+        self.delivered = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def on_start(self) -> None:
+        self.bind(ports.ES, self._dispatch)
+        self.spawn(self._recover_state(), name=f"{self.node_id}/es.recover")
+
+    def _recover_state(self):
+        """Reload the subscription registry from the checkpoint service."""
+        ckpt_node = self.kernel.placement.get(("ckpt", self.partition_id))
+        if ckpt_node is not None:
+            reply = yield self.rpc(
+                ckpt_node, ports.CKPT, ports.CKPT_LOAD, {"key": self._ckpt_key()}
+            )
+            if reply and reply.get("found"):
+                for payload in reply["data"].get("subs", []):
+                    sub = Subscription.from_payload(payload)
+                    self._subs[sub.consumer_id] = sub
+                self.sim.trace.mark(
+                    "es.state_recovered", node=self.node_id, subs=len(self._subs)
+                )
+        # Tell peers (their peer table may point at a dead node after migration).
+        for part_id, peer in self.kernel.es_locations().items():
+            if part_id != self.partition_id:
+                self.send(peer, ports.ES, ports.ES_PEERS, {"partition": self.partition_id, "node": self.node_id})
+
+    # -- message dispatch ----------------------------------------------------
+    def _dispatch(self, msg: Message) -> dict[str, Any] | None:
+        if msg.mtype == ports.ES_SUBSCRIBE:
+            return self._on_subscribe(msg)
+        if msg.mtype == ports.ES_UNSUBSCRIBE:
+            return self._on_unsubscribe(msg)
+        if msg.mtype == ports.ES_PUBLISH:
+            return self._on_publish(msg)
+        if msg.mtype == ports.ES_FORWARD:
+            event = Event.from_payload(msg.payload["event"])
+            self._history.append(event)
+            self._deliver_local(event)
+            return None
+        if msg.mtype == ports.ES_PEERS:
+            self.kernel.note_placement("es", msg.payload["partition"], msg.payload["node"])
+            return None
+        self.sim.trace.mark("es.unknown_mtype", mtype=msg.mtype)
+        return None
+
+    def _on_subscribe(self, msg: Message) -> dict[str, Any]:
+        sub = Subscription.from_payload(msg.payload)
+        self._subs[sub.consumer_id] = sub
+        self._checkpoint_state()
+        # Optional catch-up: re-push the last N matching retained events
+        # so a late joiner (e.g. a monitor restarted mid-incident) sees
+        # recent history before live traffic.
+        replay = int(msg.payload.get("replay", 0))
+        if replay > 0:
+            matching = [e for e in self._history if sub.matches(e)][-replay:]
+            for event in matching:
+                self.delivered += 1
+                self.sim.trace.count("es.replayed")
+                self.send(sub.node, sub.port, ports.ES_EVENT,
+                          {"event": event.to_payload(), "replayed": True})
+        return {"ok": True, "consumer_id": sub.consumer_id}
+
+    def _on_unsubscribe(self, msg: Message) -> dict[str, Any]:
+        consumer_id = msg.payload.get("consumer_id", "")
+        removed = self._subs.pop(consumer_id, None)
+        self._checkpoint_state()
+        return {"ok": removed is not None}
+
+    def _on_publish(self, msg: Message) -> dict[str, Any]:
+        event = Event(
+            event_id=self._ids.next(),
+            type=msg.payload["type"],
+            source=msg.src_node,
+            partition=self.partition_id,
+            time=self.sim.now,
+            data=dict(msg.payload.get("data", {})),
+        )
+        self.published += 1
+        self.sim.trace.count("es.published")
+        self._history.append(event)
+        self._deliver_local(event)
+        payload = {"event": event.to_payload()}
+        for part_id, peer in self.kernel.es_locations().items():
+            if part_id != self.partition_id:
+                self.send(peer, ports.ES, ports.ES_FORWARD, payload)
+        return {"ok": True, "event_id": event.event_id}
+
+    # -- internals -----------------------------------------------------------
+    def _deliver_local(self, event: Event) -> None:
+        for sub in list(self._subs.values()):
+            if sub.matches(event):
+                self.delivered += 1
+                self.sim.trace.count("es.delivered")
+                self.send(sub.node, sub.port, ports.ES_EVENT, {"event": event.to_payload()})
+
+    def _ckpt_key(self) -> str:
+        return f"{CKPT_KEY}.{self.partition_id}"
+
+    def _checkpoint_state(self) -> None:
+        ckpt_node = self.kernel.placement.get(("ckpt", self.partition_id))
+        if ckpt_node is None:
+            return
+        data = {"subs": [sub.to_payload() for sub in self._subs.values()]}
+        # Fire-and-forget save; the checkpoint service acks internally.
+        self.send(ckpt_node, ports.CKPT, ports.CKPT_SAVE, {"key": self._ckpt_key(), "data": data})
+
+    # -- introspection (for tests and monitors) -----------------------------
+    def subscriptions(self) -> list[Subscription]:
+        return list(self._subs.values())

@@ -1,0 +1,75 @@
+"""Event model and well-known event types.
+
+GSDs act as event suppliers, pushing failure/recovery events; user
+environments (GridView, PWS, the business runtime) register as consumers
+for the types they care about (paper §4.2/§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+# -- well-known event types --------------------------------------------------
+NODE_FAILURE = "node.failure"
+NODE_RECOVERY = "node.recovery"
+NETWORK_FAILURE = "network.failure"
+NETWORK_RECOVERY = "network.recovery"
+SERVICE_FAILURE = "service.failure"
+SERVICE_RECOVERY = "service.recovery"
+MEMBER_JOINED = "member.joined"
+MEMBER_LEFT = "member.left"
+LEADER_CHANGED = "leader.changed"
+APP_STARTED = "app.started"
+APP_EXITED = "app.exited"
+APP_FAILED = "app.failed"
+CONFIG_CHANGED = "config.changed"
+
+ALL_TYPES = (
+    NODE_FAILURE,
+    NODE_RECOVERY,
+    NETWORK_FAILURE,
+    NETWORK_RECOVERY,
+    SERVICE_FAILURE,
+    SERVICE_RECOVERY,
+    MEMBER_JOINED,
+    MEMBER_LEFT,
+    LEADER_CHANGED,
+    APP_STARTED,
+    APP_EXITED,
+    APP_FAILED,
+    CONFIG_CHANGED,
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One event flowing through the event service."""
+
+    event_id: str
+    type: str
+    source: str  # supplier node id
+    partition: str  # partition whose ES first accepted it
+    time: float  # virtual time of publication
+    data: dict[str, Any] = field(default_factory=dict, hash=False)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "event_id": self.event_id,
+            "type": self.type,
+            "source": self.source,
+            "partition": self.partition,
+            "time": self.time,
+            "data": dict(self.data),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "Event":
+        return cls(
+            event_id=payload["event_id"],
+            type=payload["type"],
+            source=payload["source"],
+            partition=payload["partition"],
+            time=payload["time"],
+            data=dict(payload.get("data", {})),
+        )

@@ -1,0 +1,19 @@
+"""Group service: watch daemons, GSDs, meta-group ring, recovery."""
+
+from repro.kernel.group.gsd import GSDDaemon
+from repro.kernel.group.metagroup import MetaGroup, View
+from repro.kernel.group.monitor import HeartbeatMonitor
+from repro.kernel.group.recovery import NODE, PROCESS, diagnose, pick_migration_target
+from repro.kernel.group.watchdaemon import WatchDaemon
+
+__all__ = [
+    "GSDDaemon",
+    "HeartbeatMonitor",
+    "MetaGroup",
+    "NODE",
+    "PROCESS",
+    "View",
+    "WatchDaemon",
+    "diagnose",
+    "pick_migration_target",
+]

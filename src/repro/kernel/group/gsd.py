@@ -1,0 +1,324 @@
+"""Group Service Daemon (GSD) — one per partition, the HA keystone.
+
+"A GSD takes charge of a partition" (paper §4.3): it receives watch-daemon
+heartbeats from every node of its partition over all fabrics, detects /
+diagnoses / recovers node, process, and NIC failures, supervises the
+partition's service group (event, data bulletin, checkpoint services on
+the same server node — Figure 4), and represents the partition in the
+meta-group ring (:mod:`repro.kernel.group.metagroup`).
+
+Acting as an event supplier, the GSD pushes failure/recovery events
+through the event service, and exports partition-wide node state to the
+data bulletin.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.message import Message
+from repro.kernel import ports
+from repro.kernel.bulletin.service import TABLE_NODE_STATE
+from repro.kernel.daemon import ServiceDaemon
+from repro.kernel.events import types as ev
+from repro.kernel.group.metagroup import MetaGroup
+from repro.kernel.group.monitor import HeartbeatMonitor
+from repro.kernel.group.recovery import NODE, PROCESS, diagnose, restart_service_remote
+
+
+class GSDDaemon(ServiceDaemon):
+    """Group service daemon of one partition."""
+
+    SERVICE = "gsd"
+    #: Service group co-located with the GSD on the partition server node.
+    MANAGED = ("ckpt", "db", "es")
+
+    def __init__(self, kernel, node_id: str) -> None:
+        super().__init__(kernel, node_id)
+        self.node_state: dict[str, str] = {}  # node -> "up" | "down"
+        self.metagroup = MetaGroup(self)
+        self.wd_monitor = HeartbeatMonitor(
+            kernel.sim,
+            networks=list(kernel.cluster.networks),
+            interval=self.timings.heartbeat_interval,
+            grace=self.timings.deadline_grace,
+            on_nic_miss=self._on_wd_nic_miss,
+            on_nic_restore=self._on_wd_nic_restore,
+            on_full_miss=self._on_wd_full_miss,
+            on_return=self._on_wd_return,
+        )
+        self._svc_recovering: set[str] = set()
+        self._local_nics_ok: dict[str, bool] | None = None
+
+    def managed_services(self) -> tuple[str, ...]:
+        """Kernel service group plus user services registered for this
+        partition (e.g. the PWS scheduling group, §5.4)."""
+        extra = tuple(
+            svc for svc, pid in self.kernel.user_services.items() if pid == self.partition_id
+        )
+        return self.MANAGED + extra
+
+    # -- lifecycle -----------------------------------------------------------
+    def on_start(self) -> None:
+        self.bind(ports.GSD_HB, self._on_heartbeat)
+        self.bind(ports.GSD, self._dispatch)
+        self._announce_to_wds()
+        self.spawn(self._startup(), name=f"{self.node_id}/gsd.startup")
+        self.spawn(self._service_check_loop(), name=f"{self.node_id}/gsd.svccheck")
+        self.spawn(self.metagroup.beat_loop(), name=f"{self.node_id}/gsd.ringbeat")
+
+    def _startup(self):
+        # 1. Make sure the partition's service group exists (after a
+        #    migration this is where ES/DB/CKPT come back on the backup node).
+        yield from self._ensure_services()
+        # 2. Reload persisted partition state from the checkpoint service.
+        yield from self._load_state()
+        # 3. Watch the partition's nodes.
+        for member in self.cluster.partition(self.partition_id).all_nodes:
+            if member != self.node_id and self.node_state.get(member) != "down":
+                self.wd_monitor.expect(member)
+        self._export_all_node_state()
+        # 4. (Re)join the meta-group if we are not in the current view.
+        yield from self.metagroup.join_loop()
+
+    def _announce_to_wds(self) -> None:
+        for member in self.cluster.partition(self.partition_id).all_nodes:
+            if member != self.node_id:
+                self.send(member, ports.WD, ports.WD_GSD_ANNOUNCE, {"node": self.node_id})
+
+    def _ensure_services(self):
+        for svc in self.managed_services():
+            old_node = self.kernel.placement.get((svc, self.partition_id))
+            daemon = self.kernel.live_daemon(svc, old_node) if old_node else None
+            if daemon is not None and daemon.alive:
+                continue
+            yield self.timings.spawn_time(svc)
+            self.kernel.start_service(svc, self.node_id)
+            if old_node is not None and old_node != self.node_id:
+                # Migration: the service group followed the GSD here.
+                self.sim.trace.mark(
+                    "failure.recovered", component=svc, kind="node", node=old_node, dst=self.node_id
+                )
+                self.publish(
+                    ev.SERVICE_RECOVERY,
+                    {"service": svc, "node": self.node_id, "migrated_from": old_node},
+                )
+
+    def _load_state(self):
+        ckpt_node = self.kernel.placement.get(("ckpt", self.partition_id))
+        if ckpt_node is None:
+            return
+        reply = yield self.rpc(ckpt_node, ports.CKPT, ports.CKPT_LOAD, {"key": self._ckpt_key()})
+        if reply and reply.get("found"):
+            self.node_state = dict(reply["data"].get("node_state", {}))
+            self.sim.trace.mark("gsd.state_recovered", node=self.node_id, entries=len(self.node_state))
+
+    # -- messaging ---------------------------------------------------------
+    def _on_heartbeat(self, msg: Message) -> None:
+        if msg.mtype == ports.HB_WD:
+            self.sim.trace.count("gsd.wd_beats_seen")
+            self.wd_monitor.beat(msg.payload["node"], msg.network)
+        elif msg.mtype == ports.HB_GSD:
+            self.metagroup.on_ring_beat(msg)
+
+    def _dispatch(self, msg: Message) -> dict[str, Any] | None:
+        if msg.mtype == ports.GSD_JOIN:
+            self.metagroup.on_join(msg)
+            return None
+        if msg.mtype == ports.GSD_VIEW:
+            self.metagroup.on_view(msg)
+            return None
+        if msg.mtype == ports.GSD_MEMBER_FAILED:
+            self.metagroup.on_member_failed(msg)
+            return None
+        if msg.mtype == ports.GSD_STATUS:
+            view = self.metagroup.view
+            return {
+                "partition": self.partition_id,
+                "node": self.node_id,
+                "node_state": dict(self.node_state),
+                "view_id": view.view_id if view else None,
+                "members": [list(m) for m in view.members] if view else [],
+                "is_leader": self.metagroup.is_leader,
+            }
+        self.sim.trace.mark("gsd.unknown_mtype", mtype=msg.mtype)
+        return None
+
+    # -- event supply ------------------------------------------------------
+    def publish(self, event_type: str, data: dict[str, Any]) -> None:
+        es_node = self.kernel.placement.get(("es", self.partition_id))
+        if es_node is not None:
+            self.send(es_node, ports.ES, ports.ES_PUBLISH, {"type": event_type, "data": data})
+
+    # -- WD monitoring callbacks (Table 1 mechanics) -------------------------
+    def _on_wd_nic_miss(self, subject: str, network: str) -> None:
+        if not self.alive:  # a dead daemon's leftover timers are inert
+            return
+        self.sim.trace.mark(
+            "failure.detected", component="wd", node=subject, network=network, by=self.node_id
+        )
+        self.spawn(self._wd_nic_failure(subject, network), name=f"{self.node_id}/gsd.wdnic")
+
+    def _wd_nic_failure(self, subject: str, network: str):
+        yield self.timings.nic_analysis_delay
+        self.sim.trace.mark(
+            "failure.diagnosed", component="wd", kind="network", node=subject, network=network
+        )
+        self.sim.trace.mark(
+            "failure.recovered", component="wd", kind="network", node=subject, network=network
+        )
+        self.publish(ev.NETWORK_FAILURE, {"node": subject, "network": network})
+        self._export_net_state(subject, network, up=False)
+
+    def _on_wd_nic_restore(self, subject: str, network: str) -> None:
+        if not self.alive:
+            return
+        self.sim.trace.mark("network.restored", component="wd", node=subject, network=network)
+        self.publish(ev.NETWORK_RECOVERY, {"node": subject, "network": network})
+        self._export_net_state(subject, network, up=True)
+
+    def _on_wd_full_miss(self, subject: str) -> None:
+        if not self.alive:
+            return
+        self.sim.trace.mark("failure.detected", component="wd", node=subject, by=self.node_id)
+        self.spawn(self._wd_failure(subject), name=f"{self.node_id}/gsd.wdrecover")
+
+    def _wd_failure(self, subject: str):
+        kind = yield from diagnose(self, subject, server_mode=False)
+        self.sim.trace.mark("failure.diagnosed", component="wd", kind=kind, node=subject)
+        if kind == PROCESS:
+            self.publish(ev.SERVICE_FAILURE, {"service": "wd", "node": subject})
+            ok = yield from restart_service_remote(self, subject, "wd")
+            if ok:
+                self.sim.trace.mark(
+                    "failure.recovered", component="wd", kind="process", node=subject
+                )
+                self.publish(ev.SERVICE_RECOVERY, {"service": "wd", "node": subject})
+            else:
+                self.sim.trace.mark("recovery.failed", component="wd", node=subject)
+            return
+        # Node death: "each WD is the representative of hosting node for
+        # sending heartbeat, and migrating WD means nothing" — recovery 0.
+        assert kind == NODE
+        self._set_node_state(subject, "down")
+        self.publish(ev.NODE_FAILURE, {"node": subject, "partition": self.partition_id})
+        self.sim.trace.mark("failure.recovered", component="wd", kind="node", node=subject)
+
+    def _on_wd_return(self, subject: str) -> None:
+        if not self.alive:
+            return
+        if self.node_state.get(subject) == "down":
+            self._set_node_state(subject, "up")
+            self.publish(ev.NODE_RECOVERY, {"node": subject, "partition": self.partition_id})
+        self.sim.trace.mark("node.returned", node=subject, by=self.node_id)
+
+    # -- service-group supervision (Table 3 mechanics, Figure 4) ------------
+    def _service_check_loop(self):
+        while True:
+            yield self.timings.service_check_period
+            self._check_local_services()
+            self._check_local_nics()
+
+    def _check_local_services(self) -> None:
+        hostos = self.cluster.hostos(self.node_id)
+        for svc in self.managed_services():
+            placed = self.kernel.placement.get((svc, self.partition_id))
+            if placed != self.node_id or svc in self._svc_recovering:
+                continue
+            if not hostos.process_alive(svc):
+                self.sim.trace.mark(
+                    "failure.detected", component=svc, node=self.node_id, by=self.node_id
+                )
+                self._svc_recovering.add(svc)
+                self.spawn(self._restart_local_service(svc), name=f"{self.node_id}/gsd.svcfix")
+
+    def _restart_local_service(self, svc: str):
+        try:
+            # Same-host check: the process table is local (Table 3: 12 us).
+            yield self.timings.local_check_delay
+            self.sim.trace.mark(
+                "failure.diagnosed", component=svc, kind="process", node=self.node_id
+            )
+            self.publish(ev.SERVICE_FAILURE, {"service": svc, "node": self.node_id})
+            yield self.timings.spawn_time(svc)
+            if not self.cluster.hostos(self.node_id).process_alive(svc):
+                # (An administrator may have restarted it concurrently,
+                # e.g. a rolling restart; starting twice would be a bug.)
+                self.kernel.start_service(svc, self.node_id)
+            self.sim.trace.mark(
+                "failure.recovered", component=svc, kind="process", node=self.node_id
+            )
+            self.publish(ev.SERVICE_RECOVERY, {"service": svc, "node": self.node_id})
+        finally:
+            self._svc_recovering.discard(svc)
+
+    def _check_local_nics(self) -> None:
+        current = {
+            name: net.usable_from(self.node_id) for name, net in self.cluster.networks.items()
+        }
+        previous = self._local_nics_ok
+        self._local_nics_ok = current
+        if previous is None:
+            return
+        for network, up in current.items():
+            if up == previous.get(network, True):
+                continue
+            if not up:
+                self.sim.trace.mark(
+                    "failure.detected", component="es", node=self.node_id,
+                    network=network, by=self.node_id,
+                )
+                self.spawn(self._local_nic_failure(network), name=f"{self.node_id}/gsd.localnic")
+            else:
+                self.sim.trace.mark(
+                    "network.restored", component="es", node=self.node_id, network=network
+                )
+                self.publish(ev.NETWORK_RECOVERY, {"node": self.node_id, "network": network})
+
+    def _local_nic_failure(self, network: str):
+        yield self.timings.local_check_delay
+        self.sim.trace.mark(
+            "failure.diagnosed", component="es", kind="network", node=self.node_id, network=network
+        )
+        self.sim.trace.mark(
+            "failure.recovered", component="es", kind="network", node=self.node_id, network=network
+        )
+        self.publish(ev.NETWORK_FAILURE, {"node": self.node_id, "network": network})
+
+    # -- bookkeeping ---------------------------------------------------------
+    def _ckpt_key(self) -> str:
+        return f"gsd.state.{self.partition_id}"
+
+    def _set_node_state(self, node: str, state: str) -> None:
+        self.node_state[node] = state
+        ckpt_node = self.kernel.placement.get(("ckpt", self.partition_id))
+        if ckpt_node is not None:
+            self.send(
+                ckpt_node, ports.CKPT, ports.CKPT_SAVE,
+                {"key": self._ckpt_key(), "data": {"node_state": dict(self.node_state)}},
+            )
+        self._export_node_state(node, state)
+
+    def _export_node_state(self, node: str, state: str) -> None:
+        db_node = self.kernel.placement.get(("db", self.partition_id))
+        if db_node is not None:
+            self.send(
+                db_node, ports.DB, ports.DB_PUT,
+                {"table": TABLE_NODE_STATE, "key": node, "row": {"state": state}},
+            )
+
+    def _export_all_node_state(self) -> None:
+        for member in self.cluster.partition(self.partition_id).all_nodes:
+            self._export_node_state(member, self.node_state.get(member, "up"))
+
+    def _export_net_state(self, node: str, network: str, up: bool) -> None:
+        db_node = self.kernel.placement.get(("db", self.partition_id))
+        if db_node is not None:
+            self.send(
+                db_node, ports.DB, ports.DB_PUT,
+                {
+                    "table": "net_events",
+                    "key": f"{node}:{network}",
+                    "row": {"node": node, "network": network, "up": up},
+                },
+            )

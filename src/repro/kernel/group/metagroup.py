@@ -1,0 +1,365 @@
+"""Meta-group membership: the ring of GSDs (paper Figure 3).
+
+"Several group service daemons form a meta-group which [is] managed by
+membership protocol. The GSD meta-group takes a ring structure. In case
+of failure of Leader, other members of meta-group select Princess to take
+over it. If Princess fails, the next member to Princess will take over
+it. If one of the members fails, the member next to it will take over
+it." (paper §4.3)
+
+Concretely:
+
+* members are ordered in a view; position 0 is the **Leader**, position 1
+  the **Princess**;
+* every member heartbeats its ring **successor** over all fabrics, so
+  each member monitors its **predecessor**;
+* the successor of a failed member runs diagnosis and recovery (restart
+  in place, or migration to the partition's backup node);
+* membership changes go through the Leader, which broadcasts a new view;
+  when the *Leader* is the failed member, the Princess installs and
+  broadcasts the new view itself — the takeover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.cluster.message import Message
+from repro.kernel import ports
+from repro.kernel.events import types as ev
+from repro.kernel.group.monitor import HeartbeatMonitor
+from repro.kernel.group.recovery import (
+    NODE,
+    PROCESS,
+    diagnose,
+    pick_migration_target,
+    restart_service_remote,
+)
+from repro.util import Ring
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.group.gsd import GSDDaemon
+
+
+@dataclass(frozen=True)
+class View:
+    """One membership view: ordered (partition, node) pairs."""
+
+    view_id: int
+    members: tuple[tuple[str, str], ...]
+
+    def nodes(self) -> list[str]:
+        return [node for _, node in self.members]
+
+    def leader(self) -> tuple[str, str]:
+        return self.members[0]
+
+    def princess(self) -> tuple[str, str]:
+        return self.members[1 % len(self.members)]
+
+    def contains_node(self, node_id: str) -> bool:
+        return any(node == node_id for _, node in self.members)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {"view_id": self.view_id, "members": [list(m) for m in self.members]}
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "View":
+        return cls(
+            view_id=int(payload["view_id"]),
+            members=tuple((m[0], m[1]) for m in payload["members"]),
+        )
+
+
+class MetaGroup:
+    """The meta-group role of one GSD."""
+
+    def __init__(self, gsd: "GSDDaemon") -> None:
+        self.gsd = gsd
+        self.sim = gsd.sim
+        self.view: View | None = None
+        self._ring: Ring[str] = Ring()  # node ids in view order
+        self._node_partition: dict[str, str] = {}
+        self.monitor = HeartbeatMonitor(
+            gsd.sim,
+            networks=list(gsd.cluster.networks),
+            interval=gsd.timings.heartbeat_interval,
+            grace=gsd.timings.deadline_grace,
+            on_nic_miss=self._on_nic_miss,
+            on_nic_restore=self._on_nic_restore,
+            on_full_miss=self._on_full_miss,
+            on_return=self._on_return,
+        )
+        self._recovering: set[str] = set()
+        self._rejoining = False
+
+    # -- identity helpers --------------------------------------------------
+    @property
+    def me(self) -> str:
+        return self.gsd.node_id
+
+    @property
+    def is_leader(self) -> bool:
+        return self.view is not None and self.view.leader()[1] == self.me
+
+    @property
+    def is_princess(self) -> bool:
+        return self.view is not None and len(self.view.members) > 1 and self.view.princess()[1] == self.me
+
+    def successor(self) -> str | None:
+        if self.view is None or self.me not in self._ring or len(self._ring) < 2:
+            return None
+        return self._ring.successor(self.me)
+
+    def predecessor(self) -> str | None:
+        if self.view is None or self.me not in self._ring or len(self._ring) < 2:
+            return None
+        return self._ring.predecessor(self.me)
+
+    # -- view management -----------------------------------------------------
+    def install_view(self, view: View) -> None:
+        """Adopt ``view``; rearms ring monitoring toward the new predecessor."""
+        if self.view is not None and view.view_id <= self.view.view_id:
+            return  # stale or duplicate
+        old_pred = self.predecessor()
+        self.view = view
+        self._ring = Ring(view.nodes())
+        self._node_partition = {node: part for part, node in view.members}
+        new_pred = self.predecessor()
+        if old_pred is not None and old_pred != new_pred:
+            self.monitor.forget(old_pred)
+        if new_pred is not None and new_pred != old_pred:
+            self.monitor.expect(new_pred)
+        self.sim.trace.mark(
+            "view.installed", node=self.me, view_id=view.view_id, members=len(view.members)
+        )
+        if not view.contains_node(self.me) and not self._rejoining:
+            # We were evicted (e.g. falsely declared dead across a network
+            # split); rejoin through the current leader.
+            self._rejoining = True
+            self.gsd.spawn(self._rejoin(), name=f"{self.me}/mg.rejoin")
+
+    def _rejoin(self):
+        try:
+            yield from self.join_loop()
+        finally:
+            self._rejoining = False
+
+    def broadcast_view(self) -> None:
+        assert self.view is not None
+        for _, node in self.view.members:
+            if node != self.me:
+                self.gsd.send(node, ports.GSD, ports.GSD_VIEW, {"view": self.view.to_payload()})
+
+    def _make_view(self, members: tuple[tuple[str, str], ...]) -> View:
+        next_id = (self.view.view_id if self.view else 0) + 1
+        return View(view_id=next_id, members=members)
+
+    # -- ring heartbeats -----------------------------------------------------
+    def beat_loop(self):
+        while True:
+            succ = self.successor()
+            if succ is not None:
+                payload = {"node": self.me, "partition": self.gsd.partition_id}
+                if self.view is not None:
+                    # Beats carry the sender's view: the ring's anti-entropy
+                    # channel, which re-merges diverged memberships after a
+                    # healed network split.
+                    payload["view"] = self.view.to_payload()
+                self.gsd.send_all_networks(succ, ports.GSD_HB, ports.HB_GSD, payload)
+                self.sim.trace.count("gsd.ring_beats")
+            yield self.gsd.timings.heartbeat_interval
+
+    def on_ring_beat(self, msg: Message) -> None:
+        sender = msg.payload.get("node")
+        beat_view = msg.payload.get("view")
+        if beat_view is not None:
+            their_id = int(beat_view["view_id"])
+            mine = self.view.view_id if self.view is not None else 0
+            if their_id > mine:
+                self.install_view(View.from_payload(beat_view))
+            elif their_id < mine and sender is not None:
+                # The sender is behind (stale side of a healed split):
+                # push our view so its ring re-forms or it rejoins.
+                self.gsd.send(sender, ports.GSD, ports.GSD_VIEW,
+                              {"view": self.view.to_payload()})
+        if sender == self.predecessor():
+            self.monitor.beat(sender, msg.network)
+
+    # -- control messages ------------------------------------------------
+    def on_join(self, msg: Message) -> None:
+        """Leader side: admit a (re)joining GSD."""
+        if not self.is_leader:
+            # Forward to whoever we believe leads (a restarted GSD may have
+            # a stale idea of the leader's location).
+            leader = self.view.leader()[1] if self.view else None
+            if leader is not None and leader != self.me:
+                self.gsd.send(leader, ports.GSD, ports.GSD_JOIN, msg.payload, )
+            return
+        self.gsd.spawn(self._admit(msg), name=f"{self.me}/mg.admit")
+
+    def _admit(self, msg: Message):
+        yield self.gsd.timings.join_process_time
+        if self.view is None:
+            return
+        partition = msg.payload["partition"]
+        node = msg.payload["node"]
+        members = [(p, n) for p, n in self.view.members if p != partition]
+        members.append((partition, node))
+        self.install_view(self._make_view(tuple(members)))
+        self.broadcast_view()
+        self.gsd.publish(ev.MEMBER_JOINED, {"partition": partition, "node": node})
+        self.sim.trace.mark("member.joined", partition=partition, node=node)
+
+    def on_view(self, msg: Message) -> None:
+        self.install_view(View.from_payload(msg.payload["view"]))
+
+    def on_member_failed(self, msg: Message) -> None:
+        """Leader side: drop a reported-dead member and broadcast."""
+        if not self.is_leader or self.view is None:
+            return
+        node = msg.payload["node"]
+        if not self.view.contains_node(node):
+            return
+        members = tuple(m for m in self.view.members if m[1] != node)
+        self.install_view(self._make_view(members))
+        self.broadcast_view()
+        self.gsd.publish(ev.MEMBER_LEFT, {"node": node})
+
+    # -- joining --------------------------------------------------------
+    def join_loop(self):
+        """Used by restarted/migrated GSDs to (re)enter the meta-group."""
+        while True:
+            if self.view is not None and self.view.contains_node(self.me):
+                return
+            leader = self.gsd.kernel.placement.get(("metagroup", "leader"))
+            if leader is not None and leader != self.me:
+                self.gsd.send(
+                    leader,
+                    ports.GSD,
+                    ports.GSD_JOIN,
+                    {"partition": self.gsd.partition_id, "node": self.me},
+                )
+            yield 2.0 * self.gsd.timings.join_process_time + 0.5
+
+    # -- monitor callbacks ---------------------------------------------------
+    def _on_nic_miss(self, subject: str, network: str) -> None:
+        if not self.gsd.alive:  # leftover timers of a dead GSD are inert
+            return
+        self.sim.trace.mark(
+            "failure.detected", component="gsd", node=subject, network=network, by=self.me
+        )
+        self.gsd.spawn(self._nic_failure(subject, network), name=f"{self.me}/mg.nic")
+
+    def _nic_failure(self, subject: str, network: str):
+        yield self.gsd.timings.nic_analysis_delay
+        self.sim.trace.mark(
+            "failure.diagnosed", component="gsd", kind="network", node=subject, network=network
+        )
+        # Three redundant fabrics: nothing to migrate, recovery is free.
+        self.sim.trace.mark(
+            "failure.recovered", component="gsd", kind="network", node=subject, network=network
+        )
+        self.gsd.publish(ev.NETWORK_FAILURE, {"node": subject, "network": network})
+
+    def _on_nic_restore(self, subject: str, network: str) -> None:
+        if not self.gsd.alive:
+            return
+        self.sim.trace.mark("network.restored", component="gsd", node=subject, network=network)
+        self.gsd.publish(ev.NETWORK_RECOVERY, {"node": subject, "network": network})
+
+    def _on_full_miss(self, subject: str) -> None:
+        if not self.gsd.alive or subject in self._recovering:
+            return
+        self._recovering.add(subject)
+        self.sim.trace.mark("failure.detected", component="gsd", node=subject, by=self.me)
+        self.gsd.spawn(self._handle_member_failure(subject), name=f"{self.me}/mg.recover")
+
+    def _on_return(self, subject: str) -> None:
+        if not self.gsd.alive:
+            return
+        self.sim.trace.mark("member.returned", node=subject, by=self.me)
+
+    # -- the takeover path -----------------------------------------------
+    def _handle_member_failure(self, failed_node: str):
+        try:
+            partition = self._node_partition.get(failed_node)
+            if partition is None or self.view is None:
+                return
+            was_leader = self.view.leader()[1] == failed_node
+            kind = yield from diagnose(self.gsd, failed_node, server_mode=True)
+            self.sim.trace.mark(
+                "failure.diagnosed", component="gsd", kind=kind, node=failed_node, by=self.me
+            )
+            # The co-located service group died with its node.
+            if kind == NODE:
+                for svc in self.gsd.managed_services():
+                    self.sim.trace.mark(
+                        "failure.diagnosed", component=svc, kind="node", node=failed_node, by=self.me
+                    )
+
+            # Membership first: the ring must close around the gap.
+            members = tuple(m for m in self.view.members if m[1] != failed_node)
+            if was_leader:
+                # "In case of failure of Leader ... select Princess to take
+                # over it."  We are the Leader's successor == the Princess.
+                self.install_view(self._make_view(members))
+                self.broadcast_view()
+                self.gsd.kernel.note_placement("metagroup", "leader", self.me)
+                self.sim.trace.mark("leader.takeover", old=failed_node, new=self.me)
+                self.gsd.publish(ev.LEADER_CHANGED, {"old": failed_node, "new": self.me})
+            else:
+                leader = self.view.leader()[1]
+                if leader == self.me:
+                    self.on_member_failed(
+                        Message(self.me, self.me, ports.GSD, ports.GSD_MEMBER_FAILED, {"node": failed_node})
+                    )
+                else:
+                    self.gsd.send(leader, ports.GSD, ports.GSD_MEMBER_FAILED, {"node": failed_node})
+
+            if kind == PROCESS:
+                self.gsd.publish(ev.SERVICE_FAILURE, {"service": "gsd", "node": failed_node})
+                ok = yield from restart_service_remote(self.gsd, failed_node, "gsd")
+                if ok:
+                    self.sim.trace.mark(
+                        "failure.recovered", component="gsd", kind="process", node=failed_node
+                    )
+                    self.gsd.publish(ev.SERVICE_RECOVERY, {"service": "gsd", "node": failed_node})
+                else:
+                    self.sim.trace.mark("recovery.failed", component="gsd", node=failed_node)
+                return
+
+            # Node death: publish, then migrate the GSD (and with it the
+            # partition's service group).  Preference order is backup
+            # nodes then computes; if the chosen target dies under us we
+            # move on to the next candidate rather than leaving the
+            # partition headless.
+            self.gsd.publish(ev.NODE_FAILURE, {"node": failed_node, "partition": partition})
+            yield self.gsd.timings.migrate_select_time
+            tried: set[str] = {failed_node}
+            while True:
+                target = pick_migration_target(self.gsd, partition, exclude=tried)
+                if target is None:
+                    self.sim.trace.mark(
+                        "recovery.failed", component="gsd", node=failed_node, reason="no target"
+                    )
+                    return
+                tried.add(target)
+                self.sim.trace.mark("service.migrating", service="gsd", src=failed_node, dst=target)
+                ok = yield from restart_service_remote(self.gsd, target, "gsd")
+                if ok:
+                    self.sim.trace.mark(
+                        "failure.recovered", component="gsd", kind="node",
+                        node=failed_node, dst=target,
+                    )
+                    self.gsd.publish(
+                        ev.SERVICE_RECOVERY,
+                        {"service": "gsd", "node": target, "migrated_from": failed_node},
+                    )
+                    return
+                self.sim.trace.mark(
+                    "migration.retry", component="gsd", node=failed_node, failed_target=target
+                )
+        finally:
+            self._recovering.discard(failed_node)

@@ -1,0 +1,146 @@
+"""Heartbeat bookkeeping with per-(subject, network) deadlines.
+
+Used twice: GSDs track the watch daemons of their partition, and each
+meta-group member tracks its ring predecessor.  Beats arrive on every
+healthy fabric; a deadline miss on *some* fabrics is a NIC failure, a
+miss on *all* fabrics starts full diagnosis (process vs node).
+
+The monitor is purely mechanical — no protocol decisions.  It reports
+through four callbacks:
+
+* ``on_nic_miss(subject, network)`` — one fabric went quiet;
+* ``on_nic_restore(subject, network)`` — a quiet fabric beats again;
+* ``on_full_miss(subject)`` — every fabric quiet (monitor self-suspends);
+* ``on_return(subject)`` — beats resumed after a suspension.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import KernelError
+from repro.sim import EventHandle, Simulator
+
+
+@dataclass
+class _SubjectState:
+    last_seen: dict[str, float] = field(default_factory=dict)
+    timers: dict[str, EventHandle] = field(default_factory=dict)
+    nic_stale: set[str] = field(default_factory=set)
+    suspended: bool = False
+
+
+class HeartbeatMonitor:
+    """Deadline tracker for heartbeats from many subjects on many fabrics."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        networks: list[str],
+        interval: float,
+        grace: float,
+        on_nic_miss: Callable[[str, str], None],
+        on_nic_restore: Callable[[str, str], None],
+        on_full_miss: Callable[[str], None],
+        on_return: Callable[[str], None],
+    ) -> None:
+        if interval <= 0 or grace <= 0:
+            raise KernelError("interval and grace must be positive")
+        self.sim = sim
+        self.networks = list(networks)
+        self.interval = interval
+        self.grace = grace
+        self.on_nic_miss = on_nic_miss
+        self.on_nic_restore = on_nic_restore
+        self.on_full_miss = on_full_miss
+        self.on_return = on_return
+        self._subjects: dict[str, _SubjectState] = {}
+
+    # -- subject management --------------------------------------------------
+    def expect(self, subject: str) -> None:
+        """Start (or restart) monitoring ``subject`` as if a beat on every
+        fabric had just arrived — used when a view change introduces a new
+        predecessor that must prove itself within one interval."""
+        self.forget(subject)  # cancel timers armed by any earlier state
+        state = _SubjectState()
+        self._subjects[subject] = state
+        for network in self.networks:
+            self._arm(subject, state, network)
+
+    def forget(self, subject: str) -> None:
+        state = self._subjects.pop(subject, None)
+        if state is not None:
+            for timer in state.timers.values():
+                timer.cancel()
+
+    def subjects(self) -> list[str]:
+        return sorted(self._subjects)
+
+    def is_suspended(self, subject: str) -> bool:
+        state = self._subjects.get(subject)
+        return state.suspended if state is not None else False
+
+    def last_seen(self, subject: str) -> float | None:
+        state = self._subjects.get(subject)
+        if state is None or not state.last_seen:
+            return None
+        return max(state.last_seen.values())
+
+    # -- beats ---------------------------------------------------------------
+    def beat(self, subject: str, network: str) -> None:
+        """Record a heartbeat from ``subject`` on ``network``."""
+        if network not in self.networks:
+            raise KernelError(f"unknown network {network!r}")
+        state = self._subjects.get(subject)
+        if state is None:
+            state = _SubjectState()
+            self._subjects[subject] = state
+        if state.suspended:
+            state.suspended = False
+            state.nic_stale.clear()
+            self.on_return(subject)
+        elif network in state.nic_stale:
+            state.nic_stale.discard(network)
+            self.on_nic_restore(subject, network)
+        self._arm(subject, state, network)
+
+    # -- suspension (diagnosis/recovery in progress) -------------------------
+    def suspend(self, subject: str) -> None:
+        """Stop deadline callbacks for ``subject`` until beats resume."""
+        state = self._subjects.get(subject)
+        if state is None:
+            return
+        state.suspended = True
+        for timer in state.timers.values():
+            timer.cancel()
+        state.timers.clear()
+
+    # -- internals -----------------------------------------------------------
+    def _arm(self, subject: str, state: _SubjectState, network: str) -> None:
+        state.last_seen[network] = self.sim.now
+        old = state.timers.get(network)
+        if old is not None:
+            old.cancel()
+        state.timers[network] = self.sim.schedule(
+            self.interval + self.grace, self._deadline, subject, network
+        )
+
+    def _deadline(self, subject: str, network: str) -> None:
+        state = self._subjects.get(subject)
+        if state is None or state.suspended:
+            return
+        state.timers.pop(network, None)
+        state.nic_stale.add(network)
+        stale_everywhere = all(
+            self.sim.now - state.last_seen.get(net, -float("inf")) >= self.interval
+            for net in self.networks
+        )
+        if stale_everywhere:
+            self.suspend(subject)
+            state.suspended = True
+            self.on_full_miss(subject)
+        else:
+            self.on_nic_miss(subject, network)
+            # Stay armed for this fabric so sustained silence does not
+            # re-fire every interval: it re-arms only when a beat returns.

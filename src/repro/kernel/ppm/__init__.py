@@ -1,0 +1,15 @@
+"""Parallel process management: jobs, service exec, tree-fanout commands."""
+
+from repro.kernel.ppm.jobs import TaskRecord, TaskSpec, TaskState
+from repro.kernel.ppm.parallel import BRANCHING, split_targets, subtree_timeout
+from repro.kernel.ppm.service import PPMDaemon
+
+__all__ = [
+    "BRANCHING",
+    "PPMDaemon",
+    "TaskRecord",
+    "TaskSpec",
+    "TaskState",
+    "split_targets",
+    "subtree_timeout",
+]

@@ -1,0 +1,74 @@
+"""Job task model for parallel process management.
+
+A *task* is one node's share of a (possibly multi-node) job: it pins some
+CPUs, runs as its own OS process for a duration, and exits.  Killing the
+node or the task process fails the task; normal completion releases the
+CPUs and reports success.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import SchedulingError
+
+
+class TaskState(Enum):
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    KILLED = "killed"
+
+
+@dataclass
+class TaskSpec:
+    """One node's share of a job."""
+
+    job_id: str
+    cpus: int
+    duration: float
+    user: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise SchedulingError("task needs a job_id")
+        if self.cpus <= 0:
+            raise SchedulingError(f"{self.job_id}: cpus must be positive")
+        if self.duration < 0:
+            raise SchedulingError(f"{self.job_id}: negative duration")
+
+    def process_name(self) -> str:
+        return f"job.{self.job_id}"
+
+    def to_payload(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "cpus": self.cpus,
+            "duration": self.duration,
+            "user": self.user,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TaskSpec":
+        return cls(
+            job_id=payload["job_id"],
+            cpus=int(payload["cpus"]),
+            duration=float(payload["duration"]),
+            user=payload.get("user", ""),
+        )
+
+
+@dataclass
+class TaskRecord:
+    """Local bookkeeping for one task on one node."""
+
+    spec: TaskSpec
+    node_id: str
+    started_at: float
+    state: TaskState = TaskState.RUNNING
+    finished_at: float | None = None
+
+    @property
+    def running(self) -> bool:
+        return self.state is TaskState.RUNNING

@@ -1,0 +1,45 @@
+"""Tree fan-out for parallel commands.
+
+"Parallel process management service performs efficient remote jobs
+loading, deleting, and resource cleaning up" (paper §4.2).  Efficiency
+comes from recursive fan-out: the coordinator splits the target list into
+branches, forwards each branch to its first node, and every node executes
+its own share while its subtree works in parallel — O(log n) rounds
+instead of O(n) serial sends.  ``benchmarks/bench_ablation_structure.py``
+quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KernelError
+
+#: Fan-out degree of the distribution tree.
+BRANCHING = 2
+
+
+def split_targets(targets: list[str], self_node: str) -> tuple[bool, list[list[str]]]:
+    """Split ``targets`` into (execute-here?, branches-to-forward).
+
+    The coordinator executes locally when it is itself a target; the rest
+    of the list is cut into ``BRANCHING`` contiguous branches, each headed
+    by the node that will coordinate that branch.
+    """
+    if len(set(targets)) != len(targets):
+        raise KernelError(f"duplicate targets in parallel command: {targets}")
+    rest = [t for t in targets if t != self_node]
+    run_local = len(rest) != len(targets)
+    if not rest:
+        return run_local, []
+    chunk = max(1, -(-len(rest) // BRANCHING))  # ceil division
+    branches = [rest[i : i + chunk] for i in range(0, len(rest), chunk)]
+    return run_local, branches
+
+
+def subtree_timeout(base: float, subtree_size: int) -> float:
+    """RPC timeout that grows with subtree depth, not size."""
+    depth = 1
+    size = 1
+    while size < max(1, subtree_size):
+        size *= BRANCHING
+        depth += 1
+    return base * depth

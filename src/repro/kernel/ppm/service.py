@@ -1,0 +1,226 @@
+"""Parallel process management (PPM) daemon.
+
+Runs on **every** node ("there are only detector service and parallel
+process management service running on each computing node" — paper §4.4).
+Responsibilities:
+
+* spawn/kill/cleanup job task processes on its node (remote job loading);
+* start/stop kernel service daemons on request (the recovery machinery's
+  remote-exec arm);
+* coordinate tree-fan-out **parallel commands** across node sets.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.message import Message
+from repro.kernel import ports
+from repro.kernel.daemon import ServiceDaemon
+from repro.kernel.ppm.jobs import TaskRecord, TaskSpec, TaskState
+from repro.kernel.ppm.parallel import split_targets, subtree_timeout
+
+
+class PPMDaemon(ServiceDaemon):
+    """Per-node parallel process management service."""
+
+    SERVICE = "ppm"
+
+    def __init__(self, kernel, node_id: str) -> None:
+        super().__init__(kernel, node_id)
+        self.tasks: dict[str, TaskRecord] = {}
+
+    def on_start(self) -> None:
+        self.bind(ports.PPM, self._dispatch)
+
+    # -- dispatch ----------------------------------------------------------
+    def _dispatch(self, msg: Message) -> dict[str, Any] | None:
+        if msg.mtype == ports.PPM_SPAWN_JOB:
+            return self._spawn_task(TaskSpec.from_payload(msg.payload))
+        if msg.mtype == ports.PPM_KILL_JOB:
+            return self._kill_task(msg.payload["job_id"])
+        if msg.mtype == ports.PPM_CLEANUP:
+            return self._cleanup()
+        if msg.mtype == ports.PPM_JOB_STATUS:
+            return self._job_status(msg.payload["job_id"])
+        if msg.mtype == ports.PPM_REPORT_LOAD:
+            return self._exec_cmd("report_load", {})
+        if msg.mtype == ports.PPM_START_SERVICE:
+            self.spawn(self._start_service(msg), name=f"{self.node_id}/ppm.startsvc")
+            return None
+        if msg.mtype == ports.PPM_STOP_SERVICE:
+            return self._stop_service(msg.payload["service"])
+        if msg.mtype == ports.PPM_PCMD:
+            self.spawn(self._run_pcmd(msg), name=f"{self.node_id}/ppm.pcmd")
+            return None
+        self.sim.trace.mark("ppm.unknown_mtype", mtype=msg.mtype)
+        return None
+
+    # -- job tasks ---------------------------------------------------------
+    def _spawn_task(self, spec: TaskSpec) -> dict[str, Any]:
+        node = self.cluster.node(self.node_id)
+        existing = self.tasks.get(spec.job_id)
+        if existing is not None and existing.running:
+            return {"ok": False, "error": f"job {spec.job_id} already running here"}
+        if spec.cpus > node.free_cpus:
+            return {"ok": False, "error": f"insufficient cpus ({node.free_cpus} free)"}
+        hostos = self.cluster.hostos(self.node_id)
+        hp = hostos.start_process(spec.process_name())
+        node.allocate_cpus(spec.cpus)
+        record = TaskRecord(spec=spec, node_id=self.node_id, started_at=self.sim.now)
+        self.tasks[spec.job_id] = record
+
+        def on_task_end() -> None:
+            if record.running:  # killed or node crash, not normal exit
+                record.state = TaskState.KILLED
+                record.finished_at = self.sim.now
+            if node.up:
+                node.release_cpus(spec.cpus)
+            self._notify_detector(record)
+
+        hp.on_kill(on_task_end)
+
+        def task_body():
+            yield spec.duration
+            record.state = TaskState.DONE
+            record.finished_at = self.sim.now
+            # Process exit: reap on the next event slot (a generator cannot
+            # close itself from inside its own frame).
+            self.sim.schedule(0.0, hp.kill)
+
+        hp.adopt(task_body(), name=f"{self.node_id}/{spec.process_name()}")
+        self.sim.trace.count("ppm.tasks_started")
+        self._notify_detector(record)
+        return {"ok": True, "job_id": spec.job_id, "node": self.node_id}
+
+    def _kill_task(self, job_id: str) -> dict[str, Any]:
+        record = self.tasks.get(job_id)
+        if record is None or not record.running:
+            return {"ok": False, "error": f"no running task for job {job_id}"}
+        hostos = self.cluster.hostos(self.node_id)
+        hostos.kill_process(record.spec.process_name())
+        return {"ok": True}
+
+    def _cleanup(self) -> dict[str, Any]:
+        """Kill every running task and drop finished records (resource
+        cleaning up, paper §4.2)."""
+        killed = 0
+        for record in list(self.tasks.values()):
+            if record.running:
+                self.cluster.hostos(self.node_id).kill_process(record.spec.process_name())
+                killed += 1
+        self.tasks = {jid: r for jid, r in self.tasks.items() if r.running}
+        return {"ok": True, "killed": killed}
+
+    def _job_status(self, job_id: str) -> dict[str, Any]:
+        record = self.tasks.get(job_id)
+        if record is None:
+            return {"found": False}
+        return {
+            "found": True,
+            "state": record.state.value,
+            "started_at": record.started_at,
+            "finished_at": record.finished_at,
+        }
+
+    def _notify_detector(self, record: TaskRecord) -> None:
+        detector = self.kernel.live_daemon("detector", self.node_id)
+        if detector is not None and detector.alive:
+            detector.on_task_update(record)
+
+    # -- service management ------------------------------------------------
+    def _start_service(self, msg: Message):
+        service = msg.payload["service"]
+        yield self.timings.spawn_time(service)
+        if not self.cluster.node(self.node_id).up:
+            return
+        try:
+            self.kernel.start_service(service, self.node_id)
+        except Exception as exc:
+            self.reply(msg, {"ok": False, "error": str(exc)})
+            return
+        self.reply(msg, {"ok": True, "service": service, "node": self.node_id})
+
+    def _stop_service(self, service: str) -> dict[str, Any]:
+        hostos = self.cluster.hostos(self.node_id)
+        if not hostos.process_alive(service):
+            return {"ok": False, "error": f"{service} not running"}
+        hostos.kill_process(service)
+        return {"ok": True}
+
+    # -- parallel commands -----------------------------------------------
+    def _run_pcmd(self, msg: Message):
+        cmd = msg.payload["cmd"]
+        args = msg.payload.get("args", {})
+        targets = list(msg.payload.get("targets", []))
+        results: dict[str, Any] = {}
+        errors: dict[str, str] = {}
+
+        run_local, branches = split_targets(targets, self.node_id)
+        # Forward branches first so subtrees work while we execute locally.
+        pending = []
+        for branch in branches:
+            head = branch[0]
+            timeout = subtree_timeout(self.timings.rpc_timeout, len(branch))
+            sig = self.rpc(
+                head,
+                ports.PPM,
+                ports.PPM_PCMD,
+                {"cmd": cmd, "args": args, "targets": branch},
+                timeout=timeout,
+            )
+            pending.append((branch, sig))
+
+        if run_local:
+            local = self._exec_cmd(cmd, args)
+            if hasattr(local, "send"):  # asynchronous command body
+                local = yield from local
+            results[self.node_id] = local
+
+        for branch, sig in pending:
+            reply = yield sig
+            if reply is None:
+                for node in branch:
+                    errors[node] = "unreachable"
+            else:
+                results.update(reply.get("results", {}))
+                errors.update(reply.get("errors", {}))
+        self.reply(msg, {"results": results, "errors": errors})
+
+    def _exec_cmd(self, cmd: str, args: dict[str, Any]):
+        """Execute one parallel-command verb locally.
+
+        Returns a result dict, or a generator for verbs that take time.
+        """
+        if cmd == "noop":
+            return {"ok": True}
+        if cmd == "spawn_job":
+            return self._spawn_task(TaskSpec.from_payload(args))
+        if cmd == "kill_job":
+            return self._kill_task(args["job_id"])
+        if cmd == "cleanup":
+            return self._cleanup()
+        if cmd == "report_load":
+            node = self.cluster.node(self.node_id)
+            return {
+                "cpus": node.spec.cpus,
+                "cpus_free": node.free_cpus,
+                "tasks_running": sum(1 for r in self.tasks.values() if r.running),
+            }
+        if cmd == "start_service":
+            return self._start_service_cmd(args["service"])
+        if cmd == "stop_service":
+            return self._stop_service(args["service"])
+        return {"ok": False, "error": f"unknown command {cmd!r}"}
+
+    def _start_service_cmd(self, service: str):
+        yield self.timings.spawn_time(service)
+        try:
+            self.kernel.start_service(service, self.node_id)
+        except Exception as exc:
+            return {"ok": False, "error": str(exc)}
+        return {"ok": True, "service": service}
+
+    # -- introspection ---------------------------------------------------
+    def running_tasks(self) -> list[TaskRecord]:
+        return [r for r in self.tasks.values() if r.running]

@@ -1,0 +1,27 @@
+"""Security service: authentication, RBAC authorization, toy encryption."""
+
+from repro.kernel.security.acl import (
+    KNOWN_ROLES,
+    ROLE_ADMIN,
+    ROLE_BUSINESS,
+    ROLE_CONSTRUCTOR,
+    ROLE_SCIENTIFIC,
+    AccessPolicy,
+)
+from repro.kernel.security.crypto import decrypt, encrypt
+from repro.kernel.security.service import SecurityServiceDaemon
+from repro.kernel.security.tokens import issue_token, verify_token
+
+__all__ = [
+    "AccessPolicy",
+    "KNOWN_ROLES",
+    "ROLE_ADMIN",
+    "ROLE_BUSINESS",
+    "ROLE_CONSTRUCTOR",
+    "ROLE_SCIENTIFIC",
+    "SecurityServiceDaemon",
+    "decrypt",
+    "encrypt",
+    "issue_token",
+    "verify_token",
+]

@@ -1,0 +1,52 @@
+"""Role-based access control for kernel and user-environment actions."""
+
+from __future__ import annotations
+
+from repro.errors import SecurityError
+
+#: The four user roles of the paper (§3): system constructor, system
+#: administrator, scientific computing user, business computing user.
+ROLE_CONSTRUCTOR = "constructor"
+ROLE_ADMIN = "admin"
+ROLE_SCIENTIFIC = "scientific"
+ROLE_BUSINESS = "business"
+
+KNOWN_ROLES = (ROLE_CONSTRUCTOR, ROLE_ADMIN, ROLE_SCIENTIFIC, ROLE_BUSINESS)
+
+#: action -> roles allowed to perform it.
+DEFAULT_POLICY: dict[str, tuple[str, ...]] = {
+    "cluster.deploy": (ROLE_CONSTRUCTOR,),
+    "cluster.boot": (ROLE_CONSTRUCTOR,),
+    "cluster.reconfigure": (ROLE_CONSTRUCTOR, ROLE_ADMIN),
+    "monitor.view": (ROLE_ADMIN, ROLE_CONSTRUCTOR, ROLE_SCIENTIFIC, ROLE_BUSINESS),
+    "monitor.admin": (ROLE_ADMIN,),
+    "job.submit": (ROLE_SCIENTIFIC, ROLE_ADMIN),
+    "job.cancel": (ROLE_SCIENTIFIC, ROLE_ADMIN),
+    "pool.manage": (ROLE_ADMIN,),
+    "bizapp.deploy": (ROLE_BUSINESS, ROLE_ADMIN),
+    "bizapp.scale": (ROLE_BUSINESS, ROLE_ADMIN),
+}
+
+
+class AccessPolicy:
+    """Mutable role→action policy with sane defaults."""
+
+    def __init__(self, policy: dict[str, tuple[str, ...]] | None = None) -> None:
+        self._policy: dict[str, tuple[str, ...]] = dict(DEFAULT_POLICY if policy is None else policy)
+
+    def allow(self, action: str, *roles: str) -> None:
+        for role in roles:
+            if role not in KNOWN_ROLES:
+                raise SecurityError(f"unknown role {role!r}")
+        current = set(self._policy.get(action, ()))
+        current.update(roles)
+        self._policy[action] = tuple(sorted(current))
+
+    def authorized(self, action: str, roles: list[str]) -> bool:
+        allowed = self._policy.get(action)
+        if allowed is None:
+            return False  # unknown actions are denied, not allowed
+        return any(role in allowed for role in roles)
+
+    def actions(self) -> list[str]:
+        return sorted(self._policy)

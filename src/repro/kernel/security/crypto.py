@@ -1,0 +1,39 @@
+"""Toy symmetric encryption for the simulated security service.
+
+This is a SHA-256-keystream XOR cipher: deterministic, dependency-free,
+and *not* real cryptography — it stands in for the paper's unspecified
+"encryption functions" so that the code path (encrypt on submit, decrypt
+at the service) exists and is testable.  Do not reuse outside the
+simulator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import SecurityError
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(key + nonce + counter.to_bytes(8, "big")).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+def encrypt(key: bytes, nonce: bytes, plaintext: bytes) -> bytes:
+    """XOR ``plaintext`` with a key/nonce-derived keystream."""
+    if not key:
+        raise SecurityError("empty key")
+    if not nonce:
+        raise SecurityError("empty nonce")
+    stream = _keystream(key, nonce, len(plaintext))
+    return bytes(a ^ b for a, b in zip(plaintext, stream))
+
+
+def decrypt(key: bytes, nonce: bytes, ciphertext: bytes) -> bytes:
+    """Inverse of :func:`encrypt` (XOR is an involution)."""
+    return encrypt(key, nonce, ciphertext)

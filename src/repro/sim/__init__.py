@@ -1,0 +1,29 @@
+"""Deterministic discrete-event simulation engine.
+
+Public surface:
+
+* :class:`Simulator` — event heap, virtual clock, ``spawn``/``signal``.
+* :class:`Proc`, :class:`Signal`, :class:`Timeout` — process primitives.
+* :class:`Trace` / :class:`TraceRecord` — measurement backbone.
+* :class:`RngRegistry` — named deterministic random streams.
+"""
+
+from repro.sim.core import EventHandle, Simulator
+from repro.sim.process import Proc, ProcState, Signal, Timeout, all_of, any_of, spawn
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Trace, TraceRecord
+
+__all__ = [
+    "EventHandle",
+    "Simulator",
+    "Proc",
+    "ProcState",
+    "Signal",
+    "Timeout",
+    "all_of",
+    "any_of",
+    "spawn",
+    "RngRegistry",
+    "Trace",
+    "TraceRecord",
+]

@@ -1,0 +1,246 @@
+"""Generator-coroutine processes on top of the event core.
+
+Daemons (watch daemons, GSDs, schedulers...) are written as generators
+that ``yield`` what they wait for:
+
+* a ``float``/``int`` or :class:`Timeout` — sleep for that many seconds;
+* a :class:`Signal` — park until someone fires it (receiving its value);
+* another :class:`Proc` — join it (receiving its result).
+
+Killing a process (``proc.kill()``) closes the generator, so ``finally``
+blocks run; this models a Unix process being killed and is what the fault
+injector uses for "failure of the X process".
+
+Exceptions escaping a process body are *not* swallowed: they propagate out
+of :meth:`Simulator.run`, because a crashed protocol implementation is a
+bug the test suite must see, not background noise.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Generator
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.core import EventHandle, Simulator
+
+
+class Timeout:
+    """Explicit sleep request (``yield Timeout(2.5)``)."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay!r}")
+        self.delay = float(delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay!r})"
+
+
+class Signal:
+    """One-shot wake-up primitive.
+
+    Waiters that arrive after :meth:`fire` resume immediately (next event
+    slot) with the stored value, so signal/wait ordering races cannot lose
+    wake-ups.
+    """
+
+    __slots__ = ("sim", "name", "fired", "value", "_waiters")
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self._waiters: list[Proc] = []
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the signal, waking all current and future waiters."""
+        if self.fired:
+            raise SimulationError(f"signal {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._wake(value)
+
+    def _register(self, proc: "Proc") -> None:
+        if self.fired:
+            proc._wake_soon(self.value)
+        else:
+            self._waiters.append(proc)
+
+    def _unregister(self, proc: "Proc") -> None:
+        if proc in self._waiters:
+            self._waiters.remove(proc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self.fired else f"{len(self._waiters)} waiting"
+        return f"Signal({self.name!r}, {state})"
+
+
+class ProcState(enum.Enum):
+    RUNNING = "running"
+    DONE = "done"
+    KILLED = "killed"
+    FAILED = "failed"
+
+
+class Proc:
+    """A running simulated process wrapping a generator body."""
+
+    def __init__(self, sim: Simulator, body: Generator[Any, Any, Any], name: str = "") -> None:
+        if not isinstance(body, Generator):
+            raise SimulationError(f"process body must be a generator, got {type(body).__name__}")
+        self.sim = sim
+        self.body = body
+        self.name = name or getattr(body, "__name__", "proc")
+        self.state = ProcState.RUNNING
+        self.result: Any = None
+        self.exception: BaseException | None = None
+        #: Fires (with the return value) when the process ends for any reason.
+        self.done = Signal(sim, name=f"{self.name}.done")
+        self._pending: EventHandle | None = None
+        self._waiting_on: Signal | None = None
+        # First step happens as its own event so spawning inside an event
+        # callback cannot reenter arbitrarily deep.
+        self._pending = sim.schedule(0.0, self._step, _FIRST)
+
+    # -- public API ----------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self.state is ProcState.RUNNING
+
+    def kill(self) -> None:
+        """Terminate the process now; ``finally`` blocks in the body run."""
+        if self.state is not ProcState.RUNNING:
+            return
+        self._detach()
+        self.state = ProcState.KILLED
+        try:
+            self.body.close()
+        except Exception as exc:  # body swallowed GeneratorExit or raised
+            self.state = ProcState.FAILED
+            self.exception = exc
+            raise
+        finally:
+            if not self.done.fired:
+                self.done.fire(None)
+
+    def join(self) -> Signal:
+        """Signal suitable for ``yield proc.join()`` — fires with the result."""
+        return self.done
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Proc({self.name!r}, {self.state.value})"
+
+    # -- engine ----------------------------------------------------------
+    def _step(self, sent: Any) -> None:
+        self._pending = None
+        self._waiting_on = None
+        if self.state is not ProcState.RUNNING:
+            return
+        try:
+            if sent is _FIRST:
+                yielded = self.body.send(None)
+            else:
+                yielded = self.body.send(sent)
+        except StopIteration as stop:
+            self.state = ProcState.DONE
+            self.result = stop.value
+            self.done.fire(stop.value)
+            return
+        except BaseException as exc:
+            self.state = ProcState.FAILED
+            self.exception = exc
+            self.done.fire(None)
+            raise
+        self._park(yielded)
+
+    def _park(self, yielded: Any) -> None:
+        if isinstance(yielded, (int, float)):
+            yielded = Timeout(yielded)
+        if isinstance(yielded, Timeout):
+            self._pending = self.sim.schedule(yielded.delay, self._step, None)
+        elif isinstance(yielded, Proc):
+            self._waiting_on = yielded.done
+            yielded.done._register(self)
+        elif isinstance(yielded, Signal):
+            self._waiting_on = yielded
+            yielded._register(self)
+        else:
+            self.state = ProcState.FAILED
+            err = SimulationError(f"process {self.name!r} yielded unsupported {yielded!r}")
+            self.exception = err
+            self.done.fire(None)
+            raise err
+
+    def _wake(self, value: Any) -> None:
+        """Called by a firing signal: resume on the next event slot."""
+        self._wake_soon(value)
+
+    def _wake_soon(self, value: Any) -> None:
+        self._waiting_on = None
+        self._pending = self.sim.schedule(0.0, self._step, value)
+
+    def _detach(self) -> None:
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        if self._waiting_on is not None:
+            self._waiting_on._unregister(self)
+            self._waiting_on = None
+
+
+class _FirstStep:
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<first-step>"
+
+
+_FIRST = _FirstStep()
+
+
+def spawn(sim: Simulator, body: Generator[Any, Any, Any], name: str = "") -> Proc:
+    """Start a process on ``sim`` (function form of ``Simulator.spawn``)."""
+    return Proc(sim, body, name=name)
+
+
+def all_of(sim: Simulator, signals: list[Signal], name: str = "all_of") -> Signal:
+    """A signal that fires with ``[value, ...]`` once every input fired.
+
+    The values arrive in the order the signals were passed, not the order
+    they fired.  An empty list fires immediately with ``[]``.
+    """
+    combined = Signal(sim, name=name)
+
+    def body():
+        values = []
+        for signal in signals:
+            values.append((yield signal))
+        combined.fire(values)
+
+    Proc(sim, body(), name=name)
+    return combined
+
+
+def any_of(sim: Simulator, signals: list[Signal], name: str = "any_of") -> Signal:
+    """A signal that fires with ``(index, value)`` of the first input to fire.
+
+    Later firings of the other inputs are ignored.  Passing no signals is
+    an error (nothing could ever fire).
+    """
+    if not signals:
+        raise SimulationError("any_of needs at least one signal")
+    combined = Signal(sim, name=name)
+
+    def waiter(index: int, signal: Signal):
+        value = yield signal
+        if not combined.fired:
+            combined.fire((index, value))
+
+    for i, signal in enumerate(signals):
+        Proc(sim, waiter(i, signal), name=f"{name}[{i}]")
+    return combined

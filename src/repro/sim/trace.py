@@ -1,0 +1,153 @@
+"""Timestamped trace — the measurement backbone of every experiment.
+
+Phoenix services mark protocol milestones (``fault.injected``,
+``failure.detected``, ``failure.diagnosed``, ``failure.recovered``,
+``hb.sent`` ...) on the simulator's trace.  Experiment harnesses then
+compute the paper's latencies as deltas between marks, so measurement
+never leaks into protocol logic.
+
+The trace also carries named monotone counters (messages per network,
+bytes polled, events delivered) used by the bandwidth comparisons in
+section 5.4.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One mark: a virtual timestamp, a dotted category, and free-form fields."""
+
+    time: float
+    category: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class Trace:
+    """Bounded record log plus counter registry.
+
+    ``capacity=None`` retains everything (fine for experiments that run
+    minutes of virtual time); long-running scalability sweeps pass a bound
+    so memory stays flat.
+    """
+
+    def __init__(self, capacity: int | None = None, clock: Callable[[], float] | None = None) -> None:
+        self._records: deque[TraceRecord] = deque(maxlen=capacity)
+        self._clock = clock or (lambda: 0.0)
+        self._counters: dict[str, float] = {}
+        #: Total records ever marked (not capped by capacity).
+        self.total_marked = 0
+
+    # -- records ---------------------------------------------------------
+    def mark(self, category: str, **fields: Any) -> TraceRecord:
+        """Append a record stamped at the current virtual time."""
+        record = TraceRecord(time=self._clock(), category=category, fields=fields)
+        self._records.append(record)
+        self.total_marked += 1
+        return record
+
+    def records(self, category: str | None = None, **match: Any) -> list[TraceRecord]:
+        """All retained records, optionally filtered.
+
+        ``category`` matches exactly, or as a dotted prefix when it ends
+        with ``.`` (``"failure."`` matches ``failure.detected`` etc.).
+        Keyword arguments must equal the record's fields.
+        """
+        return list(self.iter_records(category, **match))
+
+    def iter_records(self, category: str | None = None, **match: Any) -> Iterator[TraceRecord]:
+        for rec in self._records:
+            if category is not None:
+                if category.endswith("."):
+                    if not rec.category.startswith(category):
+                        continue
+                elif rec.category != category:
+                    continue
+            if any(rec.get(k, _MISSING) != v for k, v in match.items()):
+                continue
+            yield rec
+
+    def first(self, category: str, **match: Any) -> TraceRecord | None:
+        """Earliest retained record matching, or ``None``."""
+        return next(self.iter_records(category, **match), None)
+
+    def last(self, category: str, **match: Any) -> TraceRecord | None:
+        """Latest retained record matching, or ``None``."""
+        found = None
+        for rec in self.iter_records(category, **match):
+            found = rec
+        return found
+
+    def delta(self, from_category: str, to_category: str, **match: Any) -> float:
+        """Time between the first occurrences of two categories.
+
+        Raises ``LookupError`` when either mark is missing — a missing
+        milestone is an experiment bug, not a zero.
+        """
+        start = self.first(from_category, **match)
+        end = self.first(to_category, **match)
+        if start is None:
+            raise LookupError(f"no record {from_category!r} matching {match!r}")
+        if end is None:
+            raise LookupError(f"no record {to_category!r} matching {match!r}")
+        return end.time - start.time
+
+    def export_jsonl(self, path: str, include_counters: bool = True) -> int:
+        """Write retained records to ``path`` as JSON lines for offline
+        analysis; returns the number of record lines written.
+
+        With ``include_counters``, a final ``{"_counters": {...}}`` line
+        carries the counter snapshot.
+        """
+        written = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            for rec in self._records:
+                line = {"time": rec.time, "category": rec.category, **rec.fields}
+                fh.write(json.dumps(line, default=str) + "\n")
+                written += 1
+            if include_counters:
+                fh.write(json.dumps({"_counters": dict(self._counters)}) + "\n")
+        return written
+
+    def clear(self) -> None:
+        """Drop retained records (counters are kept)."""
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- counters ------------------------------------------------------------
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``name`` (created at zero)."""
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never touched)."""
+        return self._counters.get(name, 0.0)
+
+    def counters(self, prefix: str = "") -> dict[str, float]:
+        """Snapshot of all counters whose name starts with ``prefix``."""
+        return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+
+    def reset_counter(self, name: str) -> None:
+        self._counters.pop(name, None)
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<missing>"
+
+
+_MISSING = _Missing()

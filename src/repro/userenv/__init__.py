@@ -1,0 +1,8 @@
+"""User environments built on the Phoenix kernel (paper Figure 1, §3):
+
+* :mod:`repro.userenv.construction` — system construction tool;
+* :mod:`repro.userenv.monitoring`   — GridView-style monitoring;
+* :mod:`repro.userenv.pws`          — Phoenix-PWS job management;
+* :mod:`repro.userenv.pbs`          — PBS-style polling baseline;
+* :mod:`repro.userenv.business`     — business application runtime.
+"""

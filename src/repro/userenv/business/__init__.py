@@ -1,0 +1,20 @@
+"""Business application runtime environment."""
+
+from repro.userenv.business.requests import ReplicaServer, RequestDriver
+from repro.userenv.business.runtime import (
+    BizAppSpec,
+    BusinessRuntime,
+    Replica,
+    TierSpec,
+    install_business_runtime,
+)
+
+__all__ = [
+    "BizAppSpec",
+    "BusinessRuntime",
+    "Replica",
+    "ReplicaServer",
+    "RequestDriver",
+    "TierSpec",
+    "install_business_runtime",
+]

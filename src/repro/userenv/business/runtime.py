@@ -1,0 +1,474 @@
+"""Business application runtime environment (paper §3).
+
+"Business application runtime environment is the core of the business
+application hosting environment. It manages multi-tier business
+applications and guarantees their high-availability and load-balancing."
+
+An application is a set of tiers (web / app / db ...), each with a
+replica count.  Replicas run as long-lived processes loaded through PPM;
+the runtime subscribes to application/node failure events and re-places
+failed replicas, and a per-tier load balancer routes simulated requests
+across healthy replicas.  Availability (the 7x24 promise of the paper's
+introduction) is tracked per application as uptime of "every tier has at
+least one healthy replica".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.message import Message
+from repro.errors import UserEnvError
+from repro.kernel import ports
+from repro.kernel.bulletin.service import TABLE_NODE_METRICS
+from repro.kernel.daemon import ServiceDaemon
+from repro.kernel.events import types as ev
+from repro.kernel.events.types import Event
+
+PORT = "bizrt"
+EVENT_PORT = "bizrt.events"
+
+#: SLA alert event types published by the runtime (consumable by any
+#: event-service subscriber, e.g. an operator console).
+SLA_VIOLATED = "sla.violated"
+SLA_RESTORED = "sla.restored"
+
+#: "Forever" for replica processes (virtual seconds).
+REPLICA_LIFETIME = 1e12
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    name: str
+    replicas: int
+    cpus: int = 1
+
+    def __post_init__(self) -> None:
+        if self.replicas <= 0 or self.cpus <= 0:
+            raise UserEnvError(f"tier {self.name}: replicas and cpus must be positive")
+
+
+@dataclass(frozen=True)
+class BizAppSpec:
+    name: str
+    tiers: tuple[TierSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise UserEnvError("application needs a name")
+        if not self.tiers:
+            raise UserEnvError(f"{self.name}: needs at least one tier")
+        names = [t.name for t in self.tiers]
+        if len(set(names)) != len(names):
+            raise UserEnvError(f"{self.name}: duplicate tier names")
+
+
+@dataclass
+class Replica:
+    app: str
+    tier: str
+    index: int
+    node: str | None = None
+    healthy: bool = False
+
+    @property
+    def job_id(self) -> str:
+        return f"{self.app}.{self.tier}.{self.index}"
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "app": self.app, "tier": self.tier, "index": self.index,
+            "node": self.node, "healthy": self.healthy,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "Replica":
+        return cls(
+            app=payload["app"], tier=payload["tier"], index=int(payload["index"]),
+            node=payload.get("node"), healthy=bool(payload.get("healthy")),
+        )
+
+
+@dataclass
+class AppState:
+    spec: BizAppSpec
+    replicas: list[Replica] = field(default_factory=list)
+    deployed_at: float = 0.0
+    downtime: float = 0.0
+    _down_since: float | None = None
+    #: Has a violated-SLA alert been raised and not yet cleared?
+    alerted_down: bool = False
+
+    def tier_replicas(self, tier: str) -> list[Replica]:
+        return [r for r in self.replicas if r.tier == tier]
+
+    def healthy_tier(self, tier: str) -> bool:
+        return any(r.healthy for r in self.tier_replicas(tier))
+
+    def serving(self) -> bool:
+        return all(self.healthy_tier(t.name) for t in self.spec.tiers)
+
+    def note_state(self, now: float) -> str | None:
+        """Update downtime accounting after any replica state change.
+
+        Returns ``"down"``/``"up"`` on a serving transition, else None.
+        """
+        if self.serving():
+            if self._down_since is not None:
+                self.downtime += now - self._down_since
+                self._down_since = None
+                return "up"
+        elif self._down_since is None:
+            self._down_since = now
+            return "down"
+        return None
+
+    def availability(self, now: float) -> float:
+        total = now - self.deployed_at
+        if total <= 0:
+            return 1.0
+        down = self.downtime + ((now - self._down_since) if self._down_since is not None else 0.0)
+        return max(0.0, 1.0 - down / total)
+
+
+class BusinessRuntime(ServiceDaemon):
+    """The business application hosting service (GSD-supervisable)."""
+
+    SERVICE = "bizrt"
+
+    def __init__(self, kernel, node_id: str, worker_nodes: list[str] | None = None) -> None:
+        super().__init__(kernel, node_id)
+        self.apps: dict[str, AppState] = {}
+        self._worker_nodes = worker_nodes
+        self._free: dict[str, int] = {}
+        self._node_up: dict[str, bool] = {}
+        self._rr: dict[tuple[str, str], int] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+    def on_start(self) -> None:
+        self.bind(PORT, self._dispatch)
+        self.bind(EVENT_PORT, self._on_event)
+        self.spawn(self._startup(), name=f"{self.node_id}/bizrt.start")
+
+    def _startup(self):
+        yield from self._load_state()
+        db_node = self.kernel.placement.get(("db", self.partition_id))
+        if db_node is not None:
+            reply = yield self.rpc(
+                db_node, ports.DB, ports.DB_QUERY,
+                {"table": TABLE_NODE_METRICS, "where": None, "scope": "global"},
+                timeout=10.0,
+            )
+            for row in (reply or {}).get("rows", []):
+                node = row["_key"]
+                if self._worker_nodes is None or node in self._worker_nodes:
+                    self._free.setdefault(node, int(row.get("cpus", 0)))
+                    self._node_up.setdefault(node, True)
+        # Account for replicas re-adopted from the checkpointed registry,
+        # and re-place any that died while we were down (their failure
+        # events had no consumer).
+        for state in self.apps.values():
+            for replica in state.replicas:
+                if replica.healthy and replica.node in self._free:
+                    self._free[replica.node] -= self._tier_cpus(replica.app, replica.tier)
+        for state in self.apps.values():
+            for replica in list(state.replicas):
+                if not replica.healthy:
+                    self.sim.trace.count("bizrt.heals")
+                    self._place(replica, self._tier_cpus(replica.app, replica.tier))
+        es_node = self.kernel.placement.get(("es", self.partition_id))
+        if es_node is not None:
+            yield self.rpc(
+                es_node, ports.ES, ports.ES_SUBSCRIBE,
+                {
+                    "consumer_id": "bizrt",
+                    "node": self.node_id,
+                    "port": EVENT_PORT,
+                    "types": [ev.APP_FAILED, ev.NODE_FAILURE, ev.NODE_RECOVERY],
+                    "where": {},
+                },
+            )
+
+    # -- persistence (the runtime itself is GSD-supervised) -----------------
+    CKPT_KEY = "bizrt.state"
+
+    def _checkpoint(self) -> None:
+        ckpt_node = self.kernel.placement.get(("ckpt", self.partition_id))
+        if ckpt_node is None:
+            return
+        data = {
+            "apps": [
+                {
+                    "name": state.spec.name,
+                    "tiers": [
+                        {"name": t.name, "replicas": t.replicas, "cpus": t.cpus}
+                        for t in state.spec.tiers
+                    ],
+                    "replicas": [r.to_payload() for r in state.replicas],
+                    "deployed_at": state.deployed_at,
+                    "downtime": state.downtime,
+                }
+                for state in self.apps.values()
+            ],
+        }
+        self.send(ckpt_node, ports.CKPT, ports.CKPT_SAVE, {"key": self.CKPT_KEY, "data": data})
+
+    def _load_state(self):
+        """Rebuild the app registry after a restart/migration; running
+        replica processes are independent and simply re-adopted."""
+        ckpt_node = self.kernel.placement.get(("ckpt", self.partition_id))
+        if ckpt_node is None:
+            return
+        reply = yield self.rpc(ckpt_node, ports.CKPT, ports.CKPT_LOAD, {"key": self.CKPT_KEY})
+        if not (reply and reply.get("found")):
+            return
+        for blob in reply["data"].get("apps", []):
+            spec = BizAppSpec(
+                name=blob["name"],
+                tiers=tuple(TierSpec(**t) for t in blob["tiers"]),
+            )
+            state = AppState(spec=spec, deployed_at=blob["deployed_at"],
+                             downtime=blob["downtime"])
+            state.replicas = [Replica.from_payload(p) for p in blob["replicas"]]
+            # A replica only counts as healthy if its process actually
+            # survived our outage (node up + task process alive).
+            for replica in state.replicas:
+                if replica.healthy and replica.node is not None:
+                    alive = (
+                        self.cluster.node(replica.node).up
+                        and self.cluster.hostos(replica.node).process_alive(
+                            f"job.{replica.job_id}")
+                    )
+                    replica.healthy = alive
+            state.note_state(self.sim.now)
+            self.apps[spec.name] = state
+        self.sim.trace.mark("bizrt.state_recovered", apps=len(self.apps))
+
+    # -- control interface --------------------------------------------------
+    def _dispatch(self, msg: Message) -> dict[str, Any] | None:
+        if msg.mtype == "bizrt.deploy":
+            try:
+                spec = BizAppSpec(
+                    name=msg.payload["name"],
+                    tiers=tuple(TierSpec(**t) for t in msg.payload["tiers"]),
+                )
+            except Exception as exc:
+                return {"ok": False, "error": str(exc)}
+            if spec.name in self.apps:
+                return {"ok": False, "error": f"app {spec.name} already deployed"}
+            self.deploy(spec)
+            return {"ok": True}
+        if msg.mtype == "bizrt.scale":
+            try:
+                count = self.scale(msg.payload["name"], msg.payload["tier"],
+                                   int(msg.payload["replicas"]))
+            except (UserEnvError, KeyError) as exc:
+                return {"ok": False, "error": str(exc)}
+            return {"ok": True, "replicas": count}
+        if msg.mtype == "bizrt.status":
+            return {"apps": {name: self.app_status(name) for name in sorted(self.apps)}}
+        self.sim.trace.mark("bizrt.unknown_mtype", mtype=msg.mtype)
+        return None
+
+    def deploy(self, spec: BizAppSpec) -> AppState:
+        """Deploy every tier's replicas across the worker nodes."""
+        state = AppState(spec=spec, deployed_at=self.sim.now)
+        self.apps[spec.name] = state
+        for tier in spec.tiers:
+            for index in range(tier.replicas):
+                replica = Replica(app=spec.name, tier=tier.name, index=index)
+                state.replicas.append(replica)
+                self._place(replica, tier.cpus)
+        state.note_state(self.sim.now)
+        self._checkpoint()
+        self.sim.trace.mark("bizrt.deployed", app=spec.name, replicas=len(state.replicas))
+        return state
+
+    def scale(self, app: str, tier: str, replicas: int) -> int:
+        """Scale a tier up or down (the policy's ``bizapp.scale`` action).
+
+        Scaling up places fresh replicas; scaling down retires the
+        highest-index replicas first (killing their processes).  Returns
+        the tier's new replica count.
+        """
+        if replicas <= 0:
+            raise UserEnvError("replicas must be positive")
+        state = self.apps.get(app)
+        if state is None:
+            raise UserEnvError(f"unknown application {app!r}")
+        cpus = self._tier_cpus(app, tier)
+        current = state.tier_replicas(tier)
+        if not current:
+            raise UserEnvError(f"{app} has no tier {tier!r}")
+        if replicas > len(current):
+            next_index = max(r.index for r in current) + 1
+            for index in range(next_index, next_index + replicas - len(current)):
+                replica = Replica(app=app, tier=tier, index=index)
+                state.replicas.append(replica)
+                self._place(replica, cpus)
+        elif replicas < len(current):
+            for replica in sorted(current, key=lambda r: -r.index)[: len(current) - replicas]:
+                if replica.healthy and replica.node is not None:
+                    self.send(replica.node, ports.PPM, ports.PPM_KILL_JOB,
+                              {"job_id": replica.job_id})
+                    if self._node_up.get(replica.node):
+                        self._free[replica.node] = self._free.get(replica.node, 0) + cpus
+                replica.healthy = False
+                state.replicas.remove(replica)
+        self._note_and_alert(state)
+        self._checkpoint()
+        self.sim.trace.mark("bizrt.scaled", app=app, tier=tier, replicas=replicas)
+        return len(state.tier_replicas(tier))
+
+    # -- placement / recovery ------------------------------------------------
+    def _pick_node(self, cpus: int, avoid: str | None = None) -> str | None:
+        """Least-loaded-first placement across healthy workers."""
+        candidates = [
+            (self._free[n], n) for n in self._free
+            if self._node_up.get(n) and self._free[n] >= cpus and n != avoid
+        ]
+        if not candidates:
+            return None
+        candidates.sort(key=lambda c: (-c[0], c[1]))
+        return candidates[0][1]
+
+    def _place(self, replica: Replica, cpus: int, avoid: str | None = None) -> None:
+        node = self._pick_node(cpus, avoid=avoid)
+        if node is None:
+            replica.node = None
+            replica.healthy = False
+            self.sim.trace.mark("bizrt.placement_failed", replica=replica.job_id)
+            return
+        replica.node = node
+        self._free[node] -= cpus
+        self.spawn(self._start_replica(replica, cpus), name=f"{self.node_id}/bizrt.place")
+
+    def _start_replica(self, replica: Replica, cpus: int):
+        # Application startup cost (configurable via extra["spawn.bizapp"]).
+        yield self.timings.spawn_time("bizapp")
+        reply = yield self.rpc(
+            replica.node, ports.PPM, ports.PPM_SPAWN_JOB,
+            {
+                "job_id": replica.job_id, "cpus": cpus,
+                "duration": REPLICA_LIFETIME, "user": f"bizapp:{replica.app}",
+            },
+        )
+        state = self.apps.get(replica.app)
+        if reply is not None and reply.get("ok"):
+            replica.healthy = True
+            self.sim.trace.count("bizrt.replicas_started")
+        else:
+            self._free[replica.node] = self._free.get(replica.node, 0) + cpus
+            replica.node = None
+            replica.healthy = False
+        if state is not None:
+            self._note_and_alert(state)
+            self._checkpoint()
+
+    def _tier_cpus(self, app: str, tier: str) -> int:
+        for t in self.apps[app].spec.tiers:
+            if t.name == tier:
+                return t.cpus
+        raise UserEnvError(f"unknown tier {tier} of {app}")
+
+    # -- event-driven self-healing ------------------------------------------
+    def _on_event(self, msg: Message) -> None:
+        event = Event.from_payload(msg.payload["event"])
+        if event.type == ev.NODE_FAILURE:
+            node = event.data.get("node", "")
+            self._node_up[node] = False
+            for state in self.apps.values():
+                for replica in state.replicas:
+                    if replica.node == node and replica.healthy:
+                        self._heal(state, replica, failed_node=node)
+        elif event.type == ev.NODE_RECOVERY:
+            node = event.data.get("node", "")
+            if node in self._node_up:
+                self._node_up[node] = True
+        elif event.type == ev.APP_FAILED:
+            job_id = event.data.get("job_id", "")
+            for state in self.apps.values():
+                for replica in state.replicas:
+                    if replica.job_id == job_id and replica.healthy:
+                        self._heal(state, replica, failed_node=replica.node)
+
+    def _heal(self, state: AppState, replica: Replica, failed_node: str | None) -> None:
+        cpus = self._tier_cpus(replica.app, replica.tier)
+        if replica.node is not None and self._node_up.get(replica.node):
+            self._free[replica.node] = self._free.get(replica.node, 0) + cpus
+        replica.healthy = False
+        self._note_and_alert(state)
+        self.sim.trace.count("bizrt.heals")
+        self._place(replica, cpus, avoid=failed_node)
+
+    def _note_and_alert(self, state: AppState) -> None:
+        """Track downtime and publish SLA events on serving transitions —
+        the runtime's 7x24 promise made observable."""
+        transition = state.note_state(self.sim.now)
+        if transition is None:
+            return
+        if transition == "down":
+            state.alerted_down = True
+        else:
+            if not state.alerted_down:
+                return  # initial deployment coming up: not an SLA recovery
+            state.alerted_down = False
+        event_type = SLA_VIOLATED if transition == "down" else SLA_RESTORED
+        self.sim.trace.mark("bizrt.sla", app=state.spec.name, transition=transition)
+        es_node = self.kernel.placement.get(("es", self.partition_id))
+        if es_node is not None:
+            self.send(
+                es_node, ports.ES, ports.ES_PUBLISH,
+                {
+                    "type": event_type,
+                    "data": {
+                        "app": state.spec.name,
+                        "availability": state.availability(self.sim.now),
+                    },
+                },
+            )
+
+    # -- load balancing --------------------------------------------------
+    def route(self, app: str, tier: str) -> str:
+        """Round-robin a request to a healthy replica; returns its node.
+
+        Raises :class:`UserEnvError` when the tier is entirely down —
+        callers count that as a failed request.
+        """
+        state = self.apps.get(app)
+        if state is None:
+            raise UserEnvError(f"unknown application {app!r}")
+        healthy = [r for r in state.tier_replicas(tier) if r.healthy]
+        if not healthy:
+            raise UserEnvError(f"{app}/{tier}: no healthy replica")
+        key = (app, tier)
+        self._rr[key] = (self._rr.get(key, -1) + 1) % len(healthy)
+        replica = healthy[self._rr[key]]
+        self.sim.trace.count(f"bizrt.requests.{app}.{tier}")
+        return replica.node
+
+    # -- status --------------------------------------------------------------
+    def app_status(self, app: str) -> dict[str, Any]:
+        state = self.apps[app]
+        return {
+            "serving": state.serving(),
+            "availability": state.availability(self.sim.now),
+            "tiers": {
+                t.name: sum(1 for r in state.tier_replicas(t.name) if r.healthy)
+                for t in state.spec.tiers
+            },
+        }
+
+
+def install_business_runtime(kernel, worker_nodes: list[str] | None = None,
+                             partition_id: str | None = None) -> BusinessRuntime:
+    """Register the runtime in the kernel's service group and start it."""
+    pid = partition_id or kernel.cluster.partitions[0].partition_id
+
+    def factory(k, node_id):
+        return BusinessRuntime(k, node_id, worker_nodes=worker_nodes)
+
+    kernel.register_user_service("bizrt", factory, pid)
+    server_node = kernel.placement[("gsd", pid)]
+    return kernel.start_service("bizrt", server_node)

@@ -1,0 +1,6 @@
+"""System construction tool."""
+
+from repro.userenv.construction.profile import deploy_profile, validate_profile
+from repro.userenv.construction.tool import BuildReport, ConstructionTool
+
+__all__ = ["BuildReport", "ConstructionTool", "deploy_profile", "validate_profile"]

@@ -1,0 +1,164 @@
+"""System construction tool (paper §3).
+
+"System constructor configures, deploys and boots cluster system with
+system construction tool, and system construction tool behaves like the
+BIOS and kernel booting module of a host operating system."
+
+The tool owns the configure → deploy → boot sequence and the operator
+actions the kernel does not automate: bringing a repaired node back into
+service and producing health reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.metrics import LoadProfile
+from repro.cluster.spec import ClusterSpec
+from repro.errors import UserEnvError
+from repro.kernel.api import NODE_SERVICES, PhoenixKernel
+from repro.kernel.config.introspect import introspect_cluster
+from repro.kernel.timings import KernelTimings
+from repro.sim import Simulator
+
+
+@dataclass
+class BuildReport:
+    """What the construction tool did, phase by phase."""
+
+    node_count: int
+    partition_count: int
+    services_started: int
+    phases: list[str] = field(default_factory=list)
+
+
+class ConstructionTool:
+    """Configure, deploy, and boot a Phoenix system."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.cluster: Cluster | None = None
+        self.kernel: PhoenixKernel | None = None
+        self.report: BuildReport | None = None
+
+    # -- configure → deploy → boot -----------------------------------------
+    def configure(self, spec: ClusterSpec, load_profile: LoadProfile | None = None) -> Cluster:
+        """Phase 1: instantiate the hardware model from the specification."""
+        if self.cluster is not None:
+            raise UserEnvError("already configured")
+        self.cluster = Cluster(self.sim, spec, load_profile=load_profile)
+        self.sim.trace.mark("construct.configured", nodes=spec.node_count)
+        return self.cluster
+
+    def deploy(self, timings: KernelTimings | None = None, secret: bytes | None = None) -> PhoenixKernel:
+        """Phase 2: stage the kernel onto the configured cluster."""
+        if self.cluster is None:
+            raise UserEnvError("configure() first")
+        if self.kernel is not None:
+            raise UserEnvError("already deployed")
+        kwargs: dict[str, Any] = {"timings": timings}
+        if secret is not None:
+            kwargs["secret"] = secret
+        self.kernel = PhoenixKernel(self.cluster, **kwargs)
+        self.sim.trace.mark("construct.deployed")
+        return self.kernel
+
+    def boot(self) -> BuildReport:
+        """Phase 3: boot the kernel and report what came up."""
+        if self.kernel is None:
+            raise UserEnvError("deploy() first")
+        self.kernel.boot()
+        spec = self.cluster.spec
+        services = (
+            2  # config + security
+            + len(spec.partitions) * 4  # gsd/es/db/ckpt
+            + len(spec.partitions)  # ckpt.replica
+            + spec.node_count * len(NODE_SERVICES)
+        )
+        self.report = BuildReport(
+            node_count=spec.node_count,
+            partition_count=len(spec.partitions),
+            services_started=services,
+            phases=["configured", "deployed", "booted"],
+        )
+        self.sim.trace.mark("construct.booted", services=services)
+        return self.report
+
+    def build(self, spec: ClusterSpec, timings: KernelTimings | None = None) -> PhoenixKernel:
+        """Convenience: all three phases."""
+        self.configure(spec)
+        self.deploy(timings=timings)
+        self.boot()
+        assert self.kernel is not None
+        return self.kernel
+
+    # -- operator actions --------------------------------------------------
+    def recover_node(self, node_id: str) -> None:
+        """Bring a repaired node back: power on + restart its node services.
+
+        The GSD then observes returning heartbeats and publishes the
+        node-recovery event (§5.1's recovery-of-node path).
+        """
+        if self.kernel is None:
+            raise UserEnvError("no booted system")
+        node = self.kernel.cluster.node(node_id)
+        if not node.up:
+            node.boot()
+        hostos = self.kernel.cluster.hostos(node_id)
+        for svc in NODE_SERVICES:
+            if not hostos.process_alive(svc):
+                self.kernel.start_service(svc, node_id)
+        self.sim.trace.mark("construct.node_recovered", node=node_id)
+
+    def rolling_kernel_restart(
+        self, services: tuple[str, ...] = ("es", "db", "ckpt"), settle: float = 2.0
+    ) -> dict[str, Any]:
+        """Restart the kernel's partition services one partition at a time.
+
+        The self-management operation behind maintenance upgrades: stop
+        each service, pay its spawn time, start a fresh instance (which
+        reloads its checkpointed state), and verify the partition is
+        healthy before moving on.  At most one partition is degraded at
+        any moment; monitoring and the other partitions never notice.
+        """
+        if self.kernel is None:
+            raise UserEnvError("no booted system")
+        kernel = self.kernel
+        restarted = 0
+        for part in kernel.cluster.partitions:
+            pid = part.partition_id
+            for svc in services:
+                node = kernel.placement.get((svc, pid))
+                daemon = kernel.live_daemon(svc, node)
+                if daemon is None or not daemon.alive:
+                    continue
+                daemon.stop()
+                self.sim.run(until=self.sim.now + kernel.timings.spawn_time(svc))
+                if not kernel.cluster.hostos(node).process_alive(svc):
+                    kernel.start_service(svc, node)
+                restarted += 1
+            self.sim.run(until=self.sim.now + settle)
+            for svc in services:
+                fresh = kernel.live_daemon(svc, kernel.placement.get((svc, pid)))
+                if fresh is None or not fresh.alive:
+                    raise UserEnvError(f"rolling restart left {svc}@{pid} dead")
+        self.sim.trace.mark("construct.rolling_restart", services=restarted)
+        return {"services_restarted": restarted, "partitions": len(kernel.cluster.partitions)}
+
+    def health_report(self) -> dict[str, Any]:
+        """Introspection + kernel service placement check."""
+        if self.kernel is None:
+            raise UserEnvError("no booted system")
+        report = introspect_cluster(self.kernel.cluster)
+        missing: list[str] = []
+        for part in self.kernel.cluster.partitions:
+            pid = part.partition_id
+            for svc in ("gsd", "es", "db", "ckpt"):
+                daemon = self.kernel.live_daemon(svc, self.kernel.placement.get((svc, pid)))
+                if daemon is None or not daemon.alive:
+                    missing.append(f"{svc}@{pid}")
+        report["kernel_services_missing"] = missing
+        report["kernel_healthy"] = not missing
+        return report

@@ -1,0 +1,17 @@
+"""GridView monitoring user environment."""
+
+from repro.userenv.monitoring.analysis import Trend, fault_analysis, performance_report
+from repro.userenv.monitoring.display import render_events, render_performance, render_snapshot
+from repro.userenv.monitoring.gridview import ClusterSnapshot, GridView, install_gridview
+
+__all__ = [
+    "ClusterSnapshot",
+    "GridView",
+    "Trend",
+    "fault_analysis",
+    "install_gridview",
+    "performance_report",
+    "render_events",
+    "render_performance",
+    "render_snapshot",
+]

@@ -1,0 +1,106 @@
+"""Performance analysis and fault analysis for the management tools.
+
+Paper §3: "System management and monitoring tools assist system
+administrators to perform daily system management, real-time system
+monitoring, **performance analysis and fault analysis**."  This module
+adds the two analysis functions over GridView's retained data:
+
+* :func:`performance_report` — trends of the cluster-wide averages over
+  the retained snapshot window (level, spread, slope);
+* :func:`fault_analysis` — the event log grouped into incidents: which
+  nodes/services fail most, mean time to recovery per failure type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.kernel.events.types import Event
+from repro.userenv.monitoring.gridview import ClusterSnapshot
+from repro.util import summarize
+
+
+@dataclass(frozen=True)
+class Trend:
+    """Level and direction of one metric over the snapshot window."""
+
+    mean: float
+    min: float
+    max: float
+    slope_per_min: float  # least-squares slope, percent points per minute
+
+
+def _trend(times: list[float], values: list[float]) -> Trend:
+    s = summarize(values)
+    if len(values) < 2 or times[-1] == times[0]:
+        slope = 0.0
+    else:
+        n = len(values)
+        mean_t = sum(times) / n
+        mean_v = sum(values) / n
+        denom = sum((t - mean_t) ** 2 for t in times)
+        slope = (
+            sum((t - mean_t) * (v - mean_v) for t, v in zip(times, values)) / denom
+            if denom
+            else 0.0
+        )
+    return Trend(mean=s.mean, min=s.min, max=s.max, slope_per_min=slope * 60.0)
+
+
+def performance_report(snapshots: list[ClusterSnapshot]) -> dict[str, Any]:
+    """Cluster-wide performance trends over the retained snapshots."""
+    if not snapshots:
+        raise ValueError("no snapshots to analyze")
+    times = [s.time for s in snapshots]
+    return {
+        "window_s": times[-1] - times[0],
+        "samples": len(snapshots),
+        "cpu": _trend(times, [s.avg_cpu_pct for s in snapshots]),
+        "mem": _trend(times, [s.avg_mem_pct for s in snapshots]),
+        "swap": _trend(times, [s.avg_swap_pct for s in snapshots]),
+        "worst_nodes_down": max(s.nodes_down for s in snapshots),
+    }
+
+
+def fault_analysis(events: list[Event]) -> dict[str, Any]:
+    """Group failure/recovery events into per-subject incidents.
+
+    An *incident* opens at a ``*.failure`` event and closes at the next
+    matching ``*.recovery`` for the same subject (node / node+network /
+    node+service).  Returns counts by type, top failing subjects, and
+    mean time-to-recovery per failure family.
+    """
+    open_incidents: dict[tuple, float] = {}
+    recoveries: dict[str, list[float]] = {}
+    counts: dict[str, int] = {}
+    per_subject: dict[str, int] = {}
+
+    def subject_of(event: Event) -> tuple:
+        data = event.data
+        family = event.type.split(".")[0]
+        return (family, data.get("node"), data.get("network"), data.get("service"))
+
+    for event in events:
+        counts[event.type] = counts.get(event.type, 0) + 1
+        family, *_ = key = subject_of(event)
+        if event.type.endswith(".failure"):
+            open_incidents.setdefault(key, event.time)
+            node = event.data.get("node")
+            if node:
+                per_subject[node] = per_subject.get(node, 0) + 1
+        elif event.type.endswith(".recovery"):
+            started = open_incidents.pop(key, None)
+            if started is not None:
+                recoveries.setdefault(family, []).append(event.time - started)
+
+    mttr = {
+        family: sum(durations) / len(durations) for family, durations in recoveries.items()
+    }
+    top = sorted(per_subject.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+    return {
+        "event_counts": counts,
+        "open_incidents": len(open_incidents),
+        "mttr_s": mttr,
+        "top_failing_nodes": top,
+    }

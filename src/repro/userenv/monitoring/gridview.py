@@ -1,0 +1,211 @@
+"""GridView-style monitoring user environment (paper §5.3, Figure 6).
+
+"GridView interacts with Phoenix kernel only through the interfaces of
+data bulletin service and event service and configuration service":
+
+* node/network failure and recovery events arrive as real-time
+  notifications (one subscription at one ES instance — the federation
+  does the rest);
+* cluster-wide performance data comes from a **single** data bulletin
+  federation query per refresh, regardless of cluster size;
+* static topology comes from the configuration service at startup.
+
+Every refresh marks ``gridview.refresh`` with its collection latency and
+row count — the measurement the §5.3 scalability sweep reads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.message import Message
+from repro.kernel import ports
+from repro.kernel.bulletin.service import TABLE_NODE_METRICS, TABLE_NODE_STATE
+from repro.kernel.daemon import ServiceDaemon
+from repro.kernel.events import types as ev
+from repro.kernel.events.types import Event
+
+PORT = "gridview"
+EVENT_PORT = "gridview.events"
+
+
+@dataclass
+class ClusterSnapshot:
+    """One refresh's aggregated view (what Figure 6 renders)."""
+
+    time: float
+    node_count: int
+    nodes_reporting: int
+    nodes_down: int
+    avg_cpu_pct: float
+    avg_mem_pct: float
+    avg_swap_pct: float
+    partitions_missing: list[str] = field(default_factory=list)
+    per_node: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+
+class GridView(ServiceDaemon):
+    """Cluster monitoring built purely on kernel interfaces."""
+
+    SERVICE = "gridview"
+
+    def __init__(self, kernel, node_id: str, refresh_interval: float = 10.0,
+                 keep_snapshots: int = 16, event_log_size: int = 200,
+                 aggregate_mode: bool = False) -> None:
+        super().__init__(kernel, node_id)
+        self.refresh_interval = refresh_interval
+        self.snapshots: deque[ClusterSnapshot] = deque(maxlen=keep_snapshots)
+        self.event_log: deque[Event] = deque(maxlen=event_log_size)
+        self.refreshes = 0
+        #: With aggregate_mode, the banner averages are computed by the
+        #: bulletin federation itself (aggregate push-down): O(partitions)
+        #: bytes per refresh instead of O(nodes), at the cost of losing
+        #: the per-node grid.
+        self.aggregate_mode = aggregate_mode
+
+    # -- lifecycle -----------------------------------------------------------
+    def on_start(self) -> None:
+        self.bind(EVENT_PORT, self._on_event)
+        self.spawn(self._startup(), name=f"{self.node_id}/gridview.start")
+
+    def _startup(self):
+        es_node = self.kernel.placement.get(("es", self.partition_id))
+        if es_node is not None:
+            yield self.rpc(
+                es_node, ports.ES, ports.ES_SUBSCRIBE,
+                {
+                    "consumer_id": "gridview",
+                    "node": self.node_id,
+                    "port": EVENT_PORT,
+                    "types": [
+                        ev.NODE_FAILURE, ev.NODE_RECOVERY,
+                        ev.NETWORK_FAILURE, ev.NETWORK_RECOVERY,
+                        ev.SERVICE_FAILURE, ev.SERVICE_RECOVERY,
+                    ],
+                    "where": {},
+                },
+            )
+        yield from self._refresh_loop()
+
+    def _on_event(self, msg: Message) -> None:
+        event = Event.from_payload(msg.payload["event"])
+        self.event_log.append(event)
+        self.sim.trace.count("gridview.events")
+
+    # -- the refresh loop ---------------------------------------------------
+    def _refresh_loop(self):
+        while True:
+            yield from self._refresh_once()
+            yield self.refresh_interval
+
+    def _refresh_once(self):
+        started = self.sim.now
+        db_node = self.kernel.placement.get(("db", self.partition_id))
+        if db_node is None:
+            return
+        if self.aggregate_mode:
+            yield from self._refresh_aggregate(started, db_node)
+            return
+        metrics_reply = yield self.rpc(
+            db_node, ports.DB, ports.DB_QUERY,
+            {"table": TABLE_NODE_METRICS, "where": None, "scope": "global"},
+            timeout=30.0,
+        )
+        state_reply = yield self.rpc(
+            db_node, ports.DB, ports.DB_QUERY,
+            {"table": TABLE_NODE_STATE, "where": None, "scope": "global"},
+            timeout=30.0,
+        )
+        if metrics_reply is None:
+            self.sim.trace.mark("gridview.refresh_failed", node=self.node_id)
+            return
+        rows = metrics_reply.get("rows", [])
+        down = [
+            r["_key"] for r in (state_reply or {}).get("rows", []) if r.get("state") == "down"
+        ]
+        reporting = [r for r in rows if r["_key"] not in down]
+        n = len(reporting)
+        snapshot = ClusterSnapshot(
+            time=self.sim.now,
+            node_count=self.cluster.size,
+            nodes_reporting=n,
+            nodes_down=len(down),
+            avg_cpu_pct=sum(r["cpu_pct"] for r in reporting) / n if n else 0.0,
+            avg_mem_pct=sum(r["mem_pct"] for r in reporting) / n if n else 0.0,
+            avg_swap_pct=sum(r["swap_pct"] for r in reporting) / n if n else 0.0,
+            partitions_missing=list(metrics_reply.get("partitions_missing", [])),
+            per_node={r["_key"]: r for r in rows},
+        )
+        self.snapshots.append(snapshot)
+        self.refreshes += 1
+        self.sim.trace.mark(
+            "gridview.refresh",
+            latency=self.sim.now - started,
+            rows=len(rows),
+            missing=len(snapshot.partitions_missing),
+        )
+
+    def _refresh_aggregate(self, started: float, db_node: str):
+        from repro.kernel.query import aggregate_mean
+
+        metrics_reply = yield self.rpc(
+            db_node, ports.DB, ports.DB_QUERY,
+            {
+                "table": TABLE_NODE_METRICS, "where": None, "scope": "global",
+                "aggregate": ["cpu_pct", "mem_pct", "swap_pct"],
+            },
+            timeout=30.0,
+        )
+        state_reply = yield self.rpc(
+            db_node, ports.DB, ports.DB_QUERY,
+            {"table": TABLE_NODE_STATE, "where": {"state": "down"}, "scope": "global"},
+            timeout=30.0,
+        )
+        if metrics_reply is None or "aggregate" not in metrics_reply:
+            self.sim.trace.mark("gridview.refresh_failed", node=self.node_id)
+            return
+        agg = metrics_reply["aggregate"]
+        down = (state_reply or {}).get("rows", [])
+        snapshot = ClusterSnapshot(
+            time=self.sim.now,
+            node_count=self.cluster.size,
+            nodes_reporting=int(metrics_reply.get("row_count", 0)),
+            nodes_down=len(down),
+            avg_cpu_pct=aggregate_mean(agg["cpu_pct"]),
+            avg_mem_pct=aggregate_mean(agg["mem_pct"]),
+            avg_swap_pct=aggregate_mean(agg["swap_pct"]),
+            partitions_missing=list(metrics_reply.get("partitions_missing", [])),
+        )
+        self.snapshots.append(snapshot)
+        self.refreshes += 1
+        self.sim.trace.mark(
+            "gridview.refresh",
+            latency=self.sim.now - started,
+            rows=snapshot.nodes_reporting,
+            missing=len(snapshot.partitions_missing),
+            aggregate=True,
+        )
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def latest(self) -> ClusterSnapshot | None:
+        return self.snapshots[-1] if self.snapshots else None
+
+    def recent_events(self, limit: int = 20) -> list[Event]:
+        return list(self.event_log)[-limit:]
+
+
+def install_gridview(kernel, node_id: str | None = None, refresh_interval: float = 10.0,
+                     aggregate_mode: bool = False) -> GridView:
+    """Start GridView on ``node_id`` (default: first partition's backup node,
+    a stand-in for the operator console)."""
+    target = node_id or kernel.cluster.partitions[0].backups[0]
+
+    def factory(k, node):
+        return GridView(k, node, refresh_interval=refresh_interval,
+                        aggregate_mode=aggregate_mode)
+
+    kernel.registry.register("gridview", factory)
+    return kernel.start_service("gridview", target)

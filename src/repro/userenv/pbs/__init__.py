@@ -1,0 +1,5 @@
+"""PBS-style polling baseline (the system PWS improves on, Figure 7)."""
+
+from repro.userenv.pbs.server import PBSServer
+
+__all__ = ["PBSServer"]

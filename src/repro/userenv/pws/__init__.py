@@ -1,0 +1,18 @@
+"""Phoenix-PWS job management system (Partitioned Workload Solution)."""
+
+from repro.userenv.pws.jobs import JobRecord, JobSpec, JobState
+from repro.userenv.pws.pools import Lease, PoolManager, PoolSpec
+from repro.userenv.pws.scheduler import order_queue
+from repro.userenv.pws.server import PWSServer, install_pws
+
+__all__ = [
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "Lease",
+    "PWSServer",
+    "PoolManager",
+    "PoolSpec",
+    "install_pws",
+    "order_queue",
+]

@@ -1,0 +1,138 @@
+"""Integrated management console for Phoenix-PWS (paper Figure 9).
+
+The paper shows an "Integrated Web GUI for Phoenix-PWS: Start/Shutdown
+Nodes".  This module is that console with a text surface: one object
+that drives job management (queue, pools) and node lifecycle
+(drain → shutdown → start) purely through the documented interfaces —
+PWS RPCs for scheduling state, the construction tool for power/daemon
+operations, and the bulletin federation for node status.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import UserEnvError
+from repro.kernel.api import PhoenixKernel
+from repro.kernel.bulletin.service import TABLE_NODE_STATE
+from repro.sim import Signal
+from repro.userenv.construction.tool import ConstructionTool
+from repro.userenv.pws import server as pws_server
+
+
+class ManagementConsole:
+    """Operator console bound to one client node."""
+
+    def __init__(self, kernel: PhoenixKernel, tool: ConstructionTool, node_id: str) -> None:
+        self.kernel = kernel
+        self.tool = tool
+        self.node_id = node_id
+        self.sim = kernel.sim
+
+    # -- plumbing ----------------------------------------------------------
+    def _pws_node(self) -> str:
+        for (service, _), node in self.kernel.placement.items():
+            if service == "pws":
+                return node
+        raise UserEnvError("PWS is not installed")
+
+    def _rpc(self, mtype: str, payload: dict[str, Any], timeout: float = 5.0) -> Signal:
+        return self.kernel.cluster.transport.rpc(
+            self.node_id, self._pws_node(), pws_server.PORT, mtype, payload, timeout=timeout
+        )
+
+    # -- job management surface ---------------------------------------------
+    def job_summary(self) -> Signal:
+        return self._rpc(pws_server.STATUS, {})
+
+    def pool_summary(self) -> Signal:
+        return self._rpc(pws_server.POOLS, {})
+
+    def accounting(self, user: str | None = None) -> Signal:
+        payload = {"user": user} if user else {}
+        return self._rpc(pws_server.ACCOUNTING, payload)
+
+    # -- node lifecycle (Figure 9's Start/Shutdown Nodes) ---------------------
+    def drain_node(self, node: str) -> Signal:
+        """Cordon ``node``: running tasks finish, nothing new lands."""
+        return self._rpc(pws_server.DRAIN, {"node": node})
+
+    def shutdown_node(self, node: str) -> None:
+        """Power the node off (after draining, ideally).
+
+        The kernel notices through the normal heartbeat path and marks it
+        down; GridView consoles see the node-failure notification.
+        """
+        self.kernel.cluster.node(node).crash()
+        self.sim.trace.mark("console.shutdown", node=node)
+
+    def start_node(self, node: str) -> Signal:
+        """Power the node on, restart its daemons, and un-cordon it."""
+        self.tool.recover_node(node)
+        self.sim.trace.mark("console.start", node=node)
+        return self._rpc(pws_server.UNDRAIN, {"node": node})
+
+    def node_status(self) -> Signal:
+        """Cluster-wide node up/down per the kernel's node-state table."""
+        return self.kernel.client(self.node_id).query_bulletin(TABLE_NODE_STATE)
+
+
+# -- rendering (the "GUI") -----------------------------------------------------
+
+
+def render_jobs(status_reply: dict[str, Any]) -> str:
+    """One-line job-state counts board."""
+    counts = status_reply.get("counts", {})
+    parts = [f"{state}:{count}" for state, count in sorted(counts.items())]
+    return "jobs  " + ("  ".join(parts) if parts else "(none)")
+
+
+def render_pools(pools_reply: dict[str, Any]) -> str:
+    """Per-pool capacity/lease table."""
+    lines = ["pool          nodes(up)  cpus free/total  leases in/out"]
+    for name, stats in sorted(pools_reply.get("pools", {}).items()):
+        lines.append(
+            f"{name:<12}  {stats['nodes_up']}/{stats['nodes']:<8} "
+            f"{stats['free_cpus']}/{stats['total_cpus']:<14} "
+            f"{stats['leases_in']}/{stats['leases_out']}"
+        )
+    return "\n".join(lines)
+
+
+def render_accounting(accounting_reply: dict[str, Any]) -> str:
+    """Per-user usage board (jobs, outcomes, CPU-hours)."""
+    users = accounting_reply.get("users", {})
+    if not users:
+        return "accounting: (no usage yet)"
+    lines = ["user          jobs  done  failed  cpu-hours"]
+    for user in sorted(users):
+        row = users[user]
+        lines.append(
+            f"{user:<12}  {int(row['jobs']):<4}  {int(row['done']):<4}  "
+            f"{int(row['failed']):<6}  {row['cpu_seconds'] / 3600:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_nodes(node_rows: list[dict[str, Any]], columns: int = 8) -> str:
+    """Node up/down status matrix."""
+    cells = [
+        f"{row['_key']}[{'UP' if row.get('state') == 'up' else 'DOWN'}]"
+        for row in sorted(node_rows, key=lambda r: r["_key"])
+    ]
+    lines = []
+    for i in range(0, len(cells), columns):
+        lines.append("  ".join(cells[i : i + columns]))
+    return "\n".join(lines) if lines else "(no node state yet)"
+
+
+def render_console(jobs_reply, pools_reply, node_rows) -> str:
+    """The full Figure 9 style console board."""
+    return "\n".join([
+        "=== Phoenix-PWS Management Console ===",
+        render_jobs(jobs_reply or {}),
+        "",
+        render_pools(pools_reply or {}),
+        "",
+        render_nodes(node_rows or []),
+    ])

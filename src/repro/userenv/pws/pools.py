@@ -1,0 +1,189 @@
+"""Multi-pool node management with dynamic leasing (paper §5.4 property 4).
+
+"PWS supports multi-pools with customized scheduling policies for
+different pools and dynamic leasing among different pools": each pool
+owns a set of nodes; when a pool's queue is starved, idle nodes are
+*leased* from other pools and returned when the borrowing job finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+
+
+@dataclass
+class PoolSpec:
+    """Static pool definition."""
+
+    name: str
+    nodes: list[str]
+    #: "fifo" (strict order), "sjf" (shortest first), or "backfill"
+    #: (FIFO preference, but jobs behind a blocked head may run if they
+    #: fit the currently free resources).
+    policy: str = "fifo"
+    #: May this pool lend idle nodes to starved pools?
+    lendable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchedulingError("pool needs a name")
+        if self.policy not in ("fifo", "sjf", "backfill"):
+            raise SchedulingError(f"pool {self.name}: unknown policy {self.policy!r}")
+
+
+@dataclass
+class Lease:
+    """One node temporarily moved between pools for one job."""
+
+    node: str
+    owner_pool: str
+    borrower_pool: str
+    job_id: str
+
+    def to_payload(self) -> dict:
+        return {
+            "node": self.node,
+            "owner_pool": self.owner_pool,
+            "borrower_pool": self.borrower_pool,
+            "job_id": self.job_id,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Lease":
+        return cls(
+            node=payload["node"],
+            owner_pool=payload["owner_pool"],
+            borrower_pool=payload["borrower_pool"],
+            job_id=payload["job_id"],
+        )
+
+
+class PoolManager:
+    """Tracks pool membership, per-node free CPUs, and active leases.
+
+    This is the scheduler's *internal* resource view: capacities come from
+    the data bulletin at startup; allocations are maintained locally as
+    jobs dispatch and complete (events keep it honest about failures).
+    """
+
+    def __init__(self, pools: list[PoolSpec]) -> None:
+        if not pools:
+            raise SchedulingError("need at least one pool")
+        names = [p.name for p in pools]
+        if len(set(names)) != len(names):
+            raise SchedulingError("duplicate pool names")
+        self.pools: dict[str, PoolSpec] = {p.name: p for p in pools}
+        self._home: dict[str, str] = {}
+        for pool in pools:
+            for node in pool.nodes:
+                if node in self._home:
+                    raise SchedulingError(f"node {node} in two pools")
+                self._home[node] = pool.name
+        self._capacity: dict[str, int] = {}
+        self._free: dict[str, int] = {}
+        self._node_up: dict[str, bool] = {}
+        self.leases: list[Lease] = []
+
+    # -- inventory ---------------------------------------------------------
+    def set_capacity(self, node: str, cpus: int) -> None:
+        if node not in self._home:
+            return  # node not managed by any pool
+        self._capacity[node] = cpus
+        self._free.setdefault(node, cpus)
+        self._node_up.setdefault(node, True)
+
+    def known(self, node: str) -> bool:
+        return node in self._capacity
+
+    def set_node_up(self, node: str, up: bool) -> None:
+        if node in self._node_up:
+            self._node_up[node] = up
+
+    def node_up(self, node: str) -> bool:
+        return self._node_up.get(node, False)
+
+    def free_cpus(self, node: str) -> int:
+        return self._free.get(node, 0) if self.node_up(node) else 0
+
+    # -- pool views ----------------------------------------------------------
+    def pool_of(self, node: str) -> str | None:
+        """Current pool of a node, honoring active leases."""
+        for lease in self.leases:
+            if lease.node == node:
+                return lease.borrower_pool
+        return self._home.get(node)
+
+    def nodes_in_pool(self, pool: str) -> list[str]:
+        return sorted(n for n in self._home if self.pool_of(n) == pool)
+
+    def idle_nodes(self, pool: str) -> list[str]:
+        """Nodes of ``pool`` that are up and fully free."""
+        return [
+            n for n in self.nodes_in_pool(pool)
+            if self.node_up(n) and self._free.get(n) == self._capacity.get(n)
+        ]
+
+    # -- allocation --------------------------------------------------------
+    def allocate(self, node: str, cpus: int) -> None:
+        if self._free.get(node, 0) < cpus:
+            raise SchedulingError(f"{node}: cannot allocate {cpus} cpus")
+        self._free[node] -= cpus
+
+    def release(self, node: str, cpus: int) -> None:
+        cap = self._capacity.get(node, 0)
+        self._free[node] = min(cap, self._free.get(node, 0) + cpus)
+
+    def reset_node(self, node: str) -> None:
+        """A crashed node rejoining has everything free again."""
+        if node in self._capacity:
+            self._free[node] = self._capacity[node]
+
+    # -- candidate selection ---------------------------------------------
+    def pick_nodes(self, pool: str, count: int, cpus_per_node: int) -> list[str]:
+        """Up to ``count`` nodes of ``pool`` with enough free CPUs."""
+        picked = []
+        for node in self.nodes_in_pool(pool):
+            if self.node_up(node) and self._free.get(node, 0) >= cpus_per_node:
+                picked.append(node)
+                if len(picked) == count:
+                    break
+        return picked
+
+    def lease_candidates(self, borrower: str, needed: int, cpus_per_node: int) -> list[Lease]:
+        """Idle lendable nodes from other pools, up to ``needed``."""
+        out: list[Lease] = []
+        for name, pool in sorted(self.pools.items()):
+            if name == borrower or not pool.lendable:
+                continue
+            for node in self.idle_nodes(name):
+                if self._capacity.get(node, 0) >= cpus_per_node:
+                    out.append(Lease(node=node, owner_pool=name, borrower_pool=borrower, job_id=""))
+                    if len(out) == needed:
+                        return out
+        return out
+
+    def add_lease(self, lease: Lease) -> None:
+        self.leases.append(lease)
+
+    def return_leases(self, job_id: str) -> list[Lease]:
+        """Release all leases held by ``job_id``; returns them."""
+        returned = [l for l in self.leases if l.job_id == job_id]
+        self.leases = [l for l in self.leases if l.job_id != job_id]
+        return returned
+
+    # -- stats ----------------------------------------------------------
+    def pool_stats(self) -> dict[str, dict]:
+        stats = {}
+        for name in sorted(self.pools):
+            nodes = self.nodes_in_pool(name)
+            stats[name] = {
+                "nodes": len(nodes),
+                "nodes_up": sum(1 for n in nodes if self.node_up(n)),
+                "free_cpus": sum(self._free.get(n, 0) for n in nodes if self.node_up(n)),
+                "total_cpus": sum(self._capacity.get(n, 0) for n in nodes),
+                "leases_in": sum(1 for l in self.leases if l.borrower_pool == name),
+                "leases_out": sum(1 for l in self.leases if l.owner_pool == name),
+            }
+        return stats

@@ -1,0 +1,32 @@
+"""Per-pool scheduling policies ("customized scheduling policies for
+different pools", paper §5.4)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import SchedulingError
+from repro.userenv.pws.jobs import JobRecord
+
+
+def order_queue(policy: str, queued: Iterable[JobRecord]) -> list[JobRecord]:
+    """Order a pool's queued jobs for dispatch consideration.
+
+    * ``fifo`` — submission order;
+    * ``sjf``  — shortest requested duration first (submission order as
+      tie-break, so equal-length jobs stay fair);
+    * ``backfill`` — submission order; the *dispatcher* is what differs
+      (it may skip over a blocked head, see ``PWSServer._schedule``).
+    """
+    jobs = list(queued)
+    if policy in ("fifo", "backfill"):
+        # Higher priority first; submission order within a priority band.
+        return sorted(jobs, key=lambda j: (-j.spec.priority, j.submitted_at, j.spec.job_id))
+    if policy == "sjf":
+        return sorted(jobs, key=lambda j: (j.spec.duration, j.submitted_at, j.spec.job_id))
+    raise SchedulingError(f"unknown scheduling policy {policy!r}")
+
+
+def head_of_line_blocks(policy: str) -> bool:
+    """Does a non-placeable job stop everything behind it?"""
+    return policy != "backfill"

@@ -1,0 +1,7 @@
+"""Small generic utilities shared across the library."""
+
+from repro.util.ids import IdAllocator
+from repro.util.ringlist import Ring
+from repro.util.stats import RunningStats, Summary, percentile, summarize
+
+__all__ = ["IdAllocator", "Ring", "RunningStats", "Summary", "percentile", "summarize"]

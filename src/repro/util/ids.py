@@ -1,0 +1,32 @@
+"""Deterministic identifier allocation.
+
+The simulator must be bit-for-bit reproducible, so nothing in the library
+uses ``uuid`` or wall-clock time for identity.  Each :class:`IdAllocator`
+hands out ``prefix-N`` strings from a private counter.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+class IdAllocator:
+    """Allocate sequential string ids with a fixed prefix.
+
+    >>> alloc = IdAllocator("job")
+    >>> alloc.next(), alloc.next()
+    ('job-1', 'job-2')
+    """
+
+    def __init__(self, prefix: str, start: int = 1) -> None:
+        if not prefix:
+            raise ValueError("prefix must be non-empty")
+        self.prefix = prefix
+        self._counter = itertools.count(start)
+
+    def next(self) -> str:
+        """Return the next identifier."""
+        return f"{self.prefix}-{next(self._counter)}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"IdAllocator(prefix={self.prefix!r})"

@@ -1,0 +1,93 @@
+"""Ordered ring used by the GSD meta-group (paper Figure 3).
+
+The paper arranges group-service daemons in a ring: position 0 is the
+*Leader*, position 1 the *Princess*, and on a member failure "the member
+next to it will take over it".  :class:`Ring` keeps a stable, duplicate-free
+ordering and answers successor/predecessor queries that survive removals.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class Ring(Generic[T]):
+    """A mutable ring of unique hashable items preserving insertion order."""
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._items: list[T] = []
+        self._index: dict[T, int] = {}
+        for item in items:
+            self.add(item)
+
+    # -- container protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._index
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Ring({self._items!r})"
+
+    def as_list(self) -> list[T]:
+        """Snapshot of the ring order (index 0 first)."""
+        return list(self._items)
+
+    # -- mutation ----------------------------------------------------------
+    def add(self, item: T) -> None:
+        """Append ``item`` at the end of the ring order.
+
+        Raises ``ValueError`` on duplicates: ring positions define takeover
+        responsibility, so silent re-insertion would corrupt the protocol.
+        """
+        if item in self._index:
+            raise ValueError(f"duplicate ring member: {item!r}")
+        self._index[item] = len(self._items)
+        self._items.append(item)
+
+    def remove(self, item: T) -> None:
+        """Remove ``item``, closing the ring around the gap."""
+        if item not in self._index:
+            raise KeyError(item)
+        pos = self._index.pop(item)
+        self._items.pop(pos)
+        for shifted in self._items[pos:]:
+            self._index[shifted] -= 1
+
+    # -- queries -----------------------------------------------------------
+    def position(self, item: T) -> int:
+        """Index of ``item`` in the current ring order."""
+        return self._index[item]
+
+    def successor(self, item: T) -> T:
+        """The member after ``item`` (wrapping)."""
+        if not self._items:
+            raise KeyError(item)
+        pos = self._index[item]
+        return self._items[(pos + 1) % len(self._items)]
+
+    def predecessor(self, item: T) -> T:
+        """The member before ``item`` (wrapping)."""
+        if not self._items:
+            raise KeyError(item)
+        pos = self._index[item]
+        return self._items[(pos - 1) % len(self._items)]
+
+    def head(self) -> T:
+        """Position-0 member (the *Leader* in meta-group terms)."""
+        if not self._items:
+            raise IndexError("empty ring")
+        return self._items[0]
+
+    def second(self) -> T:
+        """Position-1 member (the *Princess*); falls back to head if alone."""
+        if not self._items:
+            raise IndexError("empty ring")
+        return self._items[1 % len(self._items)]

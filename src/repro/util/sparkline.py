@@ -1,0 +1,27 @@
+"""Unicode sparklines for terminal dashboards and reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: float | None = None, hi: float | None = None) -> str:
+    """Render ``values`` as a row of block characters.
+
+    ``lo``/``hi`` pin the scale (else min/max of the data); a constant
+    series renders at mid-height so it reads as "flat", not "empty".
+    """
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    if hi <= lo:
+        return _BLOCKS[3] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        frac = (min(max(v, lo), hi) - lo) / span
+        out.append(_BLOCKS[min(len(_BLOCKS) - 1, int(frac * len(_BLOCKS)))])
+    return "".join(out)

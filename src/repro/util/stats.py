@@ -1,0 +1,102 @@
+"""Lightweight statistics helpers for experiment harnesses."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+class RunningStats:
+    """Welford's online mean/variance accumulator.
+
+    Used by detectors and experiment harnesses so that measurements across
+    thousands of simulated samples do not require storing every value.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def extend(self, values: Sequence[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator)."""
+        if self.count < 2:
+            return 0.0 if self.count == 1 else math.nan
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance) if self.count else math.nan
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RunningStats(n={self.count}, mean={self.mean:.4g})"
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100] of ``values``."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return data[lo]
+    frac = rank - lo
+    value = data[lo] * (1 - frac) + data[hi] * frac
+    # Interpolation can drift a ULP outside the data range; clamp it back.
+    return min(max(value, data[0]), data[-1])
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a measurement series."""
+
+    count: int
+    mean: float
+    stdev: float
+    min: float
+    p50: float
+    p95: float
+    max: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of ``values`` (must be non-empty)."""
+    if not values:
+        raise ValueError("summarize of empty sequence")
+    stats = RunningStats()
+    stats.extend(values)
+    return Summary(
+        count=stats.count,
+        mean=stats.mean,
+        stdev=stats.stdev,
+        min=stats.min,
+        p50=percentile(values, 50),
+        p95=percentile(values, 95),
+        max=stats.max,
+    )

@@ -1,0 +1,20 @@
+"""Workload generators: Linpack model/kernel and synthetic job traces."""
+
+from repro.workloads.jobs import TraceConfig, TraceEntry, generate_trace, trace_demand_cpu_seconds
+from repro.workloads.linpack import HplModel, linpack_flops, run_real_linpack
+from repro.workloads.mpi import MpiJob, MpiJobResult, MpiJobSpec, NoiseProfile, run_mpi_job
+
+__all__ = [
+    "HplModel",
+    "MpiJob",
+    "MpiJobResult",
+    "MpiJobSpec",
+    "NoiseProfile",
+    "run_mpi_job",
+    "TraceConfig",
+    "TraceEntry",
+    "generate_trace",
+    "linpack_flops",
+    "run_real_linpack",
+    "trace_demand_cpu_seconds",
+]

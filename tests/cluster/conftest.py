@@ -1,0 +1,20 @@
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=42)
+
+
+@pytest.fixture()
+def small_spec():
+    """2 partitions x (1 server + 1 backup + 2 computes) = 8 nodes, 3 networks."""
+    return ClusterSpec.build(partitions=2, computes=2, backups=1)
+
+
+@pytest.fixture()
+def cluster(sim, small_spec):
+    return Cluster(sim, small_spec)

@@ -1,0 +1,139 @@
+"""Unit tests for fault injection and the synthetic resource model."""
+
+import pytest
+
+from repro.cluster import FaultInjector, LoadProfile, ResourceModel
+from repro.errors import ClusterError
+
+
+@pytest.fixture()
+def injector(cluster):
+    return FaultInjector(cluster)
+
+
+def test_kill_process_marks_trace(cluster, sim, injector):
+    cluster.hostos("p0c0").start_process("wd")
+    fault = injector.kill_process("p0c0", "wd", case="t1")
+    assert fault.kind == "process"
+    assert not cluster.hostos("p0c0").process_alive("wd")
+    rec = sim.trace.first("fault.injected", case="t1")
+    assert rec is not None and rec["kind"] == "process" and rec["node"] == "p0c0"
+
+
+def test_kill_process_requires_running_process(cluster, injector):
+    with pytest.raises(ClusterError):
+        injector.kill_process("p0c0", "wd")
+
+
+def test_crash_node(cluster, sim, injector):
+    injector.crash_node("p0c0", case="t2")
+    assert not cluster.node("p0c0").up
+    with pytest.raises(ClusterError):
+        injector.crash_node("p0c0")
+    injector.boot_node("p0c0")
+    assert cluster.node("p0c0").up
+
+
+def test_fail_and_restore_nic(cluster, injector):
+    injector.fail_nic("p0c0", "mgmt", case="t3")
+    assert not cluster.networks["mgmt"].link_up("p0c0")
+    with pytest.raises(ClusterError):
+        injector.fail_nic("p0c0", "mgmt")
+    injector.restore_nic("p0c0", "mgmt")
+    assert cluster.networks["mgmt"].link_up("p0c0")
+
+
+def test_fail_nic_unknown_network(injector):
+    with pytest.raises(ClusterError):
+        injector.fail_nic("p0c0", "nope")
+
+
+def test_fabric_and_split_and_heal(cluster, injector):
+    injector.fail_fabric("ipc")
+    assert not cluster.networks["ipc"].fabric_up
+    injector.restore_fabric("ipc")
+    assert cluster.networks["ipc"].fabric_up
+    injector.split_network("mgmt", [{"p0c0"}, {"p0c1"}])
+    assert not cluster.networks["mgmt"].path_open("p0c0", "p0c1")
+    injector.heal_network("mgmt")
+    assert cluster.networks["mgmt"].path_open("p0c0", "p0c1")
+
+
+def test_scheduled_fault_fires_at_delay(cluster, sim, injector):
+    cluster.hostos("p0c0").start_process("wd")
+    injector.at(10.0, "kill_process", "p0c0", "wd", case="later")
+    sim.run(until=9.9)
+    assert cluster.hostos("p0c0").process_alive("wd")
+    sim.run(until=10.1)
+    assert not cluster.hostos("p0c0").process_alive("wd")
+    rec = sim.trace.first("fault.injected", case="later")
+    assert rec.time == 10.0
+
+
+def test_injected_list_accumulates(cluster, injector):
+    cluster.hostos("p0c0").start_process("wd")
+    injector.kill_process("p0c0", "wd")
+    injector.crash_node("p0c1")
+    assert [f.kind for f in injector.injected] == ["process", "node"]
+
+
+# -- resource model --------------------------------------------------------
+
+
+def test_idle_metrics_match_common_load_profile(cluster, sim):
+    model = cluster.resources
+    node = cluster.node("p0c0")
+    samples = [model.sample(node) for _ in range(300)]
+    cpu = sum(s.cpu_pct for s in samples) / len(samples)
+    mem = sum(s.mem_pct for s in samples) / len(samples)
+    swap = sum(s.swap_pct for s in samples) / len(samples)
+    # Figure 6 'common load': ~5.5% CPU, ~18.6% mem, ~0.72% swap.
+    assert 3.0 < cpu < 8.0
+    assert 16.0 < mem < 21.0
+    assert 0.0 <= swap < 2.0
+
+
+def test_busy_node_raises_cpu_and_mem(cluster):
+    model = cluster.resources
+    node = cluster.node("p0c0")
+    idle = [model.sample(node).cpu_pct for _ in range(50)]
+    node.allocate_cpus(4)
+    busy = [model.sample(node).cpu_pct for _ in range(50)]
+    assert sum(busy) / 50 > sum(idle) / 50 + 50
+
+
+def test_metrics_bounded(cluster):
+    model = ResourceModel(cluster.sim, profile=LoadProfile.heavy_load(), smoothing=0.0)
+    node = cluster.node("p0c0")
+    node.allocate_cpus(4)
+    for _ in range(200):
+        m = model.sample(node)
+        assert 0.0 <= m.cpu_pct <= 100.0
+        assert 0.0 <= m.mem_pct <= 100.0
+        assert 0.0 <= m.swap_pct <= 100.0
+        assert m.disk_io_mbps >= 0.0
+        assert m.net_io_mbps >= 0.0
+
+
+def test_metrics_deterministic_across_runs(small_spec):
+    from repro.cluster import Cluster
+    from repro.sim import Simulator
+
+    def sample_series():
+        sim = Simulator(seed=7)
+        cluster = Cluster(sim, small_spec)
+        node = cluster.node("p0c0")
+        return [cluster.resources.sample(node).cpu_pct for _ in range(20)]
+
+    assert sample_series() == sample_series()
+
+
+def test_invalid_smoothing_rejected(sim):
+    with pytest.raises(ValueError):
+        ResourceModel(sim, smoothing=1.0)
+
+
+def test_metrics_as_dict(cluster):
+    m = cluster.resources.sample(cluster.node("p0c0"))
+    d = m.as_dict()
+    assert set(d) == {"cpu_pct", "mem_pct", "swap_pct", "disk_io_mbps", "net_io_mbps"}

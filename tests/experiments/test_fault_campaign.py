@@ -1,0 +1,59 @@
+"""Fault campaign harness tests."""
+
+import pytest
+
+from repro.experiments.fault_campaign import (
+    CLASSES,
+    CampaignResult,
+    render_campaign,
+    run_campaign_class,
+)
+
+
+@pytest.fixture(scope="module")
+def wd_process_campaign():
+    return run_campaign_class("wd", "process", injections=5, seed=1)
+
+
+def test_full_coverage(wd_process_campaign):
+    r = wd_process_campaign
+    assert r.injected == 5
+    assert r.coverage == 1.0
+    assert len(r.detect) == len(r.diagnose) == len(r.recover) == 5
+
+
+def test_random_phase_detection_distribution(wd_process_campaign):
+    """Random-phase injections: detection spreads over (grace, interval+grace),
+    unlike the beat-aligned single-shot tables."""
+    detects = wd_process_campaign.detect
+    assert all(0.0 < d <= 10.2 for d in detects)
+    assert max(detects) - min(detects) > 1.0  # genuinely spread
+
+
+def test_diagnosis_and_recovery_independent_of_phase(wd_process_campaign):
+    r = wd_process_campaign
+    assert all(abs(d - 0.29) < 0.02 for d in r.diagnose)
+    assert all(abs(v - 0.10) < 0.05 for v in r.recover)
+
+
+def test_node_class_repairs_between_injections():
+    r = run_campaign_class("wd", "node", injections=3, seed=2)
+    assert r.coverage == 1.0
+    assert all(abs(d - 2.03) < 0.1 for d in r.diagnose)
+
+
+def test_gsd_class():
+    r = run_campaign_class("gsd", "process", injections=3, seed=3)
+    assert r.coverage == 1.0
+    assert all(abs(v - 2.0) < 0.2 for v in r.recover)
+
+
+def test_render_handles_empty_class():
+    text = render_campaign({("wd", "process"): CampaignResult(injected=2, recovered=0)})
+    assert "0%" in text
+    assert "wd/process" in text
+
+
+def test_classes_table_sane():
+    assert ("wd", "node") in CLASSES
+    assert all(len(c) == 2 for c in CLASSES)

@@ -1,0 +1,44 @@
+"""Full-report generator (quick mode)."""
+
+import pytest
+
+from repro.experiments.full_report import generate_report, main
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(quick=True, seed=0)
+
+
+def test_report_contains_every_section(report_text):
+    for needle in (
+        "Table 1", "Table 2", "Table 3", "Table 4",
+        "monitoring scalability", "PWS vs PBS",
+        "A1 —", "A2 —", "A3 —",
+    ):
+        assert needle in report_text, needle
+
+
+def test_report_tables_are_fenced(report_text):
+    assert report_text.count("```") % 2 == 0
+    assert report_text.count("```") >= 16
+
+
+def test_report_carries_sparkline(report_text):
+    assert any(ch in report_text for ch in "▁▂▃▄▅▆▇█")
+
+
+def test_report_deterministic():
+    a = generate_report(quick=True, seed=1)
+    b = generate_report(quick=True, seed=1)
+    # Strip the wall-time footer before comparing.
+    trim = lambda t: t[: t.rfind("---")]
+    assert trim(a) == trim(b)
+
+
+def test_main_writes_file(tmp_path, capsys):
+    out = tmp_path / "R.md"
+    main(["--quick", "--out", str(out)])
+    assert out.exists()
+    assert "wrote" in capsys.readouterr().out
+    assert "Table 1" in out.read_text()

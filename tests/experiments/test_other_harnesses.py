@@ -1,0 +1,126 @@
+"""Experiment harness tests: Table 4, §5.3 sweep, §5.4 comparison, ablations."""
+
+import pytest
+
+from repro.experiments.ablations import launch_comparison, structure_comparison
+from repro.experiments.linpack_impact import CPU_COUNTS, render_table4, run_table4
+from repro.experiments.pws_vs_pbs import (
+    RESPONSIBILITIES,
+    compare_traffic,
+    kernel_supplied_fraction,
+    run_trace_on,
+)
+from repro.experiments.scalability import run_point, spec_for
+from repro.workloads.jobs import TraceConfig, generate_trace
+
+# -- Table 4 ------------------------------------------------------------------
+
+
+def test_table4_has_paper_shape():
+    rows = run_table4()
+    assert [r["cpus"] for r in rows] == list(CPU_COUNTS)
+    for row in rows:
+        assert 0.0 < row["overhead_pct"] < 2.5  # "little impact"
+    # Throughput scales up; overhead does not blow up with scale.
+    assert rows[-1]["without_gflops"] > 20 * rows[0]["without_gflops"]
+    assert rows[-1]["overhead_pct"] < 2.2 * rows[0]["overhead_pct"]
+
+
+def test_table4_render():
+    text = render_table4(run_table4())
+    assert "Table 4" in text and "128" in text and "%" in text
+
+
+# -- §5.3 scalability ---------------------------------------------------------
+
+
+def test_spec_for_validates():
+    assert spec_for(64).node_count == 64
+    with pytest.raises(ValueError):
+        spec_for(100)
+
+
+def test_scalability_point_small():
+    point = run_point(64, measure_time=70.0, refresh_interval=30.0)
+    assert point["nodes"] == 64
+    assert point["rows_per_refresh"] == 64  # every node visible at the access point
+    assert point["refreshes"] >= 2
+    assert point["refresh_latency_ms"] < 100.0
+    assert point["msgs_per_node_per_s"] < 5.0
+
+
+def test_scalability_per_node_traffic_flat():
+    """The partitioned design's point: per-node kernel traffic does not
+    grow with cluster size."""
+    small = run_point(64, measure_time=70.0)
+    big = run_point(128, measure_time=70.0)
+    assert big["msgs_per_node_per_s"] == pytest.approx(small["msgs_per_node_per_s"], rel=0.25)
+    assert big["rows_per_refresh"] == 128
+
+
+# -- §5.4 comparison -----------------------------------------------------------
+
+
+def test_responsibilities_table():
+    assert kernel_supplied_fraction("pws") > kernel_supplied_fraction("pbs")
+    assert set(RESPONSIBILITIES["pws"]) == set(RESPONSIBILITIES["pbs"])
+
+
+@pytest.fixture(scope="module")
+def small_comparison():
+    return compare_traffic(job_count=10, seed=1, sim_time=600.0, poll_interval=10.0)
+
+
+def test_both_systems_complete_the_trace(small_comparison):
+    pws, pbs = small_comparison["pws"], small_comparison["pbs"]
+    assert pws["submitted"] == pbs["submitted"] == 10
+    assert pws["done"] >= 8
+    assert pbs["done"] >= 8
+
+
+def test_pbs_polls_pws_does_not(small_comparison):
+    assert small_comparison["pbs"]["polls"] > 100
+    assert small_comparison["pws"]["polls"] == 0
+    assert small_comparison["pws"]["events_seen"] > 0
+
+
+def test_pws_uses_less_control_traffic(small_comparison):
+    assert small_comparison["pws_extra_msgs"] < 0.5 * small_comparison["pbs_extra_msgs"]
+
+
+def test_pws_dispatch_latency_lower(small_comparison):
+    assert small_comparison["pws"]["mean_wait_s"] < small_comparison["pbs"]["mean_wait_s"]
+
+
+def test_ha_scenario_pws_survives_pbs_does_not():
+    trace = generate_trace(6, TraceConfig(max_nodes=2), seed=2)
+    pws = run_trace_on("pws", trace, seed=2, sim_time=600.0, kill_scheduler_at=120.0)
+    pbs = run_trace_on("pbs", trace, seed=2, sim_time=600.0, kill_scheduler_at=120.0)
+    assert pws["scheduler_alive"]
+    assert not pbs["scheduler_alive"]
+    assert pws["done"] > pbs["done"]
+
+
+def test_pws_survives_scheduler_node_crash():
+    """Whole-node death: the service group (including PWS) migrates."""
+    trace = generate_trace(5, TraceConfig(max_nodes=2), seed=3)
+    result = run_trace_on("pws", trace, seed=3, sim_time=900.0,
+                          kill_scheduler_at=120.0, kill_kind="node")
+    assert result["scheduler_alive"]
+    assert result["done"] >= 3
+
+
+# -- ablations ----------------------------------------------------------------
+
+
+def test_structure_comparison_flat_is_hot():
+    flat, partitioned = structure_comparison(nodes=128)
+    assert flat["partitions"] == 1
+    assert flat["hottest_node_rx_per_s"] > 5 * partitioned["hottest_node_rx_per_s"]
+
+
+def test_tree_launch_beats_serial():
+    rows = launch_comparison(target_counts=(8, 32), seed=1)
+    assert all(r["tree_ms"] < r["serial_ms"] for r in rows)
+    # Speedup grows with target count.
+    assert rows[1]["speedup"] > rows[0]["speedup"]

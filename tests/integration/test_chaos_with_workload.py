@@ -1,0 +1,106 @@
+"""Chaos + workload: the whole stack under fire.
+
+A PWS job trace and a hosted business application run while the chaos
+driver kills daemons, crashes nodes (with later repairs), and fails
+NICs.  After a settling window, every job must be in a terminal state,
+no CPU may be leaked, the business app must be serving, and the kernel
+must be fully healed.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec, FaultInjector
+from repro.kernel import KernelTimings
+from repro.sim import Simulator
+from repro.userenv.business import BizAppSpec, TierSpec, install_business_runtime
+from repro.userenv.construction import ConstructionTool
+from repro.userenv.pws import PoolSpec, install_pws
+from repro.userenv.pws.server import PORT as PWS_PORT
+from repro.userenv.pws.server import STATUS, SUBMIT
+from repro.workloads.jobs import TraceConfig, generate_trace
+from tests.kernel.test_chaos import chaos_driver
+
+INTERVAL = 10.0
+CHAOS_TIME = 500.0
+
+
+@pytest.mark.parametrize("seed", [5, 6])
+def test_full_stack_chaos(seed):
+    sim = Simulator(seed=seed, trace_capacity=50_000)
+    tool = ConstructionTool(sim)
+    kernel = tool.build(
+        ClusterSpec.build(partitions=4, computes=4),
+        timings=KernelTimings(heartbeat_interval=INTERVAL),
+    )
+    cluster = kernel.cluster
+    sim.run(until=6.0)
+
+    pws = install_pws(kernel, [PoolSpec("all", cluster.compute_nodes())], max_retries=3)
+    runtime = install_business_runtime(kernel, partition_id="p2")
+    sim.run(until=sim.now + 2.0)
+    runtime.deploy(BizAppSpec(name="app", tiers=(TierSpec("web", 3, cpus=1),)))
+
+    # Submit a trace over the first ~6 minutes; clients retry while the
+    # scheduler (or their own node) is unavailable, as real users would.
+    trace = generate_trace(15, TraceConfig(max_nodes=3, duration_median_s=90.0), seed=seed)
+    client_node = "p3c3"
+
+    def submit_with_retry(payload):
+        for _ in range(60):
+            target = kernel.placement.get(("pws", "p0"))
+            reply = yield cluster.transport.rpc(
+                client_node, target, PWS_PORT, SUBMIT, payload, timeout=5.0)
+            if reply is not None:
+                assert reply.get("ok") or "already active" in str(reply.get("error")), reply
+                return
+            yield 10.0
+
+    for i, entry in enumerate(trace):
+        payload = entry.submit_payload(pool="all")
+        payload["job_id"] = f"t{i}"
+        sim.schedule(
+            min(entry.arrival, 350.0),
+            lambda p=payload: sim.spawn(submit_with_retry(p), name=f"submit.{p['job_id']}"),
+        )
+
+    injector = FaultInjector(cluster)
+    rng = sim.rngs.stream("chaos")
+    sim.spawn(chaos_driver(sim, cluster, kernel, injector, tool, rng), name="chaos")
+    sim.run(until=CHAOS_TIME)
+    assert injector.injected
+
+    # Repair sweep, then settle long enough for retries and reconciliation.
+    for node_id in sorted(cluster.nodes):
+        if not cluster.node(node_id).up:
+            tool.recover_node(node_id)
+    for network, net in cluster.networks.items():
+        for node_id in sorted(cluster.nodes):
+            if not net.link_up(node_id):
+                injector.restore_nic(node_id, network)
+    sim.run(until=sim.now + 600.0)
+
+    # Kernel healed (the detailed invariants live in test_chaos).
+    assert tool.health_report()["kernel_healthy"]
+
+    # Every job reached a terminal state; with retries, most completed.
+    live = kernel.live_daemon("pws", kernel.placement[("pws", "p0")])
+    assert live is not None and live.alive
+    states = {j.spec.job_id: j.state.value for j in live.jobs.values()}
+    assert len(states) == 15, "some submissions were lost"
+    assert all(s in ("done", "failed") for s in states.values()), states
+    # Most jobs complete; some may legitimately exhaust their retry budget
+    # under sustained chaos — the invariant is terminal state, not success.
+    done = sum(1 for s in states.values() if s == "done")
+    assert done >= 10, states
+
+    # No leaked CPUs: only the business replicas still hold cores.
+    replica_cpus = sum(
+        1 for r in runtime.apps["app"].replicas if r.healthy
+    )
+    busy = sum(cluster.node(n).busy_cpus for n in cluster.nodes)
+    assert busy == replica_cpus, (busy, replica_cpus)
+
+    # The business app is serving with full replica count.
+    status = runtime.app_status("app")
+    assert status["serving"]
+    assert status["tiers"]["web"] == 3

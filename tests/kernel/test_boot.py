@@ -1,0 +1,79 @@
+"""Kernel boot: placement, initial view, quiet-cluster stability."""
+
+import pytest
+
+from repro.errors import KernelError, ServiceUnavailable
+
+
+def test_boot_places_partition_services_on_server_nodes(kernel):
+    for part in kernel.cluster.partitions:
+        pid = part.partition_id
+        assert kernel.placement[("gsd", pid)] == part.server
+        assert kernel.placement[("es", pid)] == part.server
+        assert kernel.placement[("db", pid)] == part.server
+        assert kernel.placement[("ckpt", pid)] == part.server
+        assert kernel.placement[("ckpt.replica", pid)] == part.backups[0]
+
+
+def test_boot_places_single_instances_on_first_server(kernel):
+    first = kernel.cluster.partitions[0]
+    assert kernel.placement[("config", first.partition_id)] == first.server
+    assert kernel.placement[("security", first.partition_id)] == first.server
+    assert kernel.config_service().alive
+    assert kernel.security_service().alive
+
+
+def test_every_node_runs_wd_ppm_detector(kernel):
+    for node_id in kernel.cluster.nodes:
+        hostos = kernel.cluster.hostos(node_id)
+        assert hostos.process_alive("wd"), node_id
+        assert hostos.process_alive("ppm"), node_id
+        assert hostos.process_alive("detector"), node_id
+
+
+def test_initial_view_covers_all_partitions_in_order(kernel):
+    view = kernel.gsd("p0").metagroup.view
+    assert view.view_id == 1
+    assert [m[0] for m in view.members] == ["p0", "p1", "p2"]
+    assert kernel.gsd("p0").metagroup.is_leader
+    assert kernel.gsd("p1").metagroup.is_princess
+    assert not kernel.gsd("p2").metagroup.is_leader
+    assert kernel.placement[("metagroup", "leader")] == "p0s0"
+
+
+def test_all_members_share_the_view(kernel):
+    views = {kernel.gsd(p.partition_id).metagroup.view.view_id for p in kernel.cluster.partitions}
+    assert views == {1}
+
+
+def test_quiet_cluster_has_no_false_detections(kernel, sim):
+    sim.run(until=300.0)
+    assert sim.trace.records("failure.detected") == []
+    assert sim.trace.records("recovery.failed") == []
+
+
+def test_heartbeats_flow(kernel, sim):
+    sim.run(until=65.0)
+    assert sim.trace.counter("wd.beats") > 0
+    assert sim.trace.counter("gsd.ring_beats") > 0
+    assert sim.trace.counter("gsd.wd_beats_seen") > 0
+
+
+def test_double_boot_rejected(kernel):
+    with pytest.raises(KernelError):
+        kernel.boot()
+
+
+def test_partition_daemon_accessor_unknown_partition(kernel):
+    with pytest.raises(ServiceUnavailable):
+        kernel.gsd("p99")
+
+
+def test_detectors_export_to_bulletin(kernel, sim):
+    sim.run(until=20.0)
+    db = kernel.bulletin("p0")
+    rows = db.store.query("node_metrics")
+    assert len(rows) == 4  # 4 nodes in partition p0
+    sample = rows[0]
+    assert 0 <= sample["cpu_pct"] <= 100
+    assert sample["_partition"] == "p0"

@@ -1,0 +1,127 @@
+"""Chaos testing: random fault/repair sequences, then convergence checks.
+
+A deterministic chaos driver injects a random mix of daemon kills, node
+crashes (with later repairs), and NIC failures (with later restores) for
+several hundred simulated seconds.  After a quiet settling window, the
+kernel must have healed: every partition's service group alive, one
+consistent meta-group view containing every partition, exactly one
+leader, and every up node marked up.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, FaultInjector
+from repro.kernel import KernelTimings, PhoenixKernel
+from repro.sim import Simulator
+from repro.userenv.construction import ConstructionTool
+
+INTERVAL = 10.0
+CHAOS_TIME = 500.0
+SETTLE_TIME = 12 * INTERVAL
+
+#: Daemons the chaos driver may kill (anything the kernel self-heals).
+KILLABLE = ("wd", "detector", "es", "db", "ckpt", "gsd")
+
+
+def chaos_driver(sim, cluster, kernel, injector, tool, rng):
+    """Coroutine: random faults with scheduled repairs."""
+    while sim.now < CHAOS_TIME:
+        yield float(rng.uniform(20.0, 60.0))
+        if sim.now >= CHAOS_TIME:
+            return  # don't inject after the repair sweep's cutoff
+        action = rng.choice(["kill_daemon", "crash_node", "fail_nic"])
+        node_id = str(rng.choice(sorted(cluster.nodes)))
+        node = cluster.node(node_id)
+        if action == "kill_daemon":
+            hostos = cluster.hostos(node_id)
+            candidates = [s for s in KILLABLE if hostos.process_alive(s)]
+            if node.up and candidates:
+                injector.kill_process(node_id, str(rng.choice(candidates)), case="chaos")
+        elif action == "crash_node":
+            if node.up:
+                injector.crash_node(node_id, case="chaos")
+                repair_after = float(rng.uniform(60.0, 120.0))
+                sim.schedule(repair_after, _safe_repair, tool, node_id)
+        elif action == "fail_nic":
+            network = str(rng.choice(sorted(cluster.networks)))
+            if node.up and cluster.networks[network].link_up(node_id):
+                injector.fail_nic(node_id, network, case="chaos")
+                sim.schedule(float(rng.uniform(40.0, 90.0)), _safe_restore, injector, node_id, network)
+
+
+def _safe_repair(tool, node_id):
+    try:
+        tool.recover_node(node_id)
+    except Exception:
+        pass  # node may be mid-recovery; the next sweep catches it
+
+
+def _safe_restore(injector, node_id, network):
+    if not injector.cluster.networks[network].link_up(node_id):
+        injector.restore_nic(node_id, network)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4])
+def test_kernel_survives_chaos_and_converges(seed):
+    sim = Simulator(seed=seed, trace_capacity=50_000)
+    tool = ConstructionTool(sim)
+    kernel = tool.build(
+        ClusterSpec.build(partitions=4, computes=3),
+        timings=KernelTimings(heartbeat_interval=INTERVAL),
+    )
+    cluster = kernel.cluster
+    injector = FaultInjector(cluster)
+    rng = sim.rngs.stream("chaos")
+    sim.spawn(chaos_driver(sim, cluster, kernel, injector, tool, rng), name="chaos")
+
+    # Chaos phase (any unhandled protocol exception fails the test here).
+    sim.run(until=CHAOS_TIME)
+    assert injector.injected, "chaos driver injected nothing — test is vacuous"
+
+    # Repair any still-down nodes, then let everything settle.
+    for node_id in sorted(cluster.nodes):
+        if not cluster.node(node_id).up:
+            tool.recover_node(node_id)
+    # Restore any NICs the driver never got to.
+    for network, net in cluster.networks.items():
+        for node_id in sorted(cluster.nodes):
+            if not net.link_up(node_id):
+                injector.restore_nic(node_id, network)
+    sim.run(until=sim.now + SETTLE_TIME)
+
+    # Invariant 1: every partition's GSD + service group is alive.
+    for part in cluster.partitions:
+        pid = part.partition_id
+        for svc in ("gsd", "es", "db", "ckpt"):
+            daemon = kernel.live_daemon(svc, kernel.placement.get((svc, pid)))
+            assert daemon is not None and daemon.alive, f"{svc}@{pid} dead after chaos"
+
+    # Invariant 2: one consistent view containing every partition.
+    views = [kernel.gsd(p.partition_id).metagroup.view for p in cluster.partitions]
+    assert len({v.view_id for v in views}) == 1, [v.view_id for v in views]
+    partitions_in_view = {part for part, _ in views[0].members}
+    assert partitions_in_view == {p.partition_id for p in cluster.partitions}
+
+    # Invariant 3: exactly one leader, and placement agrees.
+    leaders = [
+        p.partition_id for p in cluster.partitions
+        if kernel.gsd(p.partition_id).metagroup.is_leader
+    ]
+    assert len(leaders) == 1
+    assert kernel.placement[("metagroup", "leader")] == views[0].leader()[1]
+
+    # Invariant 4: every node is up and (eventually) seen as up.
+    for part in cluster.partitions:
+        gsd = kernel.gsd(part.partition_id)
+        for node_id in part.all_nodes:
+            assert cluster.node(node_id).up
+            if node_id != gsd.node_id:
+                assert gsd.node_state.get(node_id, "up") == "up", (
+                    f"{node_id} still marked down by {gsd.node_id}"
+                )
+
+    # Invariant 5: every node runs its node services again.
+    for node_id in cluster.nodes:
+        hostos = cluster.hostos(node_id)
+        for svc in ("wd", "ppm", "detector"):
+            assert hostos.process_alive(svc), f"{svc} missing on {node_id}"

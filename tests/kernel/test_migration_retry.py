@@ -1,0 +1,60 @@
+"""Migration retries: the backup target dies too, the ring keeps going."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, FaultInjector
+from repro.kernel import KernelTimings, PhoenixKernel
+from repro.sim import Simulator
+
+
+def build():
+    sim = Simulator(seed=8)
+    cluster = Cluster(sim, ClusterSpec.build(partitions=3, computes=3))
+    kernel = PhoenixKernel(cluster, timings=KernelTimings(heartbeat_interval=5.0))
+    kernel.boot()
+    injector = FaultInjector(cluster)
+    sim.run(until=10.001)
+    return sim, cluster, kernel, injector
+
+
+def test_backup_dead_before_migration_uses_compute_node():
+    sim, cluster, kernel, injector = build()
+    injector.crash_node("p1b0")  # backup first
+    sim.run(until=sim.now + 20.0)
+    injector.crash_node("p1s0")  # then the server
+    sim.run(until=sim.now + 30.0)
+    target = kernel.placement[("gsd", "p1")]
+    assert target.startswith("p1c")  # fell through to a compute node
+    assert kernel.gsd("p1").alive
+    view = kernel.gsd("p0").metagroup.view
+    assert ("p1", target) in view.members
+
+
+def test_backup_dies_during_migration_retries_next_candidate():
+    sim, cluster, kernel, injector = build()
+    injector.crash_node("p1s0")
+    # The ring detects at ~5.1s, diagnoses at ~0.3s, selects for 0.9s,
+    # then spends gsd_spawn_time=2s starting on p1b0.  Kill p1b0 in that
+    # window so the first migration attempt fails.
+    t0 = sim.now
+    injector.at(5.1 + 0.3 + 0.9 + 1.0, "crash_node", "p1b0")
+    sim.run(until=t0 + 40.0)
+    assert sim.trace.records("migration.retry", node="p1s0")
+    target = kernel.placement[("gsd", "p1")]
+    assert target.startswith("p1c")
+    assert kernel.gsd("p1").alive
+    recovered = sim.trace.records("failure.recovered", component="gsd", kind="node")
+    assert recovered and recovered[0]["dst"] == target
+
+
+def test_whole_partition_dead_reports_no_target():
+    sim, cluster, kernel, injector = build()
+    for node in cluster.partition("p1").all_nodes:
+        injector.crash_node(node)
+    sim.run(until=sim.now + 40.0)
+    fails = sim.trace.records("recovery.failed", component="gsd", node="p1s0")
+    assert fails and fails[0]["reason"] == "no target"
+    # The rest of the cluster is unaffected.
+    view = kernel.gsd("p0").metagroup.view
+    assert not any(part == "p1" for part, _ in view.members)
+    assert kernel.gsd("p0").alive and kernel.gsd("p2").alive

@@ -1,0 +1,143 @@
+"""HeartbeatMonitor unit tests."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.group.monitor import HeartbeatMonitor
+from repro.sim import Simulator
+
+NETS = ["a", "b", "c"]
+
+
+@pytest.fixture()
+def rig():
+    sim = Simulator(seed=5)
+    events = []
+    mon = HeartbeatMonitor(
+        sim, NETS, interval=10.0, grace=0.5,
+        on_nic_miss=lambda s, n: events.append(("nic_miss", sim.now, s, n)),
+        on_nic_restore=lambda s, n: events.append(("nic_restore", sim.now, s, n)),
+        on_full_miss=lambda s: events.append(("full_miss", sim.now, s)),
+        on_return=lambda s: events.append(("return", sim.now, s)),
+    )
+    return sim, mon, events
+
+
+def beat_all(sim, mon, subject, at):
+    for net in NETS:
+        sim.schedule_at(at, mon.beat, subject, net)
+
+
+def test_steady_beats_no_events(rig):
+    sim, mon, events = rig
+    mon.expect("n1")
+    for t in (10.0, 20.0, 30.0, 40.0):
+        beat_all(sim, mon, "n1", t)
+    sim.run(until=45.0)
+    assert events == []
+
+
+def test_one_quiet_network_is_nic_miss(rig):
+    sim, mon, events = rig
+    mon.expect("n1")
+    for t in (10.0, 20.0, 30.0):
+        for net in ("a", "b"):  # c goes quiet after expect
+            sim.schedule_at(t, mon.beat, "n1", net)
+    sim.run(until=35.0)
+    assert events == [("nic_miss", 10.5, "n1", "c")]  # fires once, not per interval
+
+
+def test_nic_restore_after_miss(rig):
+    sim, mon, events = rig
+    mon.expect("n1")
+    for t in (10.0, 20.0):
+        for net in ("a", "b"):
+            sim.schedule_at(t, mon.beat, "n1", net)
+    sim.schedule_at(25.0, mon.beat, "n1", "c")
+    sim.run(until=30.0)
+    assert events == [("nic_miss", 10.5, "n1", "c"), ("nic_restore", 25.0, "n1", "c")]
+
+
+def test_all_quiet_is_full_miss_and_suspends(rig):
+    sim, mon, events = rig
+    mon.expect("n1")
+    beat_all(sim, mon, "n1", 5.0)
+    sim.run(until=60.0)
+    assert events == [("full_miss", 15.5, "n1")]  # one event, no repeats
+    assert mon.is_suspended("n1")
+
+
+def test_return_after_full_miss(rig):
+    sim, mon, events = rig
+    mon.expect("n1")
+    sim.run(until=20.0)
+    assert events == [("full_miss", 10.5, "n1")]
+    beat_all(sim, mon, "n1", 25.0)
+    sim.run(until=26.0)
+    assert events[-1] == ("return", 25.0, "n1")
+    assert not mon.is_suspended("n1")
+
+
+def test_expect_cancels_prior_timers(rig):
+    sim, mon, events = rig
+    mon.beat("n1", "a")  # early stray beat arms a timer
+    sim.run(until=2.0)
+    mon.expect("n1")  # reset; old timer must not fire against new state
+    beat_all(sim, mon, "n1", 10.0)
+    beat_all(sim, mon, "n1", 20.0)
+    sim.run(until=22.0)
+    assert events == []
+
+
+def test_forget_stops_monitoring(rig):
+    sim, mon, events = rig
+    mon.expect("n1")
+    mon.forget("n1")
+    sim.run(until=60.0)
+    assert events == []
+    assert mon.subjects() == []
+
+
+def test_suspend_mutes_deadlines_until_beat(rig):
+    sim, mon, events = rig
+    mon.expect("n1")
+    mon.suspend("n1")
+    sim.run(until=60.0)
+    assert events == []
+    beat_all(sim, mon, "n1", 61.0)
+    sim.run(until=62.0)
+    assert events == [("return", 61.0, "n1")]
+
+
+def test_last_seen_tracks_latest_beat(rig):
+    sim, mon, events = rig
+    assert mon.last_seen("nx") is None
+    mon.expect("n1")
+    beat_all(sim, mon, "n1", 7.0)
+    sim.run(until=8.0)
+    assert mon.last_seen("n1") == 7.0
+
+
+def test_unknown_network_rejected(rig):
+    _, mon, _ = rig
+    with pytest.raises(KernelError):
+        mon.beat("n1", "zz")
+
+
+def test_invalid_params_rejected():
+    sim = Simulator()
+    with pytest.raises(KernelError):
+        HeartbeatMonitor(sim, NETS, interval=0, grace=1,
+                         on_nic_miss=None, on_nic_restore=None,
+                         on_full_miss=None, on_return=None)
+
+
+def test_multiple_subjects_independent(rig):
+    sim, mon, events = rig
+    mon.expect("n1")
+    mon.expect("n2")
+    for t in (10.0, 20.0, 30.0):
+        beat_all(sim, mon, "n1", t)
+    sim.run(until=35.0)
+    assert events == [("full_miss", 10.5, "n2")]
+    assert not mon.is_suspended("n1")

@@ -1,0 +1,93 @@
+"""Property tests for the heartbeat monitor's core guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.group.monitor import HeartbeatMonitor
+from repro.sim import Simulator
+from repro.userenv.monitoring import render_performance
+from repro.userenv.monitoring.gridview import ClusterSnapshot
+
+NETS = ["a", "b", "c"]
+INTERVAL = 10.0
+GRACE = 0.5
+
+
+def build_monitor():
+    sim = Simulator(seed=0)
+    events = []
+    mon = HeartbeatMonitor(
+        sim, NETS, interval=INTERVAL, grace=GRACE,
+        on_nic_miss=lambda s, n: events.append(("nic_miss", n)),
+        on_nic_restore=lambda s, n: events.append(("nic_restore", n)),
+        on_full_miss=lambda s: events.append(("full_miss", s)),
+        on_return=lambda s: events.append(("return", s)),
+    )
+    return sim, mon, events
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=INTERVAL - 0.1), min_size=1, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_property_no_false_positives_when_gaps_below_interval(gaps):
+    """Beats on all fabrics with every gap < interval: total silence."""
+    sim, mon, events = build_monitor()
+    mon.expect("n1")
+    t = 0.0
+    for gap in gaps:
+        t += gap
+        for net in NETS:
+            sim.schedule_at(t, mon.beat, "n1", net)
+    sim.run(until=t + INTERVAL - 0.1)
+    assert events == []
+
+
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=INTERVAL - 0.1), min_size=0, max_size=8),
+    st.floats(min_value=INTERVAL + GRACE + 0.01, max_value=5 * INTERVAL),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_one_full_miss_after_silence(gaps, silence):
+    """Any all-fabric silence beyond interval+grace: exactly one full_miss."""
+    sim, mon, events = build_monitor()
+    mon.expect("n1")
+    t = 0.0
+    for gap in gaps:
+        t += gap
+        for net in NETS:
+            sim.schedule_at(t, mon.beat, "n1", net)
+    sim.run(until=t + silence)
+    full = [e for e in events if e[0] == "full_miss"]
+    assert full == [("full_miss", "n1")]
+    assert all(e[0] == "full_miss" for e in events)  # no nic-level noise first
+
+
+@given(st.sampled_from(NETS), st.integers(min_value=1, max_value=4))
+@settings(max_examples=20, deadline=None)
+def test_property_single_quiet_fabric_exactly_one_miss(quiet_net, rounds):
+    """One fabric quiet while others beat: exactly one nic_miss for it,
+    regardless of how many rounds pass."""
+    sim, mon, events = build_monitor()
+    mon.expect("n1")
+    t = 0.0
+    for _ in range(rounds + 2):
+        t += INTERVAL - 0.5
+        for net in NETS:
+            if net != quiet_net:
+                sim.schedule_at(t, mon.beat, "n1", net)
+    sim.run(until=t + 1.0)
+    assert events == [("nic_miss", quiet_net)]
+
+
+# -- render_performance smoke (placed here to reuse the imports) ---------------
+
+
+def test_render_performance_board():
+    snaps = [
+        ClusterSnapshot(time=float(i * 30), node_count=8, nodes_reporting=8, nodes_down=0,
+                        avg_cpu_pct=5.0 + i, avg_mem_pct=18.0, avg_swap_pct=0.5)
+        for i in range(6)
+    ]
+    board = render_performance(snaps)
+    assert "cpu" in board and "mem" in board and "swap" in board
+    assert "%/min" in board
+    assert any(ch in board for ch in "▁▂▃▄▅▆▇█")

@@ -1,0 +1,131 @@
+"""Network splits and lossy-fabric robustness of the group service."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, FaultInjector
+from repro.kernel import KernelTimings, PhoenixKernel
+from repro.sim import Simulator
+
+
+def build(seed=5, partitions=4, loss_rate=0.0, interval=10.0):
+    sim = Simulator(seed=seed)
+    cluster = Cluster(
+        sim, ClusterSpec.build(partitions=partitions, computes=2, loss_rate=loss_rate)
+    )
+    kernel = PhoenixKernel(cluster, timings=KernelTimings(heartbeat_interval=interval))
+    kernel.boot()
+    return sim, cluster, kernel
+
+
+def split_all(cluster, injector, side_a, side_b):
+    for net in cluster.networks:
+        injector.split_network(net, [side_a, side_b])
+
+
+def heal_all(cluster, injector):
+    for net in cluster.networks:
+        injector.heal_network(net)
+
+
+def sides(cluster):
+    a = set(cluster.partition("p0").all_nodes) | set(cluster.partition("p1").all_nodes)
+    b = set(cluster.partition("p2").all_nodes) | set(cluster.partition("p3").all_nodes)
+    return a, b
+
+
+def all_views(kernel):
+    return {
+        p.partition_id: kernel.gsd(p.partition_id).metagroup.view
+        for p in kernel.cluster.partitions
+    }
+
+
+def test_split_degrades_gracefully_no_cross_side_takeover():
+    """During a full split, the minority side cannot migrate the other
+    side's GSDs (targets unreachable) — it fails gracefully instead of
+    spawning doppelgangers."""
+    sim, cluster, kernel = build()
+    injector = FaultInjector(cluster)
+    sim.run(until=20.001)
+    side_a, side_b = sides(cluster)
+    split_all(cluster, injector, side_a, side_b)
+    sim.run(until=150.0)
+    # No partition's GSD moved: every placement still points at its server.
+    for part in cluster.partitions:
+        assert kernel.placement[("gsd", part.partition_id)] == part.server
+    assert sim.trace.records("recovery.failed")  # attempts were made and aborted
+
+
+def test_views_reconverge_after_heal():
+    """Ring-beat anti-entropy merges the diverged memberships."""
+    sim, cluster, kernel = build()
+    injector = FaultInjector(cluster)
+    sim.run(until=20.001)
+    side_a, side_b = sides(cluster)
+    split_all(cluster, injector, side_a, side_b)
+    sim.run(until=120.0)
+    # Divergence happened: the leader's side evicted the other side.
+    view_ids = {v.view_id for v in all_views(kernel).values()}
+    assert len(view_ids) > 1
+    heal_all(cluster, injector)
+    sim.run(until=450.0)
+    views = all_views(kernel)
+    assert len({v.view_id for v in views.values()}) == 1
+    members = {tuple(sorted(n for _, n in v.members)) for v in views.values()}
+    assert members == {("p0s0", "p1s0", "p2s0", "p3s0")}
+    # Exactly one leader.
+    leaders = [pid for pid, v in views.items() if v.leader()[1] == kernel.gsd(pid).node_id
+               and kernel.gsd(pid).metagroup.is_leader]
+    assert len(leaders) == 1
+
+
+def test_evicted_member_rejoins_via_view_push():
+    """A member that learns it was evicted (stale view pushed to it)
+    rejoins through the current leader."""
+    sim, cluster, kernel = build()
+    injector = FaultInjector(cluster)
+    sim.run(until=20.001)
+    side_a, side_b = sides(cluster)
+    split_all(cluster, injector, side_a, side_b)
+    sim.run(until=120.0)
+    heal_all(cluster, injector)
+    sim.run(until=450.0)
+    joins = sim.trace.records("member.joined")
+    joined = {r["partition"] for r in joins}
+    assert {"p2", "p3"} <= joined
+
+
+def test_lossy_networks_no_false_positives():
+    """1% independent loss per fabric: triple-redundant heartbeats mean a
+    beat only 'misses' if all three copies drop — no false detections in
+    a 20-interval window."""
+    sim, cluster, kernel = build(seed=9, loss_rate=0.01, interval=10.0)
+    sim.run(until=200.0)
+    full_misses = [
+        r for r in sim.trace.records("failure.detected") if r.get("network") is None
+    ]
+    assert full_misses == []
+
+
+def test_lossy_networks_detection_still_works():
+    """Real failures are still caught on lossy fabrics."""
+    sim, cluster, kernel = build(seed=9, loss_rate=0.01, interval=10.0)
+    injector = FaultInjector(cluster)
+    sim.run(until=20.001)
+    injector.crash_node("p1c0")
+    sim.run(until=60.0)
+    diag = [r for r in sim.trace.records("failure.diagnosed", component="wd", kind="node")]
+    assert any(r["node"] == "p1c0" for r in diag)
+
+
+@pytest.mark.parametrize("loss_rate", [0.05])
+def test_heavy_loss_may_cause_nic_suspicions_but_no_node_verdicts(loss_rate):
+    """Even at 5% loss, per-NIC suspicion can fire (a dropped beat looks
+    like a quiet NIC) but healthy nodes are never declared dead, and
+    suspicions clear when the next beat lands."""
+    sim, cluster, kernel = build(seed=11, loss_rate=loss_rate, interval=10.0)
+    sim.run(until=300.0)
+    node_verdicts = sim.trace.records("failure.diagnosed", kind="node")
+    assert node_verdicts == []
+    process_verdicts = sim.trace.records("failure.diagnosed", kind="process")
+    assert process_verdicts == []

@@ -1,0 +1,73 @@
+"""all_of / any_of signal combinators."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator, all_of, any_of
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+def test_all_of_fires_when_every_signal_fired(sim):
+    sigs = [sim.signal(f"s{i}") for i in range(3)]
+    combined = all_of(sim, sigs)
+    sim.schedule(3.0, sigs[2].fire, "c")
+    sim.schedule(1.0, sigs[0].fire, "a")
+    sim.schedule(2.0, sigs[1].fire, "b")
+    sim.run(until=2.5)
+    assert not combined.fired
+    sim.run()
+    assert combined.fired
+    assert combined.value == ["a", "b", "c"]  # input order, not fire order
+    assert sim.now == 3.0
+
+
+def test_all_of_empty_fires_immediately(sim):
+    combined = all_of(sim, [])
+    sim.run()
+    assert combined.fired and combined.value == []
+
+
+def test_all_of_with_already_fired_signals(sim):
+    sig = sim.signal()
+    sig.fire(42)
+    combined = all_of(sim, [sig])
+    sim.run()
+    assert combined.value == [42]
+
+
+def test_any_of_fires_on_first(sim):
+    sigs = [sim.signal(f"s{i}") for i in range(3)]
+    combined = any_of(sim, sigs)
+    sim.schedule(2.0, sigs[1].fire, "winner")
+    sim.schedule(5.0, sigs[0].fire, "late")
+    sim.run(until=3.0)
+    assert combined.fired
+    assert combined.value == (1, "winner")
+    sim.run()  # the late firing must not blow up the combinator
+    assert combined.value == (1, "winner")
+
+
+def test_any_of_empty_rejected(sim):
+    with pytest.raises(SimulationError):
+        any_of(sim, [])
+
+
+def test_any_of_usable_as_rpc_race(sim):
+    """Typical use: first reply wins, slower replicas ignored."""
+    fast, slow = sim.signal(), sim.signal()
+    winner = any_of(sim, [slow, fast])
+    results = []
+
+    def caller():
+        index, value = yield winner
+        results.append((index, value, sim.now))
+
+    sim.spawn(caller())
+    sim.schedule(0.2, fast.fire, {"rows": 1})
+    sim.schedule(9.0, slow.fire, {"rows": 1})
+    sim.run()
+    assert results == [(1, {"rows": 1}, 0.2)]

@@ -1,0 +1,53 @@
+"""Unit tests for named RNG streams."""
+
+import numpy as np
+
+from repro.sim import RngRegistry, Simulator
+
+
+def test_same_name_same_stream_object():
+    reg = RngRegistry(7)
+    assert reg.stream("a") is reg.stream("a")
+
+
+def test_streams_are_deterministic_across_registries():
+    a = RngRegistry(7).stream("jitter").random(5)
+    b = RngRegistry(7).stream("jitter").random(5)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_differ():
+    reg = RngRegistry(7)
+    a = reg.stream("a").random(5)
+    b = reg.stream("b").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(1).stream("x").random(5)
+    b = RngRegistry(2).stream("x").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_consuming_one_stream_does_not_shift_another():
+    reg1 = RngRegistry(7)
+    reg1.stream("noise").random(1000)
+    after = reg1.stream("workload").random(3)
+    fresh = RngRegistry(7).stream("workload").random(3)
+    assert np.array_equal(after, fresh)
+
+
+def test_fork_is_independent_and_deterministic():
+    reg = RngRegistry(7)
+    fork1 = reg.fork("child").stream("x").random(3)
+    fork2 = RngRegistry(7).fork("child").stream("x").random(3)
+    assert np.array_equal(fork1, fork2)
+    assert not np.array_equal(fork1, reg.stream("x").random(3))
+
+
+def test_simulator_owns_registry():
+    sim = Simulator(seed=123)
+    assert sim.rngs.seed == 123
+    v1 = Simulator(seed=123).rngs.stream("s").random(4)
+    v2 = Simulator(seed=123).rngs.stream("s").random(4)
+    assert np.array_equal(v1, v2)

@@ -1,0 +1,62 @@
+"""Trace export for offline analysis."""
+
+import json
+
+from repro.sim import Simulator
+from repro.kernel.timings import KernelTimings
+
+
+def test_export_jsonl_roundtrip(tmp_path):
+    sim = Simulator()
+    sim.schedule(1.0, lambda: sim.trace.mark("a.b", node="n1", value=3))
+    sim.schedule(2.0, lambda: sim.trace.mark("c.d"))
+    sim.run()
+    sim.trace.count("msgs", 7)
+    path = tmp_path / "trace.jsonl"
+    written = sim.trace.export_jsonl(str(path))
+    assert written == 2
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    assert lines[0] == {"time": 1.0, "category": "a.b", "node": "n1", "value": 3}
+    assert lines[1] == {"time": 2.0, "category": "c.d"}
+    assert lines[2] == {"_counters": {"msgs": 7.0}}
+
+
+def test_export_without_counters(tmp_path):
+    sim = Simulator()
+    sim.trace.mark("x")
+    path = tmp_path / "t.jsonl"
+    sim.trace.export_jsonl(str(path), include_counters=False)
+    assert len(path.read_text().splitlines()) == 1
+
+
+def test_export_serializes_odd_values(tmp_path):
+    sim = Simulator()
+    sim.trace.mark("odd", value={1, 2})  # a set: not JSON-native
+    path = tmp_path / "t.jsonl"
+    assert sim.trace.export_jsonl(str(path)) == 1
+    assert "odd" in path.read_text()
+
+
+def test_staggered_heartbeats_spread_and_still_detect():
+    """KernelTimings.stagger_heartbeats randomizes WD phases without
+    breaking detection."""
+    from repro.cluster import Cluster, ClusterSpec, FaultInjector
+    from repro.kernel import PhoenixKernel
+
+    sim = Simulator(seed=3)
+    cluster = Cluster(sim, ClusterSpec.build(partitions=2, computes=4))
+    kernel = PhoenixKernel(
+        cluster, timings=KernelTimings(heartbeat_interval=10.0, stagger_heartbeats=True)
+    )
+    kernel.boot()
+    sim.run(until=40.0)
+    assert sim.trace.records("failure.detected") == []
+    # Beat arrivals at the GSD are spread, not simultaneous.
+    first_round = sorted(
+        r.time for r in sim.trace.records("hb.arrival")
+    ) if sim.trace.records("hb.arrival") else []
+    # (No dedicated arrival marks: verify via detection still working.)
+    injector = FaultInjector(cluster)
+    injector.crash_node("p1c0")
+    sim.run(until=sim.now + 30.0)
+    assert sim.trace.records("failure.diagnosed", component="wd", kind="node", node="p1c0")

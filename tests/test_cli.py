@@ -1,0 +1,41 @@
+"""Command-line front door (`python -m repro`)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_help(capsys):
+    assert main(["--help"]) == 0
+    assert "tables" in capsys.readouterr().out
+
+
+def test_no_args_prints_help(capsys):
+    assert main([]) == 0
+    assert "scalability" in capsys.readouterr().out
+
+
+def test_unknown_command(capsys):
+    assert main(["frobnicate"]) == 2
+    assert "unknown command" in capsys.readouterr().err
+
+
+def test_tables_command(capsys):
+    assert main(["tables", "--component", "wd", "--interval", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "process" in out
+
+
+def test_linpack_command(capsys):
+    assert main(["linpack"]) == 0
+    assert "Table 4" in capsys.readouterr().out
+
+
+def test_scalability_command(capsys):
+    assert main(["scalability", "--nodes", "64"]) == 0
+    assert "GridView" in capsys.readouterr().out
+
+
+def test_ablations_a3(capsys):
+    assert main(["ablations", "--which", "a3"]) == 0
+    assert "tree" in capsys.readouterr().out

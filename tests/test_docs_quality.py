@@ -1,0 +1,59 @@
+"""Documentation quality gates: every module and public API item is
+documented (deliverable-level hygiene, enforced mechanically)."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.split(".")[-1].startswith("_")
+]
+
+
+def test_every_module_has_a_docstring():
+    missing = []
+    for name in MODULES:
+        module = importlib.import_module(name)
+        if not (module.__doc__ or "").strip():
+            missing.append(name)
+    assert missing == []
+
+
+def test_every_package_init_has_a_docstring():
+    packages = {name.rsplit(".", 1)[0] for name in MODULES if "." in name}
+    for package in sorted(packages):
+        module = importlib.import_module(package)
+        assert (module.__doc__ or "").strip(), package
+
+
+@pytest.mark.parametrize("name", sorted(MODULES))
+def test_public_classes_and_functions_documented(name):
+    module = importlib.import_module(name)
+    undocumented = []
+    for attr_name, obj in vars(module).items():
+        if attr_name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != name:
+            continue  # re-export; documented at its home
+        if not (inspect.getdoc(obj) or "").strip():
+            undocumented.append(attr_name)
+    assert undocumented == [], f"{name}: {undocumented}"
+
+
+def test_public_methods_of_key_classes_documented():
+    from repro.kernel.api import KernelClient, PhoenixKernel
+    from repro.sim.core import Simulator
+
+    for cls in (Simulator, PhoenixKernel, KernelClient):
+        for attr_name, obj in vars(cls).items():
+            if attr_name.startswith("_") or not callable(obj):
+                continue
+            assert (inspect.getdoc(obj) or "").strip(), f"{cls.__name__}.{attr_name}"

@@ -1,0 +1,38 @@
+"""Smoke-run the example scripts in-process (guards against rot)."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+#: Fast examples run in the suite; the slower tours are exercised by the
+#: benchmarks that cover the same ground.
+FAST = [
+    "quickstart.py",
+    "management_console.py",
+    "profile_deploy.py",
+    "business_hosting.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), script  # every example narrates something
+
+
+def test_examples_index_covers_every_script():
+    index = (EXAMPLES / "README.md").read_text()
+    for script in EXAMPLES.glob("*.py"):
+        assert script.name in index, f"{script.name} missing from examples/README.md"
+
+
+def test_ports_constants_unique():
+    """No two wire constants may collide (ports vs message types)."""
+    from repro.kernel import ports
+
+    values = [v for k, v in vars(ports).items() if k.isupper() and isinstance(v, str)]
+    assert len(values) == len(set(values))

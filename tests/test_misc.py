@@ -1,0 +1,73 @@
+"""Misc coverage batch: errors hierarchy, message sizes, determinism."""
+
+import pytest
+
+from repro import errors
+from repro.cluster.message import HEADER_BYTES, Message, estimate_size
+
+
+def test_error_hierarchy_roots():
+    """Everything the library raises derives from ReproError."""
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception) and obj is not errors.ReproError:
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_specific_parentage():
+    assert issubclass(errors.NodeDown, errors.ClusterError)
+    assert issubclass(errors.MembershipError, errors.KernelError)
+    assert issubclass(errors.SchedulingError, errors.UserEnvError)
+    assert issubclass(errors.ProcessKilled, errors.SimulationError)
+
+
+def test_message_size_model():
+    assert estimate_size({}) == HEADER_BYTES + 2
+    small = Message("a", "b", "p", "t", payload={"x": 1})
+    big = Message("a", "b", "p", "t", payload={"x": "y" * 500})
+    assert big.size > small.size + 400
+    explicit = Message("a", "b", "p", "t", payload={}, size=999)
+    assert explicit.size == 999
+
+
+def test_message_size_deterministic():
+    a = Message("a", "b", "p", "t", payload={"k": [1, 2, 3]})
+    b = Message("a", "b", "p", "t", payload={"k": [1, 2, 3]})
+    assert a.size == b.size
+
+
+def test_full_boot_is_bit_for_bit_deterministic():
+    """Two identical runs produce identical traces and counters — the
+    property every experiment in this repository rests on."""
+    from repro.cluster import Cluster, ClusterSpec, FaultInjector
+    from repro.kernel import KernelTimings, PhoenixKernel
+    from repro.sim import Simulator
+
+    def run():
+        sim = Simulator(seed=99)
+        cluster = Cluster(sim, ClusterSpec.build(partitions=3, computes=4))
+        kernel = PhoenixKernel(cluster, timings=KernelTimings(heartbeat_interval=10.0))
+        kernel.boot()
+        injector = FaultInjector(cluster)
+        injector.at(20.001, "crash_node", "p1c1")
+        injector.at(35.0, "kill_process", "p2s0", "es")
+        sim.run(until=120.0)
+        records = [(r.time, r.category, tuple(sorted(r.fields.items()))) for r in
+                   sim.trace.records()]
+        return records, sim.trace.counters(), sim.events_executed
+
+    first = run()
+    second = run()
+    assert first[0] == second[0]
+    assert first[1] == second[1]
+    assert first[2] == second[2]
+
+
+def test_console_accounting_rendering():
+    from repro.userenv.pws.console import render_accounting
+
+    assert "(no usage yet)" in render_accounting({"users": {}})
+    text = render_accounting({"users": {
+        "alice": {"jobs": 3, "done": 2, "failed": 1, "cpu_seconds": 7200.0},
+    }})
+    assert "alice" in text and "2.000" in text

@@ -1,0 +1,46 @@
+"""Per-user usage accounting in PWS."""
+
+import pytest
+
+from repro.userenv.pws.server import ACCOUNTING, SUBMIT
+from tests.userenv.conftest import pws_rpc
+
+
+def test_accounting_charges_cpu_seconds(kernel, sim, pws):
+    pws_rpc(kernel, sim, SUBMIT,
+            {"user": "alice", "nodes": 2, "cpus_per_node": 2, "duration": 20.0, "pool": "batch"})
+    pws_rpc(kernel, sim, SUBMIT,
+            {"user": "bob", "nodes": 1, "cpus_per_node": 4, "duration": 10.0, "pool": "batch"})
+    sim.run(until=sim.now + 40.0)
+    report = pws_rpc(kernel, sim, ACCOUNTING, {})["users"]
+    assert report["alice"]["jobs"] == 1
+    assert report["alice"]["done"] == 1
+    # 2 nodes x 2 cpus x 20 s = 80 cpu-seconds (tiny dispatch slack allowed).
+    assert report["alice"]["cpu_seconds"] == pytest.approx(80.0, abs=1.0)
+    assert report["bob"]["cpu_seconds"] == pytest.approx(40.0, abs=1.0)
+
+
+def test_accounting_running_jobs_charged_to_now(kernel, sim, pws):
+    pws_rpc(kernel, sim, SUBMIT,
+            {"user": "alice", "nodes": 1, "cpus_per_node": 2, "duration": 500.0, "pool": "batch"})
+    sim.run(until=sim.now + 50.0)
+    report = pws_rpc(kernel, sim, ACCOUNTING, {})["users"]
+    assert 90.0 < report["alice"]["cpu_seconds"] < 110.0  # ~50 s x 2 cpus
+
+
+def test_accounting_user_filter_and_failures(kernel, sim, pws, injector):
+    pws_rpc(kernel, sim, SUBMIT,
+            {"user": "alice", "nodes": 1, "cpus_per_node": 1, "duration": 300.0,
+             "walltime": 10.0, "pool": "batch"})
+    pws_rpc(kernel, sim, SUBMIT,
+            {"user": "bob", "nodes": 1, "cpus_per_node": 1, "duration": 5.0, "pool": "batch"})
+    sim.run(until=sim.now + 30.0)
+    only_alice = pws_rpc(kernel, sim, ACCOUNTING, {"user": "alice"})["users"]
+    assert list(only_alice) == ["alice"]
+    assert only_alice["alice"]["failed"] == 1  # walltime kill
+    # Charged only up to the kill, not the requested 300 s.
+    assert only_alice["alice"]["cpu_seconds"] == pytest.approx(10.0, abs=1.0)
+
+
+def test_accounting_empty(kernel, sim, pws):
+    assert pws_rpc(kernel, sim, ACCOUNTING, {})["users"] == {}

@@ -1,0 +1,129 @@
+"""Request workload driver: queueing, balancing strategies, failures."""
+
+import pytest
+
+from repro.errors import UserEnvError
+from repro.sim import Simulator, Signal
+from repro.userenv.business import BizAppSpec, RequestDriver, TierSpec, install_business_runtime
+from repro.userenv.business.requests import ReplicaServer
+from repro.userenv.business.runtime import Replica
+
+
+# -- replica server unit tests -------------------------------------------------
+
+
+def make_server(capacity=2):
+    sim = Simulator()
+    replica = Replica(app="a", tier="t", index=0, node="n", healthy=True)
+    return sim, ReplicaServer(sim, replica, capacity)
+
+
+def test_server_grants_up_to_capacity_immediately():
+    sim, server = make_server(capacity=2)
+    s1, s2 = server.acquire(), server.acquire()
+    assert s1.fired and s2.fired
+    assert server.busy == 2 and server.load == 2
+
+
+def test_server_queues_beyond_capacity_fifo():
+    sim, server = make_server(capacity=1)
+    first = server.acquire()
+    second = server.acquire()
+    third = server.acquire()
+    assert first.fired and not second.fired and not third.fired
+    assert server.load == 3
+    server.release()
+    assert second.fired and not third.fired
+    server.release()
+    assert third.fired
+
+
+def test_server_release_without_waiters_frees_slot():
+    sim, server = make_server(capacity=1)
+    server.acquire()
+    server.release()
+    assert server.busy == 0
+    assert server.acquire().fired
+
+
+def test_server_capacity_validation():
+    with pytest.raises(UserEnvError):
+        make_server(capacity=0)
+
+
+# -- driver integration -------------------------------------------------------
+
+
+@pytest.fixture()
+def hosted(kernel, sim):
+    runtime = install_business_runtime(kernel, partition_id="p1")
+    sim.run(until=sim.now + 2.0)
+    runtime.deploy(BizAppSpec(
+        name="shop", tiers=(TierSpec("web", 3, cpus=1), TierSpec("db", 1, cpus=2))))
+    sim.run(until=sim.now + 3.0)
+    return runtime
+
+
+def test_driver_serves_traffic_and_measures_latency(kernel, sim, hosted):
+    driver = RequestDriver(hosted, "shop", {"web": 0.05, "db": 0.02})
+    driver.start(rate_per_s=5.0, duration=30.0)
+    sim.run(until=sim.now + 40.0)
+    assert driver.stats.failed == 0
+    assert driver.stats.completed > 100
+    summary = driver.stats.latency_summary()
+    # Unloaded latency ~= sum of tier service times.
+    assert summary.p50 == pytest.approx(0.07, abs=0.02)
+    assert summary.p95 < 0.5
+
+
+def test_driver_validation(kernel, sim, hosted):
+    with pytest.raises(UserEnvError):
+        RequestDriver(hosted, "ghost", {"web": 0.1})
+    with pytest.raises(UserEnvError):
+        RequestDriver(hosted, "shop", {"web": 0.1})  # missing db tier time
+    with pytest.raises(UserEnvError):
+        RequestDriver(hosted, "shop", {"web": 0.1, "db": 0.1}, strategy="random")
+    driver = RequestDriver(hosted, "shop", {"web": 0.1, "db": 0.1})
+    with pytest.raises(UserEnvError):
+        driver.stats.latency_summary()
+
+
+def test_overload_queues_raise_latency(kernel, sim, hosted):
+    """Offered load beyond capacity shows up as queueing delay."""
+    light = RequestDriver(hosted, "shop", {"web": 0.05, "db": 0.02},
+                          capacity_per_replica=4, rng_name="light")
+    light.start(rate_per_s=3.0, duration=20.0)
+    sim.run(until=sim.now + 30.0)
+    # db tier: one replica, one slot, 60 ms service at 20 req/s -> rho 1.2,
+    # an unstable queue whose wait dominates latency.
+    heavy = RequestDriver(hosted, "shop", {"web": 0.05, "db": 0.06},
+                          capacity_per_replica=1, rng_name="heavy")
+    heavy.start(rate_per_s=20.0, duration=20.0)
+    sim.run(until=sim.now + 60.0)
+    assert heavy.stats.latency_summary().p95 > 3 * light.stats.latency_summary().p95
+
+
+def test_least_loaded_beats_round_robin_on_heavy_tails(kernel, sim, hosted):
+    rr = RequestDriver(hosted, "shop", {"web": 0.08, "db": 0.02},
+                       strategy="round_robin", capacity_per_replica=1,
+                       heavy_tail_sigma=1.2, rng_name="rr")
+    rr.start(rate_per_s=12.0, duration=60.0)
+    sim.run(until=sim.now + 120.0)
+    ll = RequestDriver(hosted, "shop", {"web": 0.08, "db": 0.02},
+                       strategy="least_loaded", capacity_per_replica=1,
+                       heavy_tail_sigma=1.2, rng_name="ll")
+    ll.start(rate_per_s=12.0, duration=60.0)
+    sim.run(until=sim.now + 120.0)
+    assert ll.stats.latency_summary().p95 < rr.stats.latency_summary().p95
+
+
+def test_requests_fail_when_tier_down_then_recover(kernel, sim, hosted, injector):
+    db_replica = next(r for r in hosted.apps["shop"].replicas if r.tier == "db")
+    driver = RequestDriver(hosted, "shop", {"web": 0.05, "db": 0.02})
+    driver.start(rate_per_s=10.0, duration=120.0)
+    sim.run(until=sim.now + 10.0)
+    injector.crash_node(db_replica.node)
+    sim.run(until=sim.now + 120.0)
+    # Some requests failed during the outage window; traffic recovered after.
+    assert driver.stats.failed > 0
+    assert driver.stats.completed > 200

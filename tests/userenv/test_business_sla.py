@@ -1,0 +1,53 @@
+"""SLA alert events from the business runtime."""
+
+import pytest
+
+from repro.userenv.business import BizAppSpec, TierSpec, install_business_runtime
+from repro.userenv.business.runtime import SLA_RESTORED, SLA_VIOLATED
+from tests.kernel.test_events import subscribe_collector
+
+
+@pytest.fixture()
+def runtime(kernel, sim):
+    rt = install_business_runtime(kernel, partition_id="p1")
+    sim.run(until=sim.now + 2.0)
+    return rt
+
+
+def test_single_replica_outage_raises_and_clears_sla_alert(kernel, sim, runtime, injector):
+    inbox = subscribe_collector(kernel, sim, "p0c0", "slawatch",
+                                types=(SLA_VIOLATED, SLA_RESTORED), partition="p1")
+    runtime.deploy(BizAppSpec(name="solo", tiers=(TierSpec("db", 1, cpus=2),)))
+    sim.run(until=sim.now + 3.0)
+    replica = runtime.apps["solo"].replicas[0]
+    injector.crash_node(replica.node)
+    sim.run(until=sim.now + 60.0)
+    types = [e.type for e in inbox]
+    assert SLA_VIOLATED in types
+    assert SLA_RESTORED in types
+    assert types.index(SLA_VIOLATED) < types.index(SLA_RESTORED)
+    violated = next(e for e in inbox if e.type == SLA_VIOLATED)
+    assert violated.data["app"] == "solo"
+
+
+def test_redundant_tier_failure_raises_no_sla_alert(kernel, sim, runtime, injector):
+    inbox = subscribe_collector(kernel, sim, "p0c0", "slawatch2",
+                                types=(SLA_VIOLATED,), partition="p1")
+    runtime.deploy(BizAppSpec(name="ha-app", tiers=(TierSpec("web", 3, cpus=1),)))
+    sim.run(until=sim.now + 3.0)
+    replica = next(r for r in runtime.apps["ha-app"].replicas if r.healthy)
+    injector.kill_process(replica.node, f"job.{replica.job_id}")
+    sim.run(until=sim.now + 30.0)
+    # Two other replicas kept serving: no SLA violation.
+    assert inbox == []
+    assert runtime.app_status("ha-app")["tiers"]["web"] == 3
+
+
+def test_sla_trace_marks(kernel, sim, runtime, injector):
+    runtime.deploy(BizAppSpec(name="solo2", tiers=(TierSpec("db", 1, cpus=2),)))
+    sim.run(until=sim.now + 3.0)
+    replica = runtime.apps["solo2"].replicas[0]
+    injector.kill_process(replica.node, f"job.{replica.job_id}")
+    sim.run(until=sim.now + 20.0)
+    transitions = [r["transition"] for r in sim.trace.records("bizrt.sla", app="solo2")]
+    assert transitions == ["down", "up"]

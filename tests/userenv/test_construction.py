@@ -1,0 +1,78 @@
+"""System construction tool: configure/deploy/boot, node recovery, health."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.errors import UserEnvError
+from repro.sim import Simulator
+from repro.userenv.construction import ConstructionTool
+
+
+def test_three_phase_build():
+    sim = Simulator(seed=3)
+    tool = ConstructionTool(sim)
+    cluster = tool.configure(ClusterSpec.build(partitions=2, computes=2))
+    assert cluster.size == 8
+    kernel = tool.deploy()
+    report = tool.boot()
+    assert report.phases == ["configured", "deployed", "booted"]
+    assert report.node_count == 8
+    assert report.partition_count == 2
+    assert kernel.booted
+    assert sim.trace.records("construct.booted")
+
+
+def test_phase_ordering_enforced():
+    sim = Simulator(seed=3)
+    tool = ConstructionTool(sim)
+    with pytest.raises(UserEnvError):
+        tool.deploy()
+    with pytest.raises(UserEnvError):
+        tool.boot()
+    tool.configure(ClusterSpec.build(partitions=1, computes=1))
+    with pytest.raises(UserEnvError):
+        tool.configure(ClusterSpec.build(partitions=1, computes=1))
+    tool.deploy()
+    with pytest.raises(UserEnvError):
+        tool.deploy()
+
+
+def test_build_convenience(kernel):
+    # The shared fixture already used tool.build(); just sanity-check it.
+    tool = kernel.construction_tool
+    assert tool.kernel is kernel
+    assert tool.report is not None
+
+
+def test_recover_node_restarts_daemons_and_clears_down_state(kernel, sim, injector):
+    tool = kernel.construction_tool
+    injector.crash_node("p1c1")
+    sim.run(until=sim.now + 15.0)  # GSD marks the node down
+    assert kernel.gsd("p1").node_state["p1c1"] == "down"
+    tool.recover_node("p1c1")
+    hostos = kernel.cluster.hostos("p1c1")
+    assert hostos.process_alive("wd")
+    assert hostos.process_alive("ppm")
+    assert hostos.process_alive("detector")
+    sim.run(until=sim.now + 12.0)  # heartbeats resume; GSD publishes recovery
+    assert kernel.gsd("p1").node_state["p1c1"] == "up"
+
+
+def test_health_report(kernel, sim, injector):
+    tool = kernel.construction_tool
+    report = tool.health_report()
+    assert report["kernel_healthy"] and report["healthy"]
+    injector.kill_process(kernel.placement[("db", "p2")], "db")
+    report = tool.health_report()
+    assert report["kernel_services_missing"] == ["db@p2"]
+    assert not report["kernel_healthy"]
+    sim.run(until=sim.now + 10.0)  # GSD heals it
+    assert tool.health_report()["kernel_healthy"]
+
+
+def test_health_report_requires_boot():
+    tool = ConstructionTool(Simulator())
+    with pytest.raises(UserEnvError):
+        tool.health_report()
+    with pytest.raises(UserEnvError):
+        tool.recover_node("x")

@@ -1,0 +1,81 @@
+"""Performance analysis + fault analysis (paper §3 management tools)."""
+
+import pytest
+
+from repro.userenv.monitoring import fault_analysis, install_gridview, performance_report
+from repro.userenv.monitoring.gridview import ClusterSnapshot
+
+
+def snap(t, cpu, mem=20.0, swap=0.5, down=0):
+    return ClusterSnapshot(
+        time=t, node_count=10, nodes_reporting=10 - down, nodes_down=down,
+        avg_cpu_pct=cpu, avg_mem_pct=mem, avg_swap_pct=swap,
+    )
+
+
+def test_performance_report_levels_and_slope():
+    snaps = [snap(0.0, 10.0), snap(60.0, 20.0), snap(120.0, 30.0)]
+    report = performance_report(snaps)
+    assert report["samples"] == 3
+    assert report["window_s"] == 120.0
+    assert report["cpu"].mean == pytest.approx(20.0)
+    assert report["cpu"].slope_per_min == pytest.approx(10.0)  # +10%/min
+    assert report["mem"].slope_per_min == pytest.approx(0.0)
+    assert report["worst_nodes_down"] == 0
+
+
+def test_performance_report_single_sample():
+    report = performance_report([snap(5.0, 42.0)])
+    assert report["cpu"].mean == 42.0
+    assert report["cpu"].slope_per_min == 0.0
+
+
+def test_performance_report_empty_rejected():
+    with pytest.raises(ValueError):
+        performance_report([])
+
+
+def test_fault_analysis_incidents_and_mttr():
+    from repro.kernel.events.types import Event
+
+    def ev(t, type_, **data):
+        return Event(event_id=f"e{t}", type=type_, source="x", partition="p0", time=t, data=data)
+
+    events = [
+        ev(10.0, "node.failure", node="n1"),
+        ev(40.0, "node.recovery", node="n1"),
+        ev(50.0, "service.failure", node="n2", service="es"),
+        ev(52.0, "service.recovery", node="n2", service="es"),
+        ev(60.0, "node.failure", node="n1"),  # stays open
+    ]
+    report = fault_analysis(events)
+    assert report["event_counts"]["node.failure"] == 2
+    assert report["open_incidents"] == 1
+    assert report["mttr_s"]["node"] == pytest.approx(30.0)
+    assert report["mttr_s"]["service"] == pytest.approx(2.0)
+    assert report["top_failing_nodes"][0] == ("n1", 2)
+
+
+def test_fault_analysis_empty():
+    report = fault_analysis([])
+    assert report["event_counts"] == {}
+    assert report["open_incidents"] == 0
+
+
+def test_end_to_end_analysis_over_live_gridview(kernel, sim, injector):
+    gv = install_gridview(kernel, refresh_interval=5.0)
+    sim.run(until=sim.now + 25.0)
+    injector.crash_node("p2c0")
+    sim.run(until=sim.now + 30.0)
+    kernel.construction_tool.recover_node("p2c0")
+    sim.run(until=sim.now + 30.0)
+
+    perf = performance_report(list(gv.snapshots))
+    assert perf["samples"] >= 5
+    assert 0.0 < perf["cpu"].mean < 30.0
+    assert perf["worst_nodes_down"] == 1
+
+    faults = fault_analysis(list(gv.event_log))
+    assert faults["event_counts"].get("node.failure", 0) >= 1
+    assert "node" in faults["mttr_s"]
+    assert faults["top_failing_nodes"][0][0] == "p2c0"

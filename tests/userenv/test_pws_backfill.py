@@ -1,0 +1,72 @@
+"""Backfill scheduling policy: small jobs run past a blocked head."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.userenv.pws import PoolSpec, install_pws
+from repro.userenv.pws.scheduler import head_of_line_blocks, order_queue
+from repro.userenv.pws.server import STATUS, SUBMIT
+from tests.userenv.conftest import pws_rpc
+
+
+def test_head_of_line_predicate():
+    assert head_of_line_blocks("fifo")
+    assert head_of_line_blocks("sjf")
+    assert not head_of_line_blocks("backfill")
+
+
+def test_backfill_orders_like_fifo():
+    from repro.userenv.pws.jobs import JobRecord, JobSpec
+
+    jobs = [
+        JobRecord(spec=JobSpec("b", "u", 1, 1, 5.0), submitted_at=2.0),
+        JobRecord(spec=JobSpec("a", "u", 1, 1, 99.0), submitted_at=1.0),
+    ]
+    assert [j.spec.job_id for j in order_queue("backfill", jobs)] == ["a", "b"]
+
+
+def test_pool_accepts_backfill_policy():
+    PoolSpec("x", ["n1"], policy="backfill")
+    with pytest.raises(SchedulingError):
+        PoolSpec("x", ["n1"], policy="easy")
+
+
+@pytest.fixture()
+def backfill_pws(kernel, sim):
+    server = install_pws(
+        kernel,
+        [PoolSpec("bf", kernel.cluster.compute_nodes(), policy="backfill", lendable=False)],
+    )
+    sim.run(until=sim.now + 2.0)
+    return server
+
+
+def test_small_job_backfills_past_blocked_head(kernel, sim, backfill_pws):
+    # 9 compute nodes total; occupy 8 so the 9-node head job cannot start.
+    filler = pws_rpc(kernel, sim, SUBMIT,
+                     {"user": "f", "nodes": 8, "cpus_per_node": 4, "duration": 300.0, "pool": "bf"})
+    sim.run(until=sim.now + 2.0)
+    huge = pws_rpc(kernel, sim, SUBMIT,
+                   {"user": "h", "nodes": 9, "cpus_per_node": 4, "duration": 10.0, "pool": "bf"})
+    small = pws_rpc(kernel, sim, SUBMIT,
+                    {"user": "s", "nodes": 1, "cpus_per_node": 4, "duration": 10.0, "pool": "bf"})
+    sim.run(until=sim.now + 5.0)
+    assert pws_rpc(kernel, sim, STATUS, {"job_id": huge["job_id"]})["job"]["state"] == "queued"
+    # Under fifo this would be queued; backfill lets it use the idle node.
+    assert pws_rpc(kernel, sim, STATUS, {"job_id": small["job_id"]})["job"]["state"] == "running"
+    assert sim.trace.counter("pws.backfill_skips") >= 1
+
+
+def test_fifo_still_blocks(kernel, sim, pws):
+    filler = pws_rpc(kernel, sim, SUBMIT,
+                     {"user": "f", "nodes": 5, "cpus_per_node": 4, "duration": 300.0,
+                      "pool": "batch"})
+    sim.run(until=sim.now + 2.0)
+    huge = pws_rpc(kernel, sim, SUBMIT,
+                   {"user": "h", "nodes": 99, "cpus_per_node": 1, "duration": 10.0,
+                    "pool": "batch"})
+    small = pws_rpc(kernel, sim, SUBMIT,
+                    {"user": "s", "nodes": 1, "cpus_per_node": 1, "duration": 10.0,
+                     "pool": "batch"})
+    sim.run(until=sim.now + 5.0)
+    assert pws_rpc(kernel, sim, STATUS, {"job_id": small["job_id"]})["job"]["state"] == "queued"

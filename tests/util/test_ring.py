@@ -1,0 +1,105 @@
+"""Unit + property tests for the meta-group ring structure."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import Ring
+
+
+def test_insertion_order_preserved():
+    ring = Ring(["p1", "p2", "p3"])
+    assert ring.as_list() == ["p1", "p2", "p3"]
+    assert len(ring) == 3
+    assert "p2" in ring
+
+
+def test_head_is_leader_second_is_princess():
+    ring = Ring(["leader", "princess", "m3"])
+    assert ring.head() == "leader"
+    assert ring.second() == "princess"
+
+
+def test_second_falls_back_to_head_when_alone():
+    ring = Ring(["solo"])
+    assert ring.second() == "solo"
+
+
+def test_successor_predecessor_wrap():
+    ring = Ring(["a", "b", "c"])
+    assert ring.successor("c") == "a"
+    assert ring.predecessor("a") == "c"
+    assert ring.successor("a") == "b"
+
+
+def test_duplicate_rejected():
+    ring = Ring(["a"])
+    with pytest.raises(ValueError):
+        ring.add("a")
+
+
+def test_remove_closes_the_gap():
+    ring = Ring(["a", "b", "c", "d"])
+    ring.remove("b")
+    assert ring.as_list() == ["a", "c", "d"]
+    assert ring.successor("a") == "c"
+    assert ring.predecessor("c") == "a"
+    assert ring.position("d") == 2
+
+
+def test_remove_unknown_raises():
+    ring = Ring(["a"])
+    with pytest.raises(KeyError):
+        ring.remove("zz")
+
+
+def test_empty_ring_head_raises():
+    ring = Ring()
+    with pytest.raises(IndexError):
+        ring.head()
+    with pytest.raises(IndexError):
+        ring.second()
+
+
+def test_leader_failure_promotes_princess():
+    """Paper Figure 3 semantics: remove Leader -> Princess becomes head."""
+    ring = Ring(["gsd1", "gsd2", "gsd3", "gsd4", "gsd5"])
+    ring.remove(ring.head())
+    assert ring.head() == "gsd2"
+    ring.remove(ring.head())
+    assert ring.head() == "gsd3"
+
+
+unique_names = st.lists(st.integers(), unique=True, min_size=1, max_size=30)
+
+
+@given(unique_names)
+def test_property_successor_chain_visits_all_once(items):
+    ring = Ring(items)
+    start = ring.head()
+    seen = [start]
+    cur = ring.successor(start)
+    while cur != start:
+        seen.append(cur)
+        cur = ring.successor(cur)
+    assert seen == ring.as_list()
+
+
+@given(unique_names)
+def test_property_successor_predecessor_inverse(items):
+    ring = Ring(items)
+    for item in items:
+        assert ring.predecessor(ring.successor(item)) == item
+        assert ring.successor(ring.predecessor(item)) == item
+
+
+@given(unique_names, st.data())
+def test_property_removals_keep_order_subsequence(items, data):
+    ring = Ring(items)
+    to_remove = data.draw(st.lists(st.sampled_from(items), unique=True, max_size=len(items) - 1))
+    for item in to_remove:
+        ring.remove(item)
+    expected = [i for i in items if i not in to_remove]
+    assert ring.as_list() == expected
+    for item in expected:
+        assert ring.position(item) == expected.index(item)

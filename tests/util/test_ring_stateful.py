@@ -1,0 +1,53 @@
+"""Stateful property test: the Ring against a model list."""
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.util import Ring
+
+
+class RingMachine(RuleBasedStateMachine):
+    """Drive Ring mutations and check it always mirrors a plain list."""
+
+    def __init__(self):
+        super().__init__()
+        self.ring: Ring[int] = Ring()
+        self.model: list[int] = []
+
+    @rule(item=st.integers(0, 50))
+    def add(self, item):
+        if item in self.model:
+            try:
+                self.ring.add(item)
+                raise AssertionError("duplicate add must raise")
+            except ValueError:
+                pass
+        else:
+            self.ring.add(item)
+            self.model.append(item)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def remove(self, data):
+        item = data.draw(st.sampled_from(self.model))
+        self.ring.remove(item)
+        self.model.remove(item)
+
+    @invariant()
+    def order_matches_model(self):
+        assert self.ring.as_list() == self.model
+        assert len(self.ring) == len(self.model)
+
+    @invariant()
+    def ring_topology_consistent(self):
+        if not self.model:
+            return
+        assert self.ring.head() == self.model[0]
+        assert self.ring.second() == self.model[1 % len(self.model)]
+        for i, item in enumerate(self.model):
+            assert self.ring.position(item) == i
+            assert self.ring.successor(item) == self.model[(i + 1) % len(self.model)]
+            assert self.ring.predecessor(item) == self.model[(i - 1) % len(self.model)]
+
+
+TestRingStateful = RingMachine.TestCase

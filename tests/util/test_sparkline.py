@@ -1,0 +1,37 @@
+"""Sparkline rendering."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.sparkline import sparkline
+
+
+def test_empty():
+    assert sparkline([]) == ""
+
+
+def test_monotone_ramp_uses_increasing_blocks():
+    line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+    assert line == "▁▂▃▄▅▆▇█"
+
+
+def test_constant_series_is_flat_midline():
+    assert sparkline([5.0, 5.0, 5.0]) == "▄▄▄"
+
+
+def test_pinned_scale_clamps():
+    line = sparkline([-10, 0, 10, 20], lo=0.0, hi=10.0)
+    assert line[0] == "▁"  # clamped below
+    assert line[-1] == "█"  # clamped above
+
+
+@given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=50))
+def test_property_length_and_alphabet(values):
+    line = sparkline(values)
+    assert len(line) == len(values)
+    assert set(line) <= set("▁▂▃▄▅▆▇█")
+
+
+def test_extremes_map_to_extreme_blocks():
+    line = sparkline([1.0, 9.0, 1.0, 9.0])
+    assert line == "▁█▁█"

@@ -1,0 +1,84 @@
+"""Unit + property tests for statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import RunningStats, percentile, summarize
+
+
+def test_running_stats_basic():
+    s = RunningStats()
+    s.extend([1.0, 2.0, 3.0, 4.0])
+    assert s.count == 4
+    assert s.mean == pytest.approx(2.5)
+    assert s.variance == pytest.approx(np.var([1, 2, 3, 4], ddof=1))
+    assert s.min == 1.0
+    assert s.max == 4.0
+
+
+def test_running_stats_empty_is_nan():
+    s = RunningStats()
+    assert math.isnan(s.mean)
+    assert math.isnan(s.variance)
+
+
+def test_running_stats_single_value():
+    s = RunningStats()
+    s.add(5.0)
+    assert s.mean == 5.0
+    assert s.variance == 0.0
+    assert s.stdev == 0.0
+
+
+def test_percentile_matches_numpy_linear():
+    data = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6]
+    for q in (0, 10, 50, 90, 100):
+        assert percentile(data, q) == pytest.approx(np.percentile(data, q))
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+    with pytest.raises(ValueError):
+        percentile([1.0], -1)
+
+
+def test_summarize():
+    s = summarize([1.0, 2.0, 3.0])
+    assert s.count == 3
+    assert s.mean == pytest.approx(2.0)
+    assert s.p50 == 2.0
+    assert s.min == 1.0 and s.max == 3.0
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+floats = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False), min_size=1, max_size=200
+)
+
+
+@given(floats)
+def test_property_running_stats_matches_numpy(values):
+    s = RunningStats()
+    s.extend(values)
+    assert s.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-6)
+    assert s.min == min(values)
+    assert s.max == max(values)
+
+
+@given(floats, st.floats(min_value=0, max_value=100))
+def test_property_percentile_bounded_and_monotone(values, q):
+    p = percentile(values, q)
+    assert min(values) <= p <= max(values)
+    assert percentile(values, 0) == min(values)
+    assert percentile(values, 100) == max(values)

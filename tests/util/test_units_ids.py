@@ -1,0 +1,56 @@
+"""Unit tests for units helpers and id allocation."""
+
+import pytest
+
+from repro import units
+from repro.util import IdAllocator
+
+
+def test_time_helpers():
+    assert units.usec(348) == pytest.approx(348e-6)
+    assert units.msec(120) == pytest.approx(0.12)
+    assert units.minutes(2) == 120.0
+    assert units.hours(1) == 3600.0
+
+
+def test_size_helpers():
+    assert units.kib(1) == 1024
+    assert units.mib(2) == 2 * 1024 * 1024
+
+
+def test_fmt_time_matches_paper_style():
+    assert units.fmt_time(0) == "0s"
+    assert units.fmt_time(348e-6) == "348us"
+    assert units.fmt_time(0.12) == "120ms"
+    assert units.fmt_time(30.39) == "30.39s"
+    assert units.fmt_time(32.0) == "32.00s"
+
+
+def test_fmt_time_negative_rejected():
+    with pytest.raises(ValueError):
+        units.fmt_time(-1)
+
+
+def test_fmt_bytes():
+    assert units.fmt_bytes(0) == "0B"
+    assert units.fmt_bytes(512) == "512B"
+    assert units.fmt_bytes(1536) == "1.5KiB"
+    assert units.fmt_bytes(3 * 1024 * 1024) == "3.0MiB"
+    with pytest.raises(ValueError):
+        units.fmt_bytes(-1)
+
+
+def test_id_allocator_sequential():
+    alloc = IdAllocator("node")
+    assert alloc.next() == "node-1"
+    assert alloc.next() == "node-2"
+
+
+def test_id_allocator_custom_start():
+    alloc = IdAllocator("p", start=0)
+    assert alloc.next() == "p-0"
+
+
+def test_id_allocator_empty_prefix_rejected():
+    with pytest.raises(ValueError):
+        IdAllocator("")

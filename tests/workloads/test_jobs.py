@@ -1,0 +1,69 @@
+"""Synthetic job trace tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.jobs import TraceConfig, generate_trace, trace_demand_cpu_seconds
+
+
+def test_trace_deterministic_for_seed():
+    a = generate_trace(20, seed=7)
+    b = generate_trace(20, seed=7)
+    assert a == b
+    c = generate_trace(20, seed=8)
+    assert a != c
+
+
+def test_arrivals_strictly_increasing():
+    trace = generate_trace(50, seed=1)
+    arrivals = [e.arrival for e in trace]
+    assert arrivals == sorted(arrivals)
+    assert all(a > 0 for a in arrivals)
+
+
+def test_sizes_within_config_bounds():
+    cfg = TraceConfig(max_nodes=4, cpus_per_node_choices=(2,))
+    for entry in generate_trace(100, cfg, seed=2):
+        assert 1 <= entry.nodes <= 4
+        assert entry.cpus_per_node == 2
+        assert entry.duration >= 1.0
+        assert entry.user in cfg.users
+
+
+def test_small_jobs_dominate():
+    trace = generate_trace(300, TraceConfig(max_nodes=8), seed=3)
+    singles = sum(1 for e in trace if e.nodes == 1)
+    assert singles > len(trace) * 0.4
+
+
+def test_submit_payload():
+    entry = generate_trace(1, seed=4)[0]
+    payload = entry.submit_payload(pool="batch")
+    assert payload["pool"] == "batch"
+    assert payload["nodes"] == entry.nodes
+
+
+def test_demand_accounting():
+    trace = generate_trace(10, seed=5)
+    expected = sum(e.nodes * e.cpus_per_node * e.duration for e in trace)
+    assert trace_demand_cpu_seconds(trace) == pytest.approx(expected)
+
+
+def test_validation():
+    with pytest.raises(WorkloadError):
+        generate_trace(0)
+    with pytest.raises(WorkloadError):
+        TraceConfig(arrival_rate_per_min=0)
+    with pytest.raises(WorkloadError):
+        TraceConfig(duration_median_s=-1)
+    with pytest.raises(WorkloadError):
+        TraceConfig(max_nodes=0)
+
+
+@given(st.integers(1, 60), st.integers(0, 2**31 - 1))
+def test_property_trace_well_formed(count, seed):
+    trace = generate_trace(count, seed=seed)
+    assert len(trace) == count
+    assert all(e.duration >= 1.0 and e.nodes >= 1 and e.cpus_per_node >= 1 for e in trace)

@@ -1,0 +1,81 @@
+"""Linpack model + real kernel tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.linpack import HplModel, linpack_flops, run_real_linpack
+
+
+def test_rmax_grows_with_cpus():
+    model = HplModel()
+    values = [model.rmax_gflops(c) for c in (4, 16, 64, 128)]
+    assert values == sorted(values)
+    assert values[0] > 0
+
+
+def test_parallel_efficiency_decays():
+    model = HplModel()
+    per_cpu = [model.rmax_gflops(c) / c for c in (4, 16, 64, 128)]
+    assert per_cpu == sorted(per_cpu, reverse=True)
+
+
+def test_overhead_small_and_bounded():
+    """Table 4's claim: low single-digit percent at every scale."""
+    model = HplModel()
+    for cpus in (4, 16, 64, 128):
+        pct = 100.0 * model.overhead_fraction(cpus)
+        assert 0.1 < pct < 2.5, cpus
+
+
+def test_overhead_tracks_daemon_fraction():
+    light = HplModel(daemon_cpu_fraction=0.001)
+    heavy = HplModel(daemon_cpu_fraction=0.05)
+    assert heavy.overhead_fraction(64) > light.overhead_fraction(64)
+    assert heavy.rmax_with_phoenix(64) < light.rmax_with_phoenix(64)
+
+
+def test_table4_row_consistency():
+    row = HplModel().table4_row(64)
+    assert row["with_gflops"] < row["without_gflops"]
+    assert row["overhead_pct"] == pytest.approx(
+        100.0 * (1 - row["with_gflops"] / row["without_gflops"])
+    )
+
+
+def test_invalid_cpu_counts_rejected():
+    model = HplModel()
+    with pytest.raises(WorkloadError):
+        model.rmax_gflops(0)
+    with pytest.raises(WorkloadError):
+        model.rmax_gflops(6)  # not a multiple of cpus_per_node
+
+
+@given(st.sampled_from([4, 8, 16, 32, 64, 128, 256, 512]))
+def test_property_with_phoenix_never_exceeds_without(cpus):
+    model = HplModel()
+    assert model.rmax_with_phoenix(cpus) < model.rmax_gflops(cpus)
+    assert 0.0 < model.overhead_fraction(cpus) < 0.1
+
+
+def test_linpack_flops_cubic():
+    assert linpack_flops(1000) == pytest.approx((2 / 3) * 1e9 + 2e6)
+
+
+def test_real_linpack_small_smoke():
+    result = run_real_linpack(n=200, repeats=2)
+    assert result["gflops"] > 0
+    assert result["residual"] < 1e-8
+
+
+def test_real_linpack_validation():
+    with pytest.raises(WorkloadError):
+        run_real_linpack(n=0)
+    with pytest.raises(WorkloadError):
+        run_real_linpack(n=10, repeats=0)
+
+
+def test_real_linpack_with_monitor_threads_smoke():
+    result = run_real_linpack(n=200, repeats=2, monitor_threads=2)
+    assert result["gflops"] > 0

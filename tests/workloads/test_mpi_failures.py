@@ -1,0 +1,63 @@
+"""MPI job failure semantics: a dead rank aborts the whole job."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, FaultInjector
+from repro.sim import Simulator
+from repro.workloads.mpi import MpiJob, MpiJobSpec
+
+
+def setup_job(seed=0, iterations=50):
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, ClusterSpec.build(partitions=2, computes=6))
+    spec = MpiJobSpec(job_id="doomed", iterations=iterations, work_per_iteration=0.5)
+    nodes = cluster.compute_nodes()[:6]
+    job = MpiJob(cluster, nodes, spec)
+    job.start()
+    return sim, cluster, job, nodes
+
+
+def test_node_crash_aborts_job():
+    sim, cluster, job, nodes = setup_job()
+    sim.run(until=5.0)  # ~10 iterations in
+    FaultInjector(cluster).crash_node(nodes[2])
+    sim.run(until=30.0)
+    assert job.done.fired
+    result = job.done.value
+    assert result.failed
+    assert result.failed_rank == 2
+    assert result.iterations < 50
+    # Every surviving rank process was reaped (no barrier zombies).
+    for rank, node in enumerate(nodes):
+        hostos = cluster.hostos(node)
+        assert not hostos.process_alive(f"mpi.doomed.{rank}"), node
+
+
+def test_rank_process_kill_aborts_job():
+    sim, cluster, job, nodes = setup_job(seed=1)
+    sim.run(until=3.0)
+    cluster.hostos(nodes[4]).kill_process("mpi.doomed.4")
+    sim.run(until=30.0)
+    result = job.done.value
+    assert result.failed and result.failed_rank == 4
+
+
+def test_unfailed_job_reports_success():
+    sim, cluster, job, nodes = setup_job(iterations=4)
+    sim.run(until=60.0)
+    result = job.done.value
+    assert not result.failed
+    assert result.failed_rank is None
+    assert result.iterations == 4
+
+
+def test_abort_time_close_to_fault_time():
+    """Survivors are reaped promptly, not after a timeout."""
+    sim, cluster, job, nodes = setup_job(seed=2)
+    sim.run(until=5.0)
+    t_fault = sim.now
+    FaultInjector(cluster).crash_node(nodes[0])
+    sim.run(until=30.0)
+    assert job.done.value.failed
+    aborted = sim.trace.first("mpi.aborted")
+    assert aborted.time - t_fault < 0.1
