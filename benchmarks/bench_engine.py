@@ -42,3 +42,24 @@ def test_booted_cluster_simulation_rate(benchmark):
 
     executed = benchmark.pedantic(run, rounds=1, iterations=1)
     assert executed > 1000
+
+
+@pytest.mark.benchmark(group="engine")
+def test_rpc_storm_heap_stays_flat(benchmark):
+    """10k sequential RPCs: guards the timer-leak fix — before it, every
+    reply left its timeout event in the heap (peak pending == N)."""
+
+    def run():
+        sim = Simulator(seed=0, trace_capacity=10_000)
+        cluster = Cluster(sim, ClusterSpec.build(partitions=1, computes=2))
+        cluster.transport.bind("p0c1", "svc", lambda msg: {"echo": msg.payload})
+        peak = 0
+        for i in range(10_000):
+            sig = cluster.transport.rpc("p0c0", "p0c1", "svc", "q", {"i": i}, timeout=30.0)
+            peak = max(peak, sim.pending_events)
+            while not sig.fired:
+                sim.step()
+        return peak
+
+    peak = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert peak <= 4  # O(in-flight), not O(history)

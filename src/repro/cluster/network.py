@@ -51,6 +51,8 @@ class Network:
         #: None = fully connected; else node -> group tag, cross-group drops.
         self._split: dict[str, int] | None = None
         self._rng = sim.rngs.stream(f"net.{self.name}")
+        #: Per-(src, dst) FIFO clock: latest scheduled arrival on the flow.
+        self._flow_clock: dict[tuple[str, str], float] = {}
         #: Messages delivered / dropped (also mirrored into trace counters).
         self.delivered = 0
         self.dropped = 0
@@ -123,9 +125,12 @@ class Network:
     def transmit(self, msg: Message, deliver: Callable[[Message], None]) -> bool:
         """Accept ``msg`` for transmission; returns False on immediate drop.
 
-        ``deliver`` runs after the sampled latency, and re-checks nothing:
-        the path is evaluated once at send time plus once at delivery time
-        via the closure below, approximating store-and-forward fabrics.
+        The path is checked at **two points**: once here at send time
+        (closed path or sampled loss → immediate False), and once again in
+        ``_arrive`` after the sampled latency — a link or fabric that fails
+        while the message is in flight drops it with an ``in_flight=True``
+        ``net.drop`` trace mark.  This approximates store-and-forward
+        fabrics without modelling per-hop occupancy.
         """
         trace = self.sim.trace
         if not self.path_open(msg.src_node, msg.dst_node):
@@ -154,5 +159,14 @@ class Network:
             self.delivered += 1
             deliver(msg)
 
-        self.sim.schedule(self.latency_sample(msg.src_node, msg.dst_node, msg.size), _arrive)
+        # FIFO per (src, dst) flow: jitter never reorders two messages on
+        # the same path, as on a real store-and-forward fabric (a later
+        # send may arrive together with, but not before, an earlier one).
+        arrival = self.sim.now + self.latency_sample(msg.src_node, msg.dst_node, msg.size)
+        flow = (msg.src_node, msg.dst_node)
+        prev = self._flow_clock.get(flow, 0.0)
+        if arrival < prev:
+            arrival = prev
+        self._flow_clock[flow] = arrival
+        self.sim.schedule_at(arrival, _arrive)
         return True

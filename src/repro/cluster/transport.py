@@ -7,16 +7,24 @@ forms with uniformed semantics (such as Socket, RPC and ORB)" (paper
 * :meth:`Transport.send` — one-way datagram, silently lost on any failed
   hop (heartbeats, event pushes);
 * :meth:`Transport.rpc` — correlated request/reply with timeout (bulletin
-  queries, checkpoint save, parallel command calls).
+  queries, checkpoint save, parallel command calls);
+* :meth:`Transport.rpc_retry` — the same request/reply hardened with
+  bounded attempts, exponential backoff with jitter, and a
+  per-destination in-flight cap (for idempotent control-plane calls).
 
 Network selection mirrors reality: a sender picks the first fabric that is
 *locally* usable (its own NIC + carrier); remote failures only surface as
 timeouts.  :meth:`Transport.send_all_networks` duplicates a datagram on
 every locally-usable fabric — the watch daemon's heartbeat pattern.
+
+Timer discipline: every RPC cancels its timeout the moment the reply
+lands (or the send is dropped at source), so the simulator heap holds
+O(in-flight) — not O(total issued) — entries even at heartbeat rates.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Callable
 from typing import Any
 
@@ -53,6 +61,10 @@ class Endpoint:
 class Transport:
     """Cluster-wide message router."""
 
+    #: Default per-destination cap on concurrent ``rpc_retry`` calls; the
+    #: kernel overrides it from ``KernelTimings.rpc_inflight_cap``.
+    DEFAULT_INFLIGHT_CAP = 32
+
     def __init__(self, sim: Simulator, networks: dict[str, Network], nodes: dict[str, Node]) -> None:
         self.sim = sim
         self.networks = networks
@@ -60,6 +72,10 @@ class Transport:
         self._net_order = list(networks)
         self._endpoints: dict[tuple[str, str], Endpoint] = {}
         self._rpc_ids = IdAllocator("rpc")
+        self.max_inflight_per_dest = self.DEFAULT_INFLIGHT_CAP
+        self._inflight: dict[str, int] = {}
+        self._inflight_gates: dict[str, deque[Any]] = {}
+        self._retry_rng = sim.rngs.stream("transport.retry")
         for node_id in nodes:
             # The host OS answers pings as long as the node is up, daemon or not.
             self.bind(node_id, OS_PING_PORT, lambda msg: {"pong": True}, owner=None)
@@ -71,14 +87,28 @@ class Transport:
         With an ``owner``, delivery additionally requires the owning host
         process to be alive; rebinding an existing port is allowed only if
         the previous owner is dead (daemon restart).
+
+        An *ownerless* endpoint (owner ``None``) can always be rebound —
+        liveness cannot arbitrate between two anonymous handlers — but the
+        clobber is no longer silent: it leaves a ``transport.bind_collision``
+        trace mark, because the usual cause is a stale one-shot port (an
+        ``_rpc.*`` reply port that outlived its call) being overwritten.
         """
         if node_id not in self.nodes:
             raise TransportError(f"unknown node {node_id!r}")
         key = (node_id, port)
         existing = self._endpoints.get(key)
-        if existing is not None and existing.receiving and existing.owner is not None:
-            if owner is not existing.owner:
-                raise TransportError(f"{node_id}:{port} already bound by a live process")
+        if existing is not None and existing.receiving:
+            if existing.owner is not None:
+                if owner is not existing.owner:
+                    raise TransportError(f"{node_id}:{port} already bound by a live process")
+            else:
+                self.sim.trace.mark(
+                    "transport.bind_collision",
+                    node=node_id,
+                    port=port,
+                    owned=owner is not None,
+                )
         self._endpoints[key] = Endpoint(node_id, port, handler, owner)
 
     def unbind(self, node_id: str, port: str) -> None:
@@ -166,25 +196,131 @@ class Transport:
 
         The callee's handler return value is the reply: returning ``None``
         means "no reply" and the caller times out.
+
+        Lifecycle guarantees (the messaging-spine contract):
+
+        * the timeout event is **cancelled** the moment the reply arrives,
+          so a successful RPC leaves nothing behind in the event heap;
+        * a request dropped *at source* (no usable fabric, crashed sender)
+          fails the signal on the next tick instead of burning the full
+          timeout — no reply can ever arrive for a send that never left.
         """
         rpc_id = self._rpc_ids.next()
         reply_port = f"_rpc.{rpc_id}"
         signal = self.sim.signal(name=f"rpc.{rpc_id}")
 
-        def on_reply(msg: Message) -> None:
+        def finish(value: dict[str, Any] | None) -> None:
             self.unbind(src_node, reply_port)
+            timeout_handle.cancel()
             if not signal.fired:
-                signal.fire(msg.payload)
+                signal.fire(value)
+
+        def on_reply(msg: Message) -> None:
+            finish(msg.payload)
 
         def on_timeout() -> None:
-            self.unbind(src_node, reply_port)
-            if not signal.fired:
-                signal.fire(None)
+            finish(None)
 
         self.bind(src_node, reply_port, on_reply, owner=None)
-        self.sim.schedule(timeout, on_timeout)
-        self.send(src_node, dst_node, dst_port, mtype, payload, network=network, rpc_id=rpc_id)
+        timeout_handle = self.sim.schedule(timeout, on_timeout)
+        accepted = self.send(
+            src_node, dst_node, dst_port, mtype, payload, network=network, rpc_id=rpc_id
+        )
+        if not accepted:
+            timeout_handle.cancel()
+            self.sim.schedule(0.0, on_timeout)
         return signal
+
+    def rpc_retry(
+        self,
+        src_node: str,
+        dst_node: str,
+        dst_port: str,
+        mtype: str,
+        payload: dict[str, Any] | None = None,
+        *,
+        network: str | None = None,
+        timeout: float = 1.0,
+        attempts: int = 3,
+        backoff: float = 2.0,
+        jitter: float = 0.1,
+        inflight_cap: int | None = None,
+    ) -> Signal:
+        """Request/reply with retries for idempotent control-plane calls.
+
+        ``timeout`` is the **total budget**, preserved regardless of
+        ``attempts``: the budget is split geometrically across attempts
+        (ratio ``backoff``, so later attempts wait longer), and a short
+        jittered pause decorrelates retries.  The returned signal fires
+        with the first reply, or ``None`` once the budget or attempts are
+        exhausted.  Because a retried request may re-execute the handler,
+        callers must only use this for idempotent operations (queries,
+        checkpoint save/load, parallel-command fan-out).
+
+        A per-destination in-flight cap (``inflight_cap``, defaulting to
+        :attr:`max_inflight_per_dest`) bounds concurrent retrying calls to
+        one destination: excess calls queue FIFO instead of piling
+        correlated retry storms onto a struggling node.
+        """
+        if attempts < 1:
+            raise TransportError(f"rpc_retry needs attempts >= 1, got {attempts}")
+        if backoff < 1.0:
+            raise TransportError(f"rpc_retry backoff must be >= 1.0, got {backoff}")
+        cap = self.max_inflight_per_dest if inflight_cap is None else inflight_cap
+        outer = self.sim.signal(name=f"rpc_retry.{dst_node}.{mtype}")
+        # Geometric split of the budget: weights backoff**i, summing to 1.
+        total_weight = sum(backoff**i for i in range(attempts))
+        slices = [timeout * (backoff**i) / total_weight for i in range(attempts)]
+
+        def body():
+            while self._inflight.get(dst_node, 0) >= cap:
+                gate = self.sim.signal(name=f"rpc_gate.{dst_node}")
+                self._inflight_gates.setdefault(dst_node, deque()).append(gate)
+                self.sim.trace.count("rpc.inflight_queued")
+                yield gate
+            self._inflight[dst_node] = self._inflight.get(dst_node, 0) + 1
+            try:
+                deadline = self.sim.now + timeout
+                for attempt, attempt_timeout in enumerate(slices):
+                    remaining = deadline - self.sim.now
+                    if remaining <= 0:
+                        break
+                    reply = yield self.rpc(
+                        src_node,
+                        dst_node,
+                        dst_port,
+                        mtype,
+                        payload,
+                        network=network,
+                        timeout=min(attempt_timeout, remaining),
+                    )
+                    if reply is not None:
+                        outer.fire(reply)
+                        return
+                    if attempt + 1 < len(slices):
+                        self.sim.trace.count("rpc.retries")
+                        pause = jitter * attempt_timeout * float(self._retry_rng.random())
+                        pause = min(pause, max(0.0, deadline - self.sim.now))
+                        if pause > 0:
+                            yield pause
+                self.sim.trace.mark(
+                    "rpc.gave_up", src=src_node, dst=dst_node, mtype=mtype, attempts=attempts
+                )
+                outer.fire(None)
+            finally:
+                count = self._inflight.get(dst_node, 0) - 1
+                if count <= 0:
+                    self._inflight.pop(dst_node, None)
+                else:
+                    self._inflight[dst_node] = count
+                gates = self._inflight_gates.get(dst_node)
+                if gates:
+                    gates.popleft().fire(None)
+                    if not gates:
+                        del self._inflight_gates[dst_node]
+
+        self.sim.spawn(body(), name=f"rpc_retry.{src_node}->{dst_node}")
+        return outer
 
     def ping(self, src_node: str, dst_node: str, network: str, timeout: float = 0.25) -> Signal:
         """OS-level reachability probe on one specific fabric."""

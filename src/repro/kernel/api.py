@@ -53,6 +53,7 @@ class PhoenixKernel:
         self.cluster = cluster
         self.sim = cluster.sim
         self.timings = timings or KernelTimings()
+        cluster.transport.max_inflight_per_dest = self.timings.rpc_inflight_cap
         self.secret = secret
         self.registry = DaemonRegistry()
         #: (service, scope) -> node currently hosting it.  Scope is the
@@ -264,8 +265,11 @@ class KernelClient:
         payload: dict[str, Any] = {"table": table, "where": where, "scope": "global"}
         if aggregate:
             payload["aggregate"] = list(aggregate)
-        return self._transport.rpc(
-            self.node_id, db_node, ports.DB, ports.DB_QUERY, payload, timeout=timeout
+        t = self.kernel.timings
+        return self._transport.rpc_retry(
+            self.node_id, db_node, ports.DB, ports.DB_QUERY, payload, timeout=timeout,
+            attempts=t.rpc_retry_attempts, backoff=t.rpc_retry_backoff,
+            jitter=t.rpc_retry_jitter,
         )
 
     # -- event service ---------------------------------------------------

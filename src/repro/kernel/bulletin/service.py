@@ -121,8 +121,10 @@ class BulletinDaemon(ServiceDaemon):
         request = {"table": table, "where": where, "scope": "local"}
         if aggregate:
             request["aggregate"] = aggregate
+        # Local-scope peer queries are idempotent: retry within the same
+        # budget so one lost datagram does not hide a partition's rows.
         signals = {
-            part_id: self.rpc(node, ports.DB, ports.DB_QUERY, dict(request))
+            part_id: self.rpc_retry(node, ports.DB, ports.DB_QUERY, dict(request))
             for part_id, node in peers.items()
         }
         rows = list(local_rows)

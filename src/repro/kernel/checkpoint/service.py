@@ -14,6 +14,7 @@ find its state there.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any
 
 from repro.cluster.message import Message
@@ -30,6 +31,10 @@ class CheckpointDaemon(ServiceDaemon):
     def __init__(self, kernel, node_id: str) -> None:
         super().__init__(kernel, node_id)
         self.store = CheckpointStore()
+        #: Per-key FIFO of pending saves: commits must follow arrival order,
+        #: or a small (cheaper-to-write) stale save can overtake and clobber
+        #: a larger fresh one while both pay the storage commit delay.
+        self._save_q: dict[str, deque[Message]] = {}
 
     def on_start(self) -> None:
         self.bind(ports.CKPT, self._dispatch)
@@ -39,15 +44,21 @@ class CheckpointDaemon(ServiceDaemon):
         replica_node = self.kernel.placement.get(("ckpt.replica", self.partition_id))
         if replica_node is None:
             return
-        reply = yield self.rpc(replica_node, ports.CKPT_REPLICA, ports.CKPT_PULL, {})
+        # Anti-entropy pull is idempotent; retry so one lost datagram does
+        # not cost a whole partition its recovered state.
+        reply = yield self.rpc_retry(replica_node, ports.CKPT_REPLICA, ports.CKPT_PULL, {})
         if reply and "dump" in reply:
             updated = self.store.absorb(reply["dump"], self.sim.now)
             self.sim.trace.mark("ckpt.synced", node=self.node_id, keys=updated)
 
     def _dispatch(self, msg: Message) -> dict[str, Any] | None:
         if msg.mtype == ports.CKPT_SAVE:
-            # Saves pay a size-dependent storage commit before acking.
-            self.spawn(self._save(msg), name=f"{self.node_id}/ckpt.save")
+            # Saves pay a size-dependent storage commit before acking, and
+            # commit in arrival order per key (single writer per key).
+            queue = self._save_q.setdefault(msg.payload["key"], deque())
+            queue.append(msg)
+            if len(queue) == 1:
+                self.spawn(self._drain_saves(msg.payload["key"]), name=f"{self.node_id}/ckpt.save")
             return None
         if msg.mtype == ports.CKPT_LOAD:
             entry = self.store.load(msg.payload["key"], version=msg.payload.get("version"))
@@ -73,13 +84,18 @@ class CheckpointDaemon(ServiceDaemon):
         self.sim.trace.mark("ckpt.unknown_mtype", mtype=msg.mtype)
         return None
 
-    def _save(self, msg: Message):
-        key, data = msg.payload["key"], msg.payload["data"]
-        yield self.timings.ckpt_write_cost(len(repr(data)))
-        version = self.store.save(key, data, self.sim.now)
-        self._replicate(key, data, version)
-        self.sim.trace.count("ckpt.saves")
-        self.reply(msg, {"ok": True, "version": version})
+    def _drain_saves(self, key: str):
+        queue = self._save_q[key]
+        while queue:
+            msg = queue[0]
+            data = msg.payload["data"]
+            yield self.timings.ckpt_write_cost(len(repr(data)))
+            version = self.store.save(key, data, self.sim.now)
+            self._replicate(key, data, version)
+            self.sim.trace.count("ckpt.saves")
+            self.reply(msg, {"ok": True, "version": version})
+            queue.popleft()
+        del self._save_q[key]
 
     def _replicate(self, key: str, data: dict[str, Any], version: int) -> None:
         replica_node = self.kernel.placement.get(("ckpt.replica", self.partition_id))

@@ -109,6 +109,33 @@ class ServiceDaemon:
             timeout=self.timings.rpc_timeout if timeout is None else timeout,
         )
 
+    def rpc_retry(
+        self,
+        dst_node: str,
+        dst_port: str,
+        mtype: str,
+        payload: dict[str, Any] | None = None,
+        network: str | None = None,
+        timeout: float | None = None,
+        attempts: int | None = None,
+    ) -> Signal:
+        """Retrying RPC for *idempotent* calls (queries, checkpoint
+        save/load, fan-out); same total timeout budget as :meth:`rpc`,
+        policy from :class:`~repro.kernel.timings.KernelTimings`."""
+        t = self.timings
+        return self.transport.rpc_retry(
+            self.node_id,
+            dst_node,
+            dst_port,
+            mtype,
+            payload,
+            network=network,
+            timeout=t.rpc_timeout if timeout is None else timeout,
+            attempts=t.rpc_retry_attempts if attempts is None else attempts,
+            backoff=t.rpc_retry_backoff,
+            jitter=t.rpc_retry_jitter,
+        )
+
     def reply(self, msg: Message, payload: dict[str, Any]) -> None:
         """Answer an RPC later than its handler (for async handlers that
         returned ``None`` and finish in a spawned coroutine)."""

@@ -70,3 +70,91 @@ def _type_matches(pattern: str, event_type: str) -> bool:
     return event_type == pattern
 
 
+class SubscriptionIndex:
+    """Type-prefix index over a subscription registry.
+
+    Replaces the event service's per-event linear scan: an incoming event
+    only visits subscriptions whose type filter *could* match — exact
+    types via one dict hit, family wildcards (``"node.*"``) via the dotted
+    prefixes of the event type, plus the catch-all set (empty ``types``).
+    ``where`` clauses still run per candidate, so the index is exactly
+    equivalent to scanning everything with :meth:`Subscription.matches`.
+
+    Candidates come back in registration order (re-registering an existing
+    consumer keeps its original slot), so delivery order is identical to
+    iterating the old insertion-ordered dict.
+    """
+
+    def __init__(self) -> None:
+        self._subs: dict[str, Subscription] = {}
+        self._order: dict[str, int] = {}
+        self._seq = 0
+        self._exact: dict[str, set[str]] = {}
+        self._prefix: dict[str, set[str]] = {}
+        self._all_types: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+    def __contains__(self, consumer_id: str) -> bool:
+        return consumer_id in self._subs
+
+    def get(self, consumer_id: str) -> Subscription | None:
+        return self._subs.get(consumer_id)
+
+    def values(self) -> list[Subscription]:
+        """All subscriptions in registration order."""
+        return [self._subs[cid] for cid in sorted(self._subs, key=self._order.__getitem__)]
+
+    def add(self, sub: Subscription) -> None:
+        """Register ``sub``, replacing any previous registration of the
+        same consumer (which keeps its original ordering slot)."""
+        slot = self._order.get(sub.consumer_id)
+        self.remove(sub.consumer_id)
+        if slot is None:
+            slot = self._seq
+            self._seq += 1
+        self._subs[sub.consumer_id] = sub
+        self._order[sub.consumer_id] = slot
+        if not sub.types:
+            self._all_types.add(sub.consumer_id)
+        for pattern in sub.types:
+            if pattern.endswith(".*"):
+                self._prefix.setdefault(pattern[:-1], set()).add(sub.consumer_id)
+            else:
+                self._exact.setdefault(pattern, set()).add(sub.consumer_id)
+
+    def remove(self, consumer_id: str) -> Subscription | None:
+        """Drop a consumer; returns its subscription or ``None``."""
+        sub = self._subs.pop(consumer_id, None)
+        if sub is None:
+            return None
+        self._order.pop(consumer_id, None)
+        self._all_types.discard(consumer_id)
+        for pattern in sub.types:
+            table = self._prefix if pattern.endswith(".*") else self._exact
+            key = pattern[:-1] if pattern.endswith(".*") else pattern
+            bucket = table.get(key)
+            if bucket is not None:
+                bucket.discard(consumer_id)
+                if not bucket:
+                    del table[key]
+        return sub
+
+    def candidates(self, event_type: str) -> list[Subscription]:
+        """Subscriptions whose type filter may match ``event_type``, in
+        registration order.  Callers still apply ``sub.matches(event)``."""
+        ids: set[str] = set(self._all_types)
+        exact = self._exact.get(event_type)
+        if exact:
+            ids |= exact
+        if self._prefix:
+            pos = event_type.find(".")
+            while pos != -1:
+                bucket = self._prefix.get(event_type[: pos + 1])
+                if bucket:
+                    ids |= bucket
+                pos = event_type.find(".", pos + 1)
+        return [self._subs[cid] for cid in sorted(ids, key=self._order.__getitem__)]
+
+

@@ -108,7 +108,7 @@ class GSDDaemon(ServiceDaemon):
         ckpt_node = self.kernel.placement.get(("ckpt", self.partition_id))
         if ckpt_node is None:
             return
-        reply = yield self.rpc(ckpt_node, ports.CKPT, ports.CKPT_LOAD, {"key": self._ckpt_key()})
+        reply = yield self.rpc_retry(ckpt_node, ports.CKPT, ports.CKPT_LOAD, {"key": self._ckpt_key()})
         if reply and reply.get("found"):
             self.node_state = dict(reply["data"].get("node_state", {}))
             self.sim.trace.mark("gsd.state_recovered", node=self.node_id, entries=len(self.node_state))

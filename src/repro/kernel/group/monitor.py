@@ -20,13 +20,13 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.errors import KernelError
-from repro.sim import EventHandle, Simulator
+from repro.sim import Simulator, Timer
 
 
 @dataclass
 class _SubjectState:
     last_seen: dict[str, float] = field(default_factory=dict)
-    timers: dict[str, EventHandle] = field(default_factory=dict)
+    timers: dict[str, Timer] = field(default_factory=dict)
     nic_stale: set[str] = field(default_factory=set)
     suspended: bool = False
 
@@ -119,12 +119,15 @@ class HeartbeatMonitor:
     # -- internals -----------------------------------------------------------
     def _arm(self, subject: str, state: _SubjectState, network: str) -> None:
         state.last_seen[network] = self.sim.now
-        old = state.timers.get(network)
-        if old is not None:
-            old.cancel()
-        state.timers[network] = self.sim.schedule(
-            self.interval + self.grace, self._deadline, subject, network
-        )
+        timer = state.timers.get(network)
+        if timer is None:
+            state.timers[network] = self.sim.timer(
+                self.interval + self.grace, self._deadline, subject, network
+            )
+        else:
+            # Restartable deadline: each beat re-arms the same timer, and
+            # the simulator compacts the cancelled heap entries.
+            timer.restart(self.interval + self.grace)
 
     def _deadline(self, subject: str, network: str) -> None:
         state = self._subjects.get(subject)

@@ -80,10 +80,14 @@ class WatchDaemon(ServiceDaemon):
         if target is None or target == self.node_id:
             return  # no GSD placed yet, or we host it ourselves (loopback beat is pointless)
         self._seq += 1
-        self.send_all_networks(
+        accepted = self.send_all_networks(
             target, ports.GSD_HB, ports.HB_WD, {"node": self.node_id, "seq": self._seq}
         )
         self.sim.trace.count("wd.beats")
+        if accepted == 0:
+            # Every local NIC refused the beat: the GSD will diagnose us
+            # soon, but leave a local mark so the silence is attributable.
+            self.sim.trace.mark("wd.beat_unsendable", node=self.node_id, seq=self._seq)
 
     def _dispatch(self, msg: Message) -> dict[str, Any] | None:
         if msg.mtype == ports.WD_GSD_ANNOUNCE:

@@ -158,11 +158,14 @@ class PPMDaemon(ServiceDaemon):
 
         run_local, branches = split_targets(targets, self.node_id)
         # Forward branches first so subtrees work while we execute locally.
+        # Retried within the same subtree budget: a transiently lost branch
+        # request/reply degrades to a retry, not a whole subtree reported
+        # unreachable (pcmd verbs are idempotent or reject duplicates).
         pending = []
         for branch in branches:
             head = branch[0]
             timeout = subtree_timeout(self.timings.rpc_timeout, len(branch))
-            sig = self.rpc(
+            sig = self.rpc_retry(
                 head,
                 ports.PPM,
                 ports.PPM_PCMD,

@@ -87,6 +87,22 @@ class KernelTimings:
     #: OS ping timeout inside a probe window (must be < probe_window).
     ping_timeout: float = 0.25
 
+    #: Retry policy for idempotent control-plane RPCs
+    #: (:meth:`Transport.rpc_retry`): attempts within the *same* total
+    #: timeout budget, per-attempt windows growing by ``backoff``, with
+    #: jittered pauses to decorrelate retry storms.
+    rpc_retry_attempts: int = 3
+    rpc_retry_backoff: float = 2.0
+    rpc_retry_jitter: float = 0.1
+    #: Per-destination cap on concurrent retrying RPCs (excess calls
+    #: queue FIFO at the sender instead of piling onto a struggling node).
+    rpc_inflight_cap: int = 32
+
+    #: Debounce window for event-service subscription checkpoints: a
+    #: subscribe burst coalesces into one full-registry save per window
+    #: instead of one save per change.
+    es_ckpt_debounce: float = 0.05
+
     #: CPU fraction of one node consumed by kernel daemons between
     #: heartbeats (drives Table 4's Linpack overhead model).
     daemon_cpu_fraction: float = 0.006
@@ -109,6 +125,14 @@ class KernelTimings:
             raise KernelError("node_confirm_rounds must be >= 0")
         if not 0.0 <= self.daemon_cpu_fraction < 1.0:
             raise KernelError("daemon_cpu_fraction must be in [0, 1)")
+        if self.rpc_retry_attempts < 1:
+            raise KernelError("rpc_retry_attempts must be >= 1")
+        if self.rpc_retry_backoff < 1.0:
+            raise KernelError("rpc_retry_backoff must be >= 1.0")
+        if self.rpc_inflight_cap < 1:
+            raise KernelError("rpc_inflight_cap must be >= 1")
+        if self.es_ckpt_debounce < 0:
+            raise KernelError("es_ckpt_debounce must be >= 0")
 
     @property
     def service_check_period(self) -> float:

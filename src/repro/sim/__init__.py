@@ -3,12 +3,13 @@
 Public surface:
 
 * :class:`Simulator` — event heap, virtual clock, ``spawn``/``signal``.
+* :class:`Timer` — restartable one-shot timer (``Simulator.timer``).
 * :class:`Proc`, :class:`Signal`, :class:`Timeout` — process primitives.
 * :class:`Trace` / :class:`TraceRecord` — measurement backbone.
 * :class:`RngRegistry` — named deterministic random streams.
 """
 
-from repro.sim.core import EventHandle, Simulator
+from repro.sim.core import EventHandle, Simulator, Timer
 from repro.sim.process import Proc, ProcState, Signal, Timeout, all_of, any_of, spawn
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Trace, TraceRecord
@@ -16,6 +17,7 @@ from repro.sim.trace import Trace, TraceRecord
 __all__ = [
     "EventHandle",
     "Simulator",
+    "Timer",
     "Proc",
     "ProcState",
     "Signal",

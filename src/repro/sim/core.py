@@ -33,7 +33,7 @@ from repro.sim.trace import Trace
 class EventHandle:
     """A scheduled callback; cancellable until it fires."""
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "fired")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "fired", "_sim")
 
     def __init__(
         self,
@@ -42,6 +42,7 @@ class EventHandle:
         seq: int,
         callback: Callable[..., Any],
         args: tuple[Any, ...],
+        sim: "Simulator | None" = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -50,10 +51,15 @@ class EventHandle:
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running (no-op if already fired)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -62,6 +68,66 @@ class EventHandle:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
         return f"EventHandle(t={self.time:.6f}, {state}, cb={getattr(self.callback, '__name__', self.callback)!r})"
+
+
+class Timer:
+    """A restartable one-shot timer (heartbeat deadlines, RPC timeouts,
+    debounce windows).
+
+    Wraps one live :class:`EventHandle` at a time: :meth:`restart` cancels
+    the current handle and schedules a fresh one, so holders never touch
+    raw handles and cannot leak a forgotten one-shot.  Cancelled handles
+    left in the heap are reclaimed by the simulator's compaction (see
+    :meth:`Simulator._note_cancelled`).
+    """
+
+    __slots__ = ("_sim", "_delay", "_callback", "_args", "_priority", "_handle")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        delay: float,
+        callback: Callable[..., Any],
+        args: tuple[Any, ...] = (),
+        priority: int = 0,
+    ) -> None:
+        self._sim = sim
+        self._delay = delay
+        self._callback = callback
+        self._args = args
+        self._priority = priority
+        self._handle: EventHandle | None = sim.schedule(
+            delay, callback, *args, priority=priority
+        )
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is armed and has not yet fired."""
+        return self._handle is not None and self._handle.pending
+
+    @property
+    def deadline(self) -> float | None:
+        """Absolute fire time while armed, else ``None``."""
+        return self._handle.time if self.active else None
+
+    def cancel(self) -> None:
+        """Disarm; the callback will not run until :meth:`restart`."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def restart(self, delay: float | None = None) -> None:
+        """Re-arm for ``delay`` (default: the original delay) from now."""
+        self.cancel()
+        if delay is not None:
+            self._delay = delay
+        self._handle = self._sim.schedule(
+            self._delay, self._callback, *self._args, priority=self._priority
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"active@{self._handle.time:.6f}" if self.active else "idle"
+        return f"Timer({state}, cb={getattr(self._callback, '__name__', self._callback)!r})"
 
 
 class Simulator:
@@ -83,6 +149,11 @@ class Simulator:
         # ordering support (a measurable win at 640-node scale).
         self._heap: list[tuple[float, int, int, EventHandle]] = []
         self._seq = 0
+        #: Cancelled entries still sitting in the heap; once they dominate,
+        #: the heap is rebuilt in one O(n) pass instead of letting cancel-
+        #: heavy workloads (heartbeat deadline rearms, RPC timeouts) grow
+        #: it without bound.
+        self._dead = 0
         self._running = False
         self._stopped = False
         self.rngs = RngRegistry(seed)
@@ -125,9 +196,24 @@ class Simulator:
         if not math.isfinite(time) or time < self._now:
             raise SimulationError(f"cannot schedule at {time!r} (now={self._now!r})")
         self._seq += 1
-        handle = EventHandle(time, priority, self._seq, callback, args)
+        handle = EventHandle(time, priority, self._seq, callback, args, sim=self)
         heapq.heappush(self._heap, (time, priority, self._seq, handle))
         return handle
+
+    def timer(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Timer:
+        """Arm a restartable one-shot :class:`Timer` for ``callback``.
+
+        The preferred primitive for protocol deadlines: holders call
+        ``cancel()`` when the awaited thing happens and ``restart()`` to
+        re-arm, and the simulator reclaims the dead heap entries.
+        """
+        return Timer(self, delay, callback, args, priority=priority)
 
     # -- execution ---------------------------------------------------------
     def peek(self) -> float | None:
@@ -184,8 +270,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) scheduled events."""
-        return sum(1 for entry in self._heap if entry[3].pending)
+        """Number of live (non-cancelled) scheduled events, in O(1)."""
+        return len(self._heap) - self._dead
 
     # -- processes ---------------------------------------------------------
     def spawn(self, body: Any, name: str = "") -> Any:
@@ -204,3 +290,13 @@ class Simulator:
     def _drop_dead(self) -> None:
         while self._heap and self._heap[0][3].cancelled:
             heapq.heappop(self._heap)
+            self._dead -= 1
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`EventHandle.cancel` on a heap-resident entry."""
+        self._dead += 1
+        # Compact when dead entries dominate — amortized O(1) per cancel.
+        if self._dead > 64 and self._dead * 2 > len(self._heap):
+            self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+            heapq.heapify(self._heap)
+            self._dead = 0

@@ -89,7 +89,7 @@ class PWSServer(ServiceDaemon):
         ckpt_node = self.kernel.placement.get(("ckpt", self.partition_id))
         if ckpt_node is None:
             return
-        reply = yield self.rpc(ckpt_node, ports.CKPT, ports.CKPT_LOAD, {"key": CKPT_KEY})
+        reply = yield self.rpc_retry(ckpt_node, ports.CKPT, ports.CKPT_LOAD, {"key": CKPT_KEY})
         if reply and reply.get("found"):
             data = reply["data"]
             self.jobs = {

@@ -217,3 +217,26 @@ def test_message_and_byte_counters(cluster, sim):
     sim.run(until=0.01)
     assert sim.trace.counter("net.mgmt.msgs") == 1
     assert sim.trace.counter("net.mgmt.bytes") > 64
+
+
+def test_in_flight_link_failure_drops_with_trace(cluster, sim):
+    """A message already accepted for transmission is re-checked at
+    arrival: a link that dies while it is in flight drops it and the
+    ``net.drop`` record carries ``in_flight=True``."""
+    inbox = bind_collector(cluster, "p0c1", "svc")
+    assert cluster.transport.send("p0c0", "p0c1", "svc", "x", network="mgmt")
+    cluster.networks["mgmt"].set_link("p0c1", False)  # fails mid-flight
+    sim.run(until=0.01)
+    assert inbox == []
+    drops = sim.trace.records("net.drop", network="mgmt")
+    assert drops and drops[-1].fields.get("in_flight") is True
+
+
+def test_same_flow_messages_never_reorder(cluster, sim):
+    """Per-(src, dst) FIFO: jitter may bunch messages up but a later send
+    never overtakes an earlier one on the same flow."""
+    inbox = bind_collector(cluster, "p0c1", "svc")
+    for i in range(50):
+        cluster.transport.send("p0c0", "p0c1", "svc", "seq", {"i": i}, network="mgmt")
+    sim.run(until=1.0)
+    assert [m.payload["i"] for m in inbox] == list(range(50))

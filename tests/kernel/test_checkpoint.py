@@ -134,3 +134,21 @@ def test_restarted_primary_pulls_from_replica(kernel, sim, injector):
     sim.run(until=sim.now + 1.0)
     assert fresh.store.load("k").data == {"v": 1}
     assert sim.trace.records("ckpt.synced")
+
+
+def test_concurrent_saves_commit_in_arrival_order(kernel, sim):
+    """Back-to-back saves of one key must land last-writer-wins by
+    *arrival*, even though a bigger (slower-to-commit) stale payload pays
+    a longer storage delay than the small fresh one behind it."""
+    t = kernel.cluster.transport
+    ckpt_node = kernel.placement[("ckpt", "p0")]
+    big_stale = {"state": "old", "pad": "x" * 4096}
+    t.send("p0c0", ckpt_node, ports.CKPT, ports.CKPT_SAVE,
+           {"key": "svc.race", "data": big_stale})
+    t.send("p0c0", ckpt_node, ports.CKPT, ports.CKPT_SAVE,
+           {"key": "svc.race", "data": {"state": "new"}})
+    sim.run(until=sim.now + 5.0)
+    reply = drive(sim, t.rpc("p0c0", ckpt_node, ports.CKPT, ports.CKPT_LOAD,
+                             {"key": "svc.race"}))
+    assert reply["found"] and reply["data"] == {"state": "new"}
+    assert reply["version"] == 2

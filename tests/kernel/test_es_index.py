@@ -1,0 +1,156 @@
+"""SubscriptionIndex equivalence with the linear scan, and the debounced
+subscription checkpoint."""
+
+import random
+
+from repro.kernel import ports
+from repro.kernel.events import types as ev
+from repro.kernel.events.filters import Subscription, SubscriptionIndex
+from repro.kernel.events.types import Event
+from tests.kernel.conftest import drive
+
+# -- index unit behaviour ----------------------------------------------------
+
+
+def sub(cid, *types, where=None):
+    return Subscription(cid, "n", "p", types=tuple(types), where=where or {})
+
+
+def test_exact_type_lookup():
+    index = SubscriptionIndex()
+    index.add(sub("a", "node.failure"))
+    index.add(sub("b", "node.recovery"))
+    assert [s.consumer_id for s in index.candidates("node.failure")] == ["a"]
+
+
+def test_family_wildcard_lookup():
+    index = SubscriptionIndex()
+    index.add(sub("fam", "node.*"))
+    index.add(sub("other", "app.*"))
+    assert [s.consumer_id for s in index.candidates("node.failure")] == ["fam"]
+    # "node.*" must NOT match the bare type "node" (startswith "node.").
+    assert index.candidates("node") == []
+
+
+def test_catch_all_sees_everything():
+    index = SubscriptionIndex()
+    index.add(sub("all"))
+    assert [s.consumer_id for s in index.candidates("anything.at.all")] == ["all"]
+    assert [s.consumer_id for s in index.candidates("dotless")] == ["all"]
+
+
+def test_candidates_preserve_registration_order():
+    index = SubscriptionIndex()
+    index.add(sub("late", "x.y"))
+    index.add(sub("all"))
+    index.add(sub("fam", "x.*"))
+    got = [s.consumer_id for s in index.candidates("x.y")]
+    assert got == ["late", "all", "fam"]
+
+
+def test_readd_keeps_original_slot():
+    index = SubscriptionIndex()
+    index.add(sub("first", "t.a"))
+    index.add(sub("second", "t.a"))
+    index.add(sub("first", "t.a", where={"k": 1}))  # refresh, same slot
+    got = [s.consumer_id for s in index.candidates("t.a")]
+    assert got == ["first", "second"]
+    assert index.get("first").where == {"k": 1}
+
+
+def test_remove_cleans_every_table():
+    index = SubscriptionIndex()
+    index.add(sub("c", "a.b", "x.*"))
+    index.add(sub("all"))
+    assert index.remove("c").consumer_id == "c"
+    assert index.remove("c") is None
+    assert "c" not in index
+    assert [s.consumer_id for s in index.candidates("a.b")] == ["all"]
+    assert [s.consumer_id for s in index.candidates("x.q")] == ["all"]
+    assert len(index) == 1
+
+
+def test_index_equivalent_to_linear_scan_on_random_stream():
+    """Property check: for a random registry and random events, the index
+    delivers to exactly the same consumers in exactly the same order as
+    the old full scan with Subscription.matches."""
+    rng = random.Random(7)
+    atoms = ["node", "app", "job", "net", "failure", "recovery", "started", "exited"]
+
+    def rand_type():
+        return ".".join(rng.choice(atoms) for _ in range(rng.randint(1, 3)))
+
+    def rand_pattern():
+        t = rand_type()
+        return t + ".*" if rng.random() < 0.4 else t
+
+    linear: dict[str, Subscription] = {}
+    index = SubscriptionIndex()
+    for step in range(600):
+        roll = rng.random()
+        if roll < 0.25:
+            cid = f"c{rng.randint(0, 40)}"
+            patterns = tuple(rand_pattern() for _ in range(rng.randint(0, 3)))
+            where = {"k": rng.randint(0, 2)} if rng.random() < 0.3 else {}
+            s = Subscription(cid, "n", "p", types=patterns, where=where)
+            linear[cid] = s  # dict re-add keeps the original scan position
+            index.add(s)
+        elif roll < 0.35:
+            cid = f"c{rng.randint(0, 40)}"
+            linear.pop(cid, None)
+            index.remove(cid)
+        else:
+            event = Event(
+                event_id=f"e{step}", type=rand_type(), source="s", partition="p0",
+                time=float(step), data={"k": rng.randint(0, 2)},
+            )
+            via_scan = [s.consumer_id for s in linear.values() if s.matches(event)]
+            via_index = [
+                s.consumer_id for s in index.candidates(event.type) if s.matches(event)
+            ]
+            assert via_index == via_scan, f"divergence at step {step} on {event.type!r}"
+
+
+# -- checkpoint debounce -----------------------------------------------------
+
+
+def es_daemon(kernel, partition="p0"):
+    return kernel.live_daemon("es", kernel.placement[("es", partition)])
+
+
+def test_subscribe_burst_coalesces_into_one_checkpoint(kernel, sim):
+    es = es_daemon(kernel)
+    before = es.ckpt_writes
+    sigs = [
+        kernel.client("p0c0").subscribe(f"burst{i}", "sink", types=(ev.NODE_FAILURE,))
+        for i in range(8)
+    ]
+    for sig in sigs:
+        assert drive(sim, sig)["ok"]
+    sim.run(until=sim.now + 1.0)  # debounce window + save round trip
+    assert es.ckpt_writes == before + 1
+    assert sim.trace.counter("es.ckpt_writes") >= 1
+
+
+def test_spaced_changes_each_get_their_own_checkpoint(kernel, sim):
+    es = es_daemon(kernel)
+    before = es.ckpt_writes
+    for i in range(3):
+        assert drive(sim, kernel.client("p0c0").subscribe(f"slow{i}", "sink"))["ok"]
+        sim.run(until=sim.now + 1.0)  # well past the debounce window
+    assert es.ckpt_writes == before + 3
+
+
+def test_debounced_checkpoint_still_recovers_registry(kernel, sim, injector):
+    """The debounce must not lose the registry: after a burst and an ES
+    restart, the recovered daemon still knows every subscriber."""
+    es = es_daemon(kernel)
+    for i in range(5):
+        assert drive(sim, kernel.client("p0c0").subscribe(f"r{i}", "sink"))["ok"]
+    sim.run(until=sim.now + 1.0)  # flush lands in the checkpoint store
+    injector.kill_process(es.node_id, "es")
+    sim.run(until=sim.now + 40.0)  # GSD diagnoses and restarts the daemon
+    fresh = es_daemon(kernel)
+    assert fresh is not es and fresh.alive
+    recovered = {s.consumer_id for s in fresh.subscriptions()}
+    assert {f"r{i}" for i in range(5)} <= recovered
