@@ -62,6 +62,8 @@ def test_fig4_process_failure_arm(benchmark, save_artifact):
     assert result["state_recovered_subs"] == 1
     assert result["delivered_after_recovery"] == ["after"]
     assert result["es_location"] == "p1s0"  # restarted in place
+    benchmark.extra_info["recovery_latency_s"] = result["recovery_latency"]
+    benchmark.extra_info["state_recovered_subs"] = result["state_recovered_subs"]
     save_artifact("fig4_es_process", format_table(
         ["metric", "value"],
         [[k, str(v)] for k, v in result.items()],
@@ -75,6 +77,8 @@ def test_fig4_node_failure_arm(benchmark, save_artifact):
     assert result["state_recovered_subs"] == 1
     assert result["delivered_after_recovery"] == ["after"]
     assert result["es_location"] == "p1b0"  # migrated to the backup node
+    benchmark.extra_info["recovery_latency_s"] = result["recovery_latency"]
+    benchmark.extra_info["state_recovered_subs"] = result["state_recovered_subs"]
     save_artifact("fig4_es_node", format_table(
         ["metric", "value"],
         [[k, str(v)] for k, v in result.items()],

@@ -32,10 +32,17 @@ def test_fig6_scalability_sweep(benchmark, save_artifact):
     assert big["msgs_per_node_per_s"] == pytest.approx(small["msgs_per_node_per_s"], rel=0.25)
     # Collection latency grows far slower than 10x node count.
     assert big["refresh_latency_ms"] < 5 * small["refresh_latency_ms"]
+    # Federation batching: the event storm crosses partition boundaries
+    # in far fewer datagrams than events forwarded (Dawning 4000A point).
+    storm = by_nodes[640]
+    assert storm["forwarded_events"] > 0
+    assert storm["forward_batches"] < storm["forwarded_events"]
     benchmark.extra_info["sweep"] = {
         r["nodes"]: {
             "latency_ms": r["refresh_latency_ms"],
             "msgs_per_node_per_s": r["msgs_per_node_per_s"],
+            "forward_batches": r["forward_batches"],
+            "forwarded_events": r["forwarded_events"],
         }
         for r in rows
     }

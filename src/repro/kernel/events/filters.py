@@ -70,28 +70,71 @@ def _type_matches(pattern: str, event_type: str) -> bool:
     return event_type == pattern
 
 
+class _NoEq:
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<no-eq>"
+
+
+#: Sentinel for "this condition carries no indexable equality value".
+_NO_EQ = _NoEq()
+
+
+def _equality_value(condition: Any) -> Any:
+    """The hashable equality value of a ``where`` condition, or ``_NO_EQ``.
+
+    Plain values and ``{"op": "==", "value": v}`` dicts are equality
+    constraints; every other operator — and unhashable values, which the
+    index cannot bucket — falls back to the per-candidate check.
+    """
+    if isinstance(condition, dict):
+        if set(condition) != {"op", "value"} or condition["op"] != "==":
+            return _NO_EQ
+        condition = condition["value"]
+    try:
+        hash(condition)
+    except TypeError:
+        return _NO_EQ
+    return condition
+
+
 class SubscriptionIndex:
-    """Type-prefix index over a subscription registry.
+    """Type-prefix + where-key index over a subscription registry.
 
     Replaces the event service's per-event linear scan: an incoming event
     only visits subscriptions whose type filter *could* match — exact
     types via one dict hit, family wildcards (``"node.*"``) via the dotted
     prefixes of the event type, plus the catch-all set (empty ``types``).
-    ``where`` clauses still run per candidate, so the index is exactly
-    equivalent to scanning everything with :meth:`Subscription.matches`.
+
+    Hot equality ``where`` keys (``indexed_keys``, by default ``node`` —
+    the key every per-node monitor filters on) are indexed too: a
+    candidate whose clause pins an indexed key to a value the event's
+    data provably doesn't carry is skipped without running its clause.
+    ``where`` clauses still run per surviving candidate, so the index is
+    exactly equivalent to scanning everything with
+    :meth:`Subscription.matches`.
 
     Candidates come back in registration order (re-registering an existing
     consumer keeps its original slot), so delivery order is identical to
     iterating the old insertion-ordered dict.
     """
 
-    def __init__(self) -> None:
+    #: Where-clause keys indexed for equality probes by default.
+    INDEXED_WHERE_KEYS = ("node",)
+
+    def __init__(self, indexed_keys: tuple[str, ...] | None = None) -> None:
         self._subs: dict[str, Subscription] = {}
         self._order: dict[str, int] = {}
         self._seq = 0
         self._exact: dict[str, set[str]] = {}
         self._prefix: dict[str, set[str]] = {}
         self._all_types: set[str] = set()
+        self._where_keys = tuple(
+            self.INDEXED_WHERE_KEYS if indexed_keys is None else indexed_keys
+        )
+        #: key -> equality value -> consumers pinned to that value.
+        self._eq: dict[str, dict[Any, set[str]]] = {k: {} for k in self._where_keys}
+        #: key -> all consumers with an indexable equality constraint on it.
+        self._eq_constrained: dict[str, set[str]] = {k: set() for k in self._where_keys}
 
     def __len__(self) -> int:
         return len(self._subs)
@@ -123,6 +166,12 @@ class SubscriptionIndex:
                 self._prefix.setdefault(pattern[:-1], set()).add(sub.consumer_id)
             else:
                 self._exact.setdefault(pattern, set()).add(sub.consumer_id)
+        for key in self._where_keys:
+            if key in sub.where:
+                value = _equality_value(sub.where[key])
+                if value is not _NO_EQ:
+                    self._eq[key].setdefault(value, set()).add(sub.consumer_id)
+                    self._eq_constrained[key].add(sub.consumer_id)
 
     def remove(self, consumer_id: str) -> Subscription | None:
         """Drop a consumer; returns its subscription or ``None``."""
@@ -139,11 +188,29 @@ class SubscriptionIndex:
                 bucket.discard(consumer_id)
                 if not bucket:
                     del table[key]
+        for key in self._where_keys:
+            if consumer_id in self._eq_constrained[key]:
+                self._eq_constrained[key].discard(consumer_id)
+                value = _equality_value(sub.where.get(key, _NO_EQ))
+                bucket = self._eq[key].get(value)
+                if bucket is not None:
+                    bucket.discard(consumer_id)
+                    if not bucket:
+                        del self._eq[key][value]
         return sub
 
-    def candidates(self, event_type: str) -> list[Subscription]:
-        """Subscriptions whose type filter may match ``event_type``, in
-        registration order.  Callers still apply ``sub.matches(event)``."""
+    def candidates(
+        self, event_type: str, data: dict[str, Any] | None = None
+    ) -> list[Subscription]:
+        """Subscriptions whose filters may match an event of ``event_type``
+        (and, when ``data`` is given, its payload), in registration order.
+        Callers still apply ``sub.matches(event)``.
+
+        With ``data``, candidates whose clause pins an indexed where key
+        to a different equality value are pruned via one bucket probe per
+        key — e.g. per-node monitors with ``where={"node": ...}`` stop
+        being visited for every other node's events.
+        """
         ids: set[str] = set(self._all_types)
         exact = self._exact.get(event_type)
         if exact:
@@ -155,6 +222,21 @@ class SubscriptionIndex:
                 if bucket:
                     ids |= bucket
                 pos = event_type.find(".", pos + 1)
+        if data is not None:
+            for key in self._where_keys:
+                constrained = self._eq_constrained[key]
+                if not constrained:
+                    continue
+                # A missing field never satisfies an equality constraint,
+                # so _NO_EQ (never a bucket key) prunes every pinned sub.
+                value = data.get(key, _NO_EQ)
+                try:
+                    matching = self._eq[key].get(value, ()) if value is not _NO_EQ else ()
+                except TypeError:
+                    # Unhashable event value: it cannot equal any of the
+                    # (hashable) pinned values, so no pinned sub matches.
+                    matching = ()
+                ids = {cid for cid in ids if cid not in constrained or cid in matching}
         return [self._subs[cid] for cid in sorted(ids, key=self._order.__getitem__)]
 
 

@@ -12,9 +12,18 @@ per window; a restarted or migrated instance "will retrieve its state
 data from the checkpoint service" (paper, Figure 4 discussion) and
 re-announces its location to its federation peers.
 
-Delivery uses a type-prefix :class:`~repro.kernel.events.filters.SubscriptionIndex`
-instead of scanning every subscription per event — same delivered set,
-O(candidates) instead of O(consumers) on the publish hot path.
+Delivery uses the :class:`~repro.kernel.events.filters.SubscriptionIndex`
+(type-prefix + hot where-key buckets) instead of scanning every
+subscription per event — same delivered set, O(candidates) instead of
+O(consumers) on the publish hot path.
+
+Federation forwards are **batched**: publishes append to a per-peer
+outbox that a timer drains once per ``es_forward_flush`` window, sending
+one acked ``es.forward_batch`` datagram per peer instead of one forward
+per event.  A batch the peer never acked is re-queued (in order) and the
+stranded outbox is folded into the state checkpoint, so a migrated
+instance re-delivers it after recovery; an administrative stop drains
+the outbox before the process dies.
 """
 
 from __future__ import annotations
@@ -26,7 +35,7 @@ from repro.cluster.message import Message
 from repro.kernel import ports
 from repro.kernel.daemon import ServiceDaemon
 from repro.kernel.events.filters import Subscription, SubscriptionIndex
-from repro.kernel.events.types import Event
+from repro.kernel.events.types import Event, batch_to_payload, events_from_batch
 from repro.sim import Timer
 from repro.util import IdAllocator
 
@@ -42,21 +51,47 @@ class EventServiceDaemon(ServiceDaemon):
     #: Recent events retained for late-subscriber replay (extension; the
     #: paper's ES is purely real-time).
     HISTORY = 256
+    #: Recently-seen forwarded event ids kept for duplicate suppression
+    #: (a retried batch whose ack was lost re-executes the handler).
+    SEEN_FORWARDS = 4 * HISTORY
 
     def __init__(self, kernel, node_id: str) -> None:
         super().__init__(kernel, node_id)
         self._subs = SubscriptionIndex()
-        self._ids = IdAllocator(f"ev.{self.partition_id}")
+        # The prefix carries an incarnation stamp (start time in us): a
+        # restarted instance's counter starts over, and a reused event id
+        # would make peers' duplicate suppression swallow a *new* event.
+        self._ids = IdAllocator(f"ev.{self.partition_id}.{round(self.sim.now * 1e6)}")
         self._history: deque[Event] = deque(maxlen=self.HISTORY)
         self._ckpt_timer: Timer | None = None
+        #: Federation outbox: peer partition id -> pending event payloads.
+        self._outbox: dict[str, deque[dict[str, Any]]] = {}
+        #: Peers with a batch awaiting its ack (one in flight per peer,
+        #: so forwards stay FIFO per partition even across retries).
+        self._inflight_batch: dict[str, list[dict[str, Any]]] = {}
+        self._flush_timer: Timer | None = None
+        #: Duplicate suppression for re-received forwards (set + FIFO).
+        self._seen_ids: set[str] = set()
+        self._seen_order: deque[str] = deque()
         self.published = 0
         self.delivered = 0
         self.ckpt_writes = 0
+        self.forward_batches = 0
+        self.forward_batched_events = 0
 
     # -- lifecycle -----------------------------------------------------------
     def on_start(self) -> None:
         self.bind(ports.ES, self._dispatch)
         self.spawn(self._recover_state(), name=f"{self.node_id}/es.recover")
+
+    def stop(self) -> None:
+        """Administrative stop/migration: drain the federation outbox
+        before the process dies so no accepted event is stranded."""
+        if self.alive:
+            self._drain_outbox_final()
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+        super().stop()
 
     def _recover_state(self):
         """Reload the subscription registry from the checkpoint service."""
@@ -68,9 +103,20 @@ class EventServiceDaemon(ServiceDaemon):
             if reply and reply.get("found"):
                 for payload in reply["data"].get("subs", []):
                     self._subs.add(Subscription.from_payload(payload))
+                # Forwards the previous incarnation could not deliver
+                # (peer down at the time) come back too: flush-on-recovery
+                # re-sends them once the peer is reachable again.
+                restored = 0
+                for part_id, events in reply["data"].get("outbox", {}).items():
+                    if events and part_id != self.partition_id:
+                        self._outbox.setdefault(part_id, deque()).extend(events)
+                        restored += len(events)
                 self.sim.trace.mark(
-                    "es.state_recovered", node=self.node_id, subs=len(self._subs)
+                    "es.state_recovered", node=self.node_id, subs=len(self._subs),
+                    outbox=restored,
                 )
+                if restored:
+                    self._arm_flush()
         # Tell peers (their peer table may point at a dead node after migration).
         for part_id, peer in self.kernel.es_locations().items():
             if part_id != self.partition_id:
@@ -85,10 +131,10 @@ class EventServiceDaemon(ServiceDaemon):
         if msg.mtype == ports.ES_PUBLISH:
             return self._on_publish(msg)
         if msg.mtype == ports.ES_FORWARD:
-            event = Event.from_payload(msg.payload["event"])
-            self._history.append(event)
-            self._deliver_local(event)
+            self._accept_forward(Event.from_payload(msg.payload["event"]))
             return None
+        if msg.mtype == ports.ES_FORWARD_BATCH:
+            return self._on_forward_batch(msg)
         if msg.mtype == ports.ES_PEERS:
             self.kernel.note_placement("es", msg.payload["partition"], msg.payload["node"])
             return None
@@ -131,18 +177,116 @@ class EventServiceDaemon(ServiceDaemon):
         self.sim.trace.count("es.published")
         self._history.append(event)
         self._deliver_local(event)
-        payload = {"event": event.to_payload()}
-        for part_id, peer in self.kernel.es_locations().items():
+        payload = event.to_payload()
+        for part_id in self.kernel.es_locations():
             if part_id != self.partition_id:
-                self.send(peer, ports.ES, ports.ES_FORWARD, payload)
+                self._outbox.setdefault(part_id, deque()).append(payload)
+        self._arm_flush()
         return {"ok": True, "event_id": event.event_id}
+
+    def _on_forward_batch(self, msg: Message) -> dict[str, Any]:
+        accepted = 0
+        for event in events_from_batch(msg.payload):
+            if self._accept_forward(event):
+                accepted += 1
+        return {"ok": True, "accepted": accepted}
+
+    def _accept_forward(self, event: Event) -> bool:
+        """Deliver one federated event, suppressing re-received duplicates
+        (a retried batch whose ack was lost re-executes this handler)."""
+        if event.event_id in self._seen_ids:
+            self.sim.trace.count("es.forward_duplicates")
+            return False
+        self._seen_ids.add(event.event_id)
+        self._seen_order.append(event.event_id)
+        while len(self._seen_order) > self.SEEN_FORWARDS:
+            self._seen_ids.discard(self._seen_order.popleft())
+        self._history.append(event)
+        self._deliver_local(event)
+        return True
+
+    # -- federation batching -------------------------------------------------
+    def _arm_flush(self) -> None:
+        """Arm the outbox flush timer (no-op while one is already armed,
+        so a publish burst shares a single flush)."""
+        if not any(self._outbox.values()):
+            return
+        if self._flush_timer is not None and self._flush_timer.active:
+            return
+        delay = self.timings.es_forward_flush
+        if self._flush_timer is None:
+            self._flush_timer = self.sim.timer(delay, self._flush_forwards)
+        else:
+            self._flush_timer.restart(delay)
+
+    def _flush_forwards(self) -> None:
+        """Drain the outbox: one size-capped batch per peer partition."""
+        if not self.alive:
+            return
+        cap = self.timings.es_forward_batch_max
+        for part_id, pending in self._outbox.items():
+            if not pending or part_id in self._inflight_batch:
+                continue
+            batch = [pending.popleft() for _ in range(min(len(pending), cap))]
+            self._inflight_batch[part_id] = batch
+            self.spawn(self._send_batch(part_id, batch),
+                       name=f"{self.node_id}/es.fwd.{part_id}")
+        self._arm_flush()  # overflow past the cap waits for the next window
+
+    def _send_batch(self, part_id: str, batch: list[dict[str, Any]]):
+        try:
+            reply = None
+            peer = self.kernel.placement.get(("es", part_id))
+            if peer is not None:
+                self.forward_batches += 1
+                self.forward_batched_events += len(batch)
+                self.sim.trace.count("es.forward_batches")
+                self.sim.trace.count("es.forward_batched_events", len(batch))
+                reply = yield self.rpc_retry(
+                    peer, ports.ES, ports.ES_FORWARD_BATCH,
+                    batch_to_payload(self.partition_id, batch),
+                )
+            if reply is None:
+                # Peer unreachable (dead or mid-migration): put the batch
+                # back at the head — order preserved — and fold the
+                # stranded outbox into the checkpoint so even our *own*
+                # migration re-delivers it after recovery.
+                self._outbox.setdefault(part_id, deque()).extendleft(reversed(batch))
+                self.sim.trace.count("es.forward_requeued", len(batch))
+                self._checkpoint_state()
+        finally:
+            self._inflight_batch.pop(part_id, None)
+            self._arm_flush()
+
+    def _drain_outbox_final(self) -> None:
+        """Best-effort synchronous drain for administrative shutdown: the
+        dying process cannot await acks, so send plain batch datagrams."""
+        cap = self.timings.es_forward_batch_max
+        for part_id, pending in self._outbox.items():
+            # Whatever is awaiting an ack goes out again too — the peer's
+            # duplicate suppression absorbs the overlap.
+            stale = self._inflight_batch.pop(part_id, None)
+            if stale:
+                pending.extendleft(reversed(stale))
+            peer = self.kernel.placement.get(("es", part_id))
+            if peer is None:
+                continue
+            while pending:
+                batch = [pending.popleft() for _ in range(min(len(pending), cap))]
+                self.forward_batches += 1
+                self.forward_batched_events += len(batch)
+                self.sim.trace.count("es.forward_batches")
+                self.sim.trace.count("es.forward_batched_events", len(batch))
+                self.send(peer, ports.ES, ports.ES_FORWARD_BATCH,
+                          batch_to_payload(self.partition_id, batch))
 
     # -- internals -----------------------------------------------------------
     def _deliver_local(self, event: Event) -> None:
-        # Type-prefix index narrows the scan to plausible consumers; the
-        # where clause still runs per candidate (same delivered set as the
-        # old full scan, in the same registration order).
-        for sub in self._subs.candidates(event.type):
+        # The index narrows the scan to plausible consumers (type buckets
+        # plus hot where-key buckets); the full where clause still runs
+        # per candidate — same delivered set as the old full scan, in the
+        # same registration order.
+        for sub in self._subs.candidates(event.type, event.data):
             if sub.matches(event):
                 self.delivered += 1
                 self.sim.trace.count("es.delivered")
@@ -171,7 +315,15 @@ class EventServiceDaemon(ServiceDaemon):
         ckpt_node = self.kernel.placement.get(("ckpt", self.partition_id))
         if ckpt_node is None:
             return
-        data = {"subs": [sub.to_payload() for sub in self._subs.values()]}
+        outbox = {
+            part_id: list(self._inflight_batch.get(part_id, [])) + list(pending)
+            for part_id, pending in self._outbox.items()
+            if pending or self._inflight_batch.get(part_id)
+        }
+        data = {
+            "subs": [sub.to_payload() for sub in self._subs.values()],
+            "outbox": outbox,
+        }
         self.ckpt_writes += 1
         self.sim.trace.count("es.ckpt_writes")
         # Retried save: the checkpoint service acks, and a lost datagram
@@ -182,3 +334,9 @@ class EventServiceDaemon(ServiceDaemon):
     # -- introspection (for tests and monitors) -----------------------------
     def subscriptions(self) -> list[Subscription]:
         return self._subs.values()
+
+    def outbox_depth(self) -> int:
+        """Events currently queued or awaiting a batch ack (monitors)."""
+        return sum(len(p) for p in self._outbox.values()) + sum(
+            len(b) for b in self._inflight_batch.values()
+        )

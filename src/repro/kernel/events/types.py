@@ -73,3 +73,15 @@ class Event:
             time=payload["time"],
             data=dict(payload.get("data", {})),
         )
+
+
+# -- batched federation wire format ------------------------------------------
+def batch_to_payload(origin: str, events: list[dict[str, Any]]) -> dict[str, Any]:
+    """``es.forward_batch`` payload: one datagram carrying every event a
+    partition's instance accumulated for one peer during a flush window."""
+    return {"origin": origin, "events": list(events)}
+
+
+def events_from_batch(payload: dict[str, Any]) -> list[Event]:
+    """Decode a forward batch back into events, preserving publish order."""
+    return [Event.from_payload(p) for p in payload.get("events", [])]

@@ -103,6 +103,16 @@ class KernelTimings:
     #: instead of one save per change.
     es_ckpt_debounce: float = 0.05
 
+    #: Flush window for batched ES federation forwards: events published
+    #: within one window coalesce into a single ``es.forward_batch``
+    #: datagram per remote partition instead of one forward per event —
+    #: the knob trades a small added remote-delivery latency for
+    #: O(partitions) instead of O(events x partitions) fan-out traffic.
+    es_forward_flush: float = 0.02
+    #: Cap on events carried by one forward batch (bounds datagram size);
+    #: overflow stays queued for the next flush window.
+    es_forward_batch_max: int = 64
+
     #: CPU fraction of one node consumed by kernel daemons between
     #: heartbeats (drives Table 4's Linpack overhead model).
     daemon_cpu_fraction: float = 0.006
@@ -133,6 +143,10 @@ class KernelTimings:
             raise KernelError("rpc_inflight_cap must be >= 1")
         if self.es_ckpt_debounce < 0:
             raise KernelError("es_ckpt_debounce must be >= 0")
+        if self.es_forward_flush < 0:
+            raise KernelError("es_forward_flush must be >= 0")
+        if self.es_forward_batch_max < 1:
+            raise KernelError("es_forward_batch_max must be >= 1")
 
     @property
     def service_check_period(self) -> float:

@@ -212,7 +212,10 @@ class BusinessRuntime(ServiceDaemon):
                 for state in self.apps.values()
             ],
         }
-        self.send(ckpt_node, ports.CKPT, ports.CKPT_SAVE, {"key": self.CKPT_KEY, "data": data})
+        # Retried save (idempotent full-state snapshot): a lost datagram
+        # can no longer silently drop the app registry.
+        self.rpc_retry(ckpt_node, ports.CKPT, ports.CKPT_SAVE,
+                       {"key": self.CKPT_KEY, "data": data})
 
     def _load_state(self):
         """Rebuild the app registry after a restart/migration; running

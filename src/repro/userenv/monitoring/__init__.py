@@ -1,6 +1,11 @@
 """GridView monitoring user environment."""
 
-from repro.userenv.monitoring.analysis import Trend, fault_analysis, performance_report
+from repro.userenv.monitoring.analysis import (
+    Trend,
+    fault_analysis,
+    messaging_report,
+    performance_report,
+)
 from repro.userenv.monitoring.display import render_events, render_performance, render_snapshot
 from repro.userenv.monitoring.gridview import ClusterSnapshot, GridView, install_gridview
 
@@ -10,6 +15,7 @@ __all__ = [
     "Trend",
     "fault_analysis",
     "install_gridview",
+    "messaging_report",
     "performance_report",
     "render_events",
     "render_performance",

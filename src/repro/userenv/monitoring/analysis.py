@@ -8,7 +8,10 @@ adds the two analysis functions over GridView's retained data:
 * :func:`performance_report` — trends of the cluster-wide averages over
   the retained snapshot window (level, spread, slope);
 * :func:`fault_analysis` — the event log grouped into incidents: which
-  nodes/services fail most, mean time to recovery per failure type.
+  nodes/services fail most, mean time to recovery per failure type;
+* :func:`messaging_report` — the messaging-spine health view over the
+  kernel's trace counters (event fan-out, federation batching, RPC
+  retry/queueing pressure).
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.kernel.events.types import Event
+from repro.sim.trace import Trace
 from repro.userenv.monitoring.gridview import ClusterSnapshot
 from repro.util import summarize
 
@@ -103,4 +107,34 @@ def fault_analysis(events: list[Event]) -> dict[str, Any]:
         "open_incidents": len(open_incidents),
         "mttr_s": mttr,
         "top_failing_nodes": top,
+    }
+
+
+def messaging_report(trace: Trace) -> dict[str, Any]:
+    """Messaging-spine health view over the kernel's trace counters.
+
+    Surfaces the event-distribution data path (publishes, deliveries,
+    federation batching efficiency) and the transport's retry/queueing
+    pressure — the quantities an administrator watches to see whether
+    notification fan-out, not the workload, is what's loading the spine.
+    """
+    c = trace.counter
+    batches = c("es.forward_batches")
+    batched_events = c("es.forward_batched_events")
+    return {
+        "es": {
+            "published": c("es.published"),
+            "delivered": c("es.delivered"),
+            "forward_batches": batches,
+            "forward_batched_events": batched_events,
+            "forward_requeued": c("es.forward_requeued"),
+            "forward_duplicates": c("es.forward_duplicates"),
+            # >1 means the flush window is coalescing fan-out traffic;
+            # 1.0 means every event still pays one datagram per peer.
+            "events_per_batch": batched_events / batches if batches else 0.0,
+        },
+        "rpc": {
+            "retries": c("rpc.retries"),
+            "inflight_queued": c("rpc.inflight_queued"),
+        },
     }

@@ -501,7 +501,10 @@ class PWSServer(ServiceDaemon):
             "leases": [l.to_payload() for l in self.pm.leases],
             "job_seq": self._job_seq,
         }
-        self.send(ckpt_node, ports.CKPT, ports.CKPT_SAVE, {"key": CKPT_KEY, "data": data})
+        # Retried save (idempotent full-state snapshot): a lost datagram
+        # can no longer silently drop the job/lease registry.
+        self.rpc_retry(ckpt_node, ports.CKPT, ports.CKPT_SAVE,
+                       {"key": CKPT_KEY, "data": data})
 
 
 def install_pws(kernel, pools: list[PoolSpec], partition_id: str | None = None,

@@ -1,0 +1,220 @@
+"""Batched ES federation: coalescing, ordering, equivalence with the
+naive per-event forward, and outbox survival across faults."""
+
+import random
+
+from repro.cluster import Cluster, ClusterSpec, FaultInjector
+from repro.kernel import KernelTimings, PhoenixKernel
+from repro.kernel.events.filters import Subscription
+from repro.kernel.events.types import Event
+from repro.sim import Simulator
+from tests.kernel.conftest import drive
+from tests.kernel.test_events import publish, subscribe_collector
+
+FORWARD_COUNTERS = (
+    "es.forward_batches",
+    "es.forward_batched_events",
+    "es.forward_requeued",
+    "es.forward_duplicates",
+)
+
+
+def forward_counters(sim):
+    return {name: sim.trace.counter(name) for name in FORWARD_COUNTERS}
+
+
+def assert_monotone(before, after):
+    for name, value in before.items():
+        assert after[name] >= value, f"{name} went backwards: {value} -> {after[name]}"
+
+
+# -- coalescing ---------------------------------------------------------------
+
+
+def test_publish_burst_coalesces_into_few_batches(kernel, sim):
+    """A burst inside one flush window crosses each partition boundary in
+    one datagram, not one per event — and arrives complete, in order."""
+    inbox = subscribe_collector(kernel, sim, "p1c0", "c1", types=("custom.*",), partition="p1")
+    before = forward_counters(sim)
+    for i in range(8):
+        publish(kernel, sim, "p0c0", "custom.tick", {"i": i}, partition="p0")
+    sim.run(until=sim.now + 2.0)
+    after = forward_counters(sim)
+    assert_monotone(before, after)
+    assert [e.data["i"] for e in inbox] == list(range(8))
+    batches = after["es.forward_batches"] - before["es.forward_batches"]
+    events = after["es.forward_batched_events"] - before["es.forward_batched_events"]
+    assert events == 16  # 8 events x 2 remote partitions
+    assert batches < events  # the tentpole: fewer datagrams than forwards
+    assert after["es.forward_duplicates"] == before["es.forward_duplicates"]
+
+
+def test_batch_size_cap_spills_overflow_to_next_window():
+    sim = Simulator(seed=11)
+    cluster = Cluster(sim, ClusterSpec.build(partitions=2, computes=2))
+    kernel = PhoenixKernel(
+        cluster,
+        timings=KernelTimings(heartbeat_interval=30.0, es_forward_batch_max=3),
+    )
+    kernel.boot()
+    sim.run(until=1.0)
+    inbox = subscribe_collector(kernel, sim, "p1c0", "c1", types=("custom.*",), partition="p1")
+    for i in range(7):
+        publish(kernel, sim, "p0c0", "custom.tick", {"i": i}, partition="p0")
+    sim.run(until=sim.now + 2.0)
+    assert [e.data["i"] for e in inbox] == list(range(7))
+    # 7 events over a cap of 3 needs at least ceil(7/3) = 3 batches.
+    assert sim.trace.counter("es.forward_batches") >= 3
+
+
+def test_admin_stop_drains_outbox(kernel, sim):
+    """An administrative stop mid-window must not strand accepted events:
+    the dying instance flushes its outbox on the way down."""
+    inbox = subscribe_collector(kernel, sim, "p1c0", "c1", types=("custom.*",), partition="p1")
+    sim.run(until=sim.now + 0.5)
+    es = kernel.live_daemon("es", kernel.placement[("es", "p0")])
+    publish(kernel, sim, "p0c0", "custom.tick", {"i": 1}, partition="p0")
+    assert es.outbox_depth() > 0  # publish acked before the flush window
+    es.stop()
+    sim.run(until=sim.now + 1.0)
+    assert [e.data["i"] for e in inbox] == [1]
+
+
+# -- randomized equivalence with a naive unbatched full-scan reference --------
+
+
+def test_randomized_stream_matches_naive_reference(kernel, sim):
+    """Property check over the whole delivery pipeline: for a seeded
+    stream of subscribes/unsubscribes and publish bursts with mixed
+    ``where`` clauses, the batched + where-key-indexed implementation
+    delivers exactly the (consumer, event_id) sequence predicted by a
+    naive reference that forwards nothing and full-scans every
+    subscription with ``Subscription.matches`` per event."""
+    rng = random.Random(31)
+    parts = {"p0": "p0c0", "p1": "p1c0", "p2": "p2c0"}
+    type_pool = ["node.failure", "node.recovery", "app.started", "custom.tick"]
+    node_pool = ["p0c0", "p1c1", "p2c0", "elsewhere"]
+
+    def rand_where():
+        roll = rng.random()
+        if roll < 0.30:
+            return {}
+        if roll < 0.55:
+            return {"node": rng.choice(node_pool)}
+        if roll < 0.70:
+            return {"node": {"op": "==", "value": rng.choice(node_pool)}}
+        if roll < 0.85:
+            return {"k": {"op": ">=", "value": rng.randint(0, 2)}}
+        return {"node": rng.choice(node_pool), "k": rng.randint(0, 3)}
+
+    def rand_types():
+        return tuple(rng.sample(type_pool, rng.randint(0, 2)))
+
+    def rand_data():
+        data = {}
+        if rng.random() < 0.8:
+            data["node"] = rng.choice(node_pool)
+        if rng.random() < 0.8:
+            data["k"] = rng.randint(0, 3)
+        return data
+
+    # The naive reference: per ES instance, the registry in registration
+    # order (dict insertion order mirrors SubscriptionIndex slots).
+    reference = {p: {} for p in parts}
+    inboxes, homes, expected = {}, {}, {}
+
+    def subscribe(cid):
+        part = homes.setdefault(cid, rng.choice(sorted(parts)))
+        node, port = parts[part], f"sink.{cid}"
+        if cid not in inboxes:
+            inboxes[cid] = []
+            expected[cid] = []
+            kernel.cluster.transport.bind(
+                node, port,
+                lambda msg, cid=cid: inboxes[cid].append(Event.from_payload(msg.payload["event"])),
+            )
+        types, where = rand_types(), rand_where()
+        reply = drive(sim, kernel.client(node).subscribe(
+            cid, port, types=types, where=where, partition=part))
+        assert reply and reply["ok"]
+        reference[part][cid] = Subscription(cid, node, port, types=types, where=where)
+
+    def unsubscribe(cid):
+        part = homes[cid]
+        drive(sim, kernel.client(parts[part]).unsubscribe(cid, partition=part))
+        reference[part].pop(cid, None)
+
+    for i in range(9):
+        subscribe(f"c{i}")
+
+    for burst in range(12):
+        src_part = rng.choice(sorted(parts))
+        src_node = parts[src_part]
+        for _ in range(rng.randint(2, 5)):
+            etype, data = rng.choice(type_pool), rand_data()
+            reply = drive(sim, kernel.client(src_node).publish(
+                etype, data, partition=src_part))
+            assert reply and reply["ok"]
+            event = Event(event_id=reply["event_id"], type=etype, source=src_node,
+                          partition=src_part, time=sim.now, data=data)
+            for registry in reference.values():
+                for sub in registry.values():  # naive full scan, every instance
+                    if sub.matches(event):
+                        expected[sub.consumer_id].append(event.event_id)
+        sim.run(until=sim.now + 2.0)  # batches flushed, deliveries settled
+        roll = rng.random()
+        if roll < 0.3:
+            unsubscribe(rng.choice(sorted(homes)))
+        elif roll < 0.6:
+            subscribe(rng.choice([f"c{rng.randint(0, 8)}", f"c{9 + burst}"]))
+
+    assert sum(len(seq) for seq in expected.values()) > 30  # stream not vacuous
+    for cid, inbox in inboxes.items():
+        got = [e.event_id for e in inbox]
+        assert got == expected[cid], f"divergence for {cid}"
+    # And the transport actually batched: more events forwarded than datagrams.
+    assert (sim.trace.counter("es.forward_batches")
+            < sim.trace.counter("es.forward_batched_events"))
+
+
+# -- fault injection: outbox survives sender restart + peer migration --------
+
+
+def test_outbox_survives_es_kill_and_peer_server_crash():
+    """Mid-batch-window double fault: the peer partition's server dies
+    (batch unacked -> requeued + checkpointed), then the *sender* ES is
+    killed with the outbox stranded.  The restarted sender recovers the
+    outbox from its checkpoint and the flush re-delivers once the peer's
+    ES has migrated to the backup node — no accepted event is lost and no
+    forward counter goes backwards."""
+    sim = Simulator(seed=13)
+    cluster = Cluster(sim, ClusterSpec.build(partitions=3, computes=2))
+    kernel = PhoenixKernel(cluster, timings=KernelTimings(heartbeat_interval=5.0))
+    kernel.boot()
+    injector = FaultInjector(cluster)
+    sim.run(until=6.0)
+
+    inbox = subscribe_collector(kernel, sim, "p1c0", "c1", types=("custom.*",), partition="p1")
+    sim.run(until=sim.now + 1.0)  # subscription checkpoint lands in p1's store
+
+    samples = [forward_counters(sim)]
+    injector.crash_node("p1s0")  # peer partition's server (hosts p1's ES)
+    for i in range(6):
+        publish(kernel, sim, "p0c0", "custom.tick", {"i": i}, partition="p0")
+    sim.run(until=sim.now + 3.0)  # batch to p1 fails, requeues, checkpoints
+    samples.append(forward_counters(sim))
+    assert sim.trace.counter("es.forward_requeued") > 0
+    sender = kernel.live_daemon("es", kernel.placement[("es", "p0")])
+    assert sender.outbox_depth() >= 6
+
+    t_kill = sim.now
+    injector.kill_process("p0s0", "es")  # sender dies with the outbox stranded
+    sim.run(until=sim.now + 40.0)  # GSD restarts sender; peer ES migrates
+    samples.append(forward_counters(sim))
+
+    recovered = [r for r in sim.trace.records("es.state_recovered") if r.time > t_kill]
+    assert any(r["outbox"] >= 6 for r in recovered)  # flush-on-recovery reloaded it
+    assert kernel.placement[("es", "p1")] == "p1b0"  # peer migrated to backup
+    assert [e.data["i"] for e in inbox] == list(range(6))  # delivered once, in order
+    for before, after in zip(samples, samples[1:]):
+        assert_monotone(before, after)

@@ -111,6 +111,114 @@ def test_index_equivalent_to_linear_scan_on_random_stream():
             assert via_index == via_scan, f"divergence at step {step} on {event.type!r}"
 
 
+# -- where-key equality buckets ----------------------------------------------
+
+
+def test_where_key_pruning_skips_other_nodes():
+    index = SubscriptionIndex()
+    index.add(sub("mine", "node.*", where={"node": "n1"}))
+    index.add(sub("theirs", "node.*", where={"node": "n2"}))
+    index.add(sub("any", "node.*"))
+    got = [s.consumer_id for s in index.candidates("node.failure", {"node": "n1"})]
+    assert got == ["mine", "any"]
+    # Without data the index cannot prune — every type match is a candidate.
+    assert len(index.candidates("node.failure")) == 3
+
+
+def test_where_key_operator_equality_is_indexed_like_plain_value():
+    index = SubscriptionIndex()
+    index.add(sub("op", "t.a", where={"node": {"op": "==", "value": "n1"}}))
+    index.add(sub("plain", "t.a", where={"node": "n1"}))
+    assert [s.consumer_id for s in index.candidates("t.a", {"node": "n1"})] == ["op", "plain"]
+    assert index.candidates("t.a", {"node": "n2"}) == []
+
+
+def test_where_key_non_equality_conditions_are_never_pruned():
+    """Only equality constraints may be pruned by the bucket probe; every
+    other operator must fall through to the per-candidate check."""
+    index = SubscriptionIndex()
+    index.add(sub("ne", "t.a", where={"node": {"op": "!=", "value": "n1"}}))
+    index.add(sub("inop", "t.a", where={"node": {"op": "in", "value": ["n1", "n2"]}}))
+    index.add(sub("unhashable", "t.a", where={"node": ["n1"]}))  # eq to a list
+    got = [s.consumer_id for s in index.candidates("t.a", {"node": "n9"})]
+    assert got == ["ne", "inop", "unhashable"]
+
+
+def test_where_key_missing_field_prunes_every_pinned_sub():
+    index = SubscriptionIndex()
+    index.add(sub("pinned", "t.a", where={"node": "n1"}))
+    index.add(sub("free", "t.a"))
+    assert [s.consumer_id for s in index.candidates("t.a", {"k": 1})] == ["free"]
+    # An unhashable event value cannot equal any hashable pinned value.
+    assert [s.consumer_id for s in index.candidates("t.a", {"node": ["n1"]})] == ["free"]
+
+
+def test_where_key_buckets_cleaned_on_remove_and_readd():
+    index = SubscriptionIndex()
+    index.add(sub("c", "t.a", where={"node": "n1"}))
+    index.add(sub("c", "t.a", where={"node": "n2"}))  # re-add moves buckets
+    assert index.candidates("t.a", {"node": "n1"}) == []
+    assert [s.consumer_id for s in index.candidates("t.a", {"node": "n2"})] == ["c"]
+    index.remove("c")
+    assert index._eq["node"] == {}
+    assert index._eq_constrained["node"] == set()
+
+
+def test_where_key_index_equivalent_to_scan_on_random_stream():
+    """Property check with ``data`` in play: random node-keyed clauses
+    (plain, operator, unhashable) never change the delivered set or order
+    relative to the naive full scan."""
+    rng = random.Random(17)
+    nodes = ["n0", "n1", "n2", "n3"]
+
+    def rand_where():
+        roll = rng.random()
+        if roll < 0.25:
+            return {}
+        if roll < 0.5:
+            return {"node": rng.choice(nodes)}
+        if roll < 0.65:
+            return {"node": {"op": "==", "value": rng.choice(nodes)}}
+        if roll < 0.75:
+            return {"node": {"op": "!=", "value": rng.choice(nodes)}}
+        if roll < 0.85:
+            return {"node": {"op": "in", "value": rng.sample(nodes, 2)}}
+        if roll < 0.95:
+            return {"k": rng.randint(0, 2)}
+        return {"node": rng.sample(nodes, 1)}  # unhashable equality value
+
+    linear: dict[str, Subscription] = {}
+    index = SubscriptionIndex()
+    for step in range(800):
+        roll = rng.random()
+        if roll < 0.25:
+            cid = f"c{rng.randint(0, 30)}"
+            s = Subscription(cid, "n", "p", types=("ev.*",), where=rand_where())
+            linear[cid] = s
+            index.add(s)
+        elif roll < 0.35:
+            cid = f"c{rng.randint(0, 30)}"
+            linear.pop(cid, None)
+            index.remove(cid)
+        else:
+            data = {}
+            if rng.random() < 0.85:
+                data["node"] = rng.choice(nodes + [["list"]])  # sometimes unhashable
+            if rng.random() < 0.5:
+                data["k"] = rng.randint(0, 2)
+            event = Event(
+                event_id=f"e{step}", type="ev.tick", source="s", partition="p0",
+                time=float(step), data=data,
+            )
+            via_scan = [s.consumer_id for s in linear.values() if s.matches(event)]
+            via_index = [
+                s.consumer_id
+                for s in index.candidates(event.type, event.data)
+                if s.matches(event)
+            ]
+            assert via_index == via_scan, f"divergence at step {step} on {data!r}"
+
+
 # -- checkpoint debounce -----------------------------------------------------
 
 

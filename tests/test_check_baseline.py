@@ -1,0 +1,90 @@
+"""The CI smoke-bench baseline checker: tolerance semantics and CLI."""
+
+import json
+
+from benchmarks.check_baseline import check, load_results, main
+
+
+def bench(mean=1.0, **extra):
+    return {"mean_s": mean, "extra_info": extra}
+
+
+def test_identical_runs_pass():
+    base = {"a": bench(recovery_s=30.1), "b": bench(sweep={"64": {"x": 2.0}})}
+    assert check(base, base) == []
+
+
+def test_deterministic_metric_drift_within_tolerance_passes():
+    base = {"a": bench(latency=100.0)}
+    assert check(base, {"a": bench(latency=110.0)}, rel_tol=0.15) == []
+
+
+def test_deterministic_metric_drift_beyond_tolerance_fails():
+    base = {"a": bench(latency=100.0)}
+    problems = check(base, {"a": bench(latency=140.0)}, rel_tol=0.15)
+    assert len(problems) == 1 and "latency" in problems[0]
+
+
+def test_nested_sweep_metrics_are_compared():
+    base = {"a": bench(sweep={"640": {"forward_batches": 39.0}})}
+    problems = check(base, {"a": bench(sweep={"640": {"forward_batches": 780.0}})})
+    assert problems and "sweep.640.forward_batches" in problems[0]
+
+
+def test_missing_benchmark_and_missing_metric_fail():
+    base = {"a": bench(x=1.0), "b": bench()}
+    problems = check(base, {"a": bench()})
+    assert any("b: benchmark missing" in p for p in problems)
+    assert any("a.extra_info.x: missing" in p for p in problems)
+
+
+def test_extra_benchmarks_in_current_run_are_fine():
+    base = {"a": bench()}
+    assert check(base, {"a": bench(), "new": bench()}) == []
+
+
+def test_wall_time_loose_tolerance():
+    base = {"a": bench(mean=1.0)}
+    assert check(base, {"a": bench(mean=4.0)}, time_factor=5.0) == []  # slow runner: fine
+    assert check(base, {"a": bench(mean=6.0)}, time_factor=5.0)  # regression: fails
+    assert check(base, {"a": bench(mean=0.01)}, time_factor=5.0) == []  # faster: fine
+
+
+def test_zero_baseline_value_only_matches_zero():
+    base = {"a": bench(requeued=0.0)}
+    assert check(base, {"a": bench(requeued=0.0)}) == []
+    assert check(base, {"a": bench(requeued=3.0)})
+
+
+def write_bench_json(path, benchmarks):
+    path.write_text(json.dumps({
+        "benchmarks": [
+            {"name": name, "stats": {"mean": b["mean_s"]}, "extra_info": b["extra_info"]}
+            for name, b in benchmarks.items()
+        ]
+    }))
+
+
+def test_load_results_reduces_pytest_benchmark_json(tmp_path):
+    results = tmp_path / "bench.json"
+    write_bench_json(results, {"a": bench(mean=2.0, x=1.0)})
+    assert load_results(results) == {"a": {"mean_s": 2.0, "extra_info": {"x": 1.0}}}
+
+
+def test_main_update_then_check_roundtrip(tmp_path, capsys):
+    results = tmp_path / "bench.json"
+    baseline = tmp_path / "BENCH_BASELINE.json"
+    write_bench_json(results, {"a": bench(mean=2.0, latency=50.0)})
+    assert main([str(results), "--baseline", str(baseline), "--update"]) == 0
+    assert main([str(results), "--baseline", str(baseline)]) == 0
+    # A behavioural regression flips the exit status.
+    write_bench_json(results, {"a": bench(mean=2.0, latency=90.0)})
+    assert main([str(results), "--baseline", str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert "latency" in out and "FAILED" in out
+
+
+def test_main_missing_baseline_fails(tmp_path):
+    results = tmp_path / "bench.json"
+    write_bench_json(results, {"a": bench()})
+    assert main([str(results), "--baseline", str(tmp_path / "nope.json")]) == 1

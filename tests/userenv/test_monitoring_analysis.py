@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.userenv.monitoring import fault_analysis, install_gridview, performance_report
+from repro.userenv.monitoring import (
+    fault_analysis,
+    install_gridview,
+    messaging_report,
+    performance_report,
+)
 from repro.userenv.monitoring.gridview import ClusterSnapshot
 
 
@@ -79,3 +84,25 @@ def test_end_to_end_analysis_over_live_gridview(kernel, sim, injector):
     assert faults["event_counts"].get("node.failure", 0) >= 1
     assert "node" in faults["mttr_s"]
     assert faults["top_failing_nodes"][0][0] == "p2c0"
+
+
+def test_messaging_report_surfaces_spine_counters(kernel, sim):
+    from repro.sim import Simulator
+
+    empty = messaging_report(Simulator(seed=1).trace)
+    assert empty["es"]["forward_batches"] == 0
+    assert empty["es"]["events_per_batch"] == 0.0  # no division blow-up
+
+    for i in range(6):  # burst: fans out to both remote partitions, batched
+        sig = kernel.client("p0c0").publish("custom.tick", {"i": i})
+        while not sig.fired:
+            sim.step()
+    sim.run(until=sim.now + 2.0)
+    report = messaging_report(sim.trace)
+    assert report["es"]["published"] >= 6
+    assert report["es"]["delivered"] == sim.trace.counter("es.delivered")
+    assert report["es"]["forward_batched_events"] >= 12  # 6 events x 2 peers
+    assert 0 < report["es"]["forward_batches"] < report["es"]["forward_batched_events"]
+    assert report["es"]["events_per_batch"] > 1.0
+    assert report["rpc"]["retries"] == sim.trace.counter("rpc.retries")
+    assert report["rpc"]["inflight_queued"] == sim.trace.counter("rpc.inflight_queued")
