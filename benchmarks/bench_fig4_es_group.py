@@ -9,7 +9,7 @@ registered *before* the failure keeps receiving events *after* it.
 
 import pytest
 
-from benchmarks.conftest import once
+from benchmarks.conftest import RESULTS_DIR, once
 from repro.cluster import Cluster, ClusterSpec, FaultInjector
 from repro.experiments.report import format_table
 from repro.kernel import KernelTimings, PhoenixKernel, ports
@@ -17,7 +17,9 @@ from repro.kernel.events.types import Event
 from repro.sim import Simulator
 
 
-def run_es_recovery(kind: str, seed: int = 0, interval: float = 30.0) -> dict:
+def run_es_recovery(
+    kind: str, seed: int = 0, interval: float = 30.0, trace_path: str | None = None
+) -> dict:
     sim = Simulator(seed=seed)
     cluster = Cluster(sim, ClusterSpec.build(partitions=3, computes=3))
     kernel = PhoenixKernel(cluster, timings=KernelTimings(heartbeat_interval=interval))
@@ -47,26 +49,42 @@ def run_es_recovery(kind: str, seed: int = 0, interval: float = 30.0) -> dict:
     # Publish after recovery: the surviving subscription must still work.
     kernel.client("p1c1").publish("custom.event", {"phase": "after"}, partition="p1")
     sim.run(until=sim.now + 1.0)
+    if trace_path is not None:
+        sim.trace.export_jsonl(trace_path)
     return {
         "recovery_latency": recovered[0].time - t0 if recovered else None,
         "state_recovered_subs": state_recovered[0]["subs"] if state_recovered else 0,
         "delivered_after_recovery": [e.data.get("phase") for e in inbox],
         "es_location": kernel.placement[("es", "p1")],
+        "hist": {
+            name: hist.summary()
+            for name, hist in sorted(sim.trace.histograms().items())
+            if name in ("rpc.call", "es.deliver", "gsd.failover", "gsd.diagnose", "gsd.recover")
+        },
     }
 
 
 @pytest.mark.benchmark(group="fig4")
 def test_fig4_process_failure_arm(benchmark, save_artifact):
-    result = once(benchmark, lambda: run_es_recovery("process"))
+    # The exported trace doubles as the CI smoke input for the trace CLI
+    # (span tree + histograms + failover critical path).
+    trace_path = RESULTS_DIR / "fig4_es_trace.jsonl"
+    result = once(benchmark, lambda: run_es_recovery("process", trace_path=str(trace_path)))
     assert result["recovery_latency"] == pytest.approx(30.1, abs=1.0)
     assert result["state_recovered_subs"] == 1
     assert result["delivered_after_recovery"] == ["after"]
     assert result["es_location"] == "p1s0"  # restarted in place
+    assert trace_path.exists()
+    assert result["hist"]["gsd.failover"]["count"] >= 1
     benchmark.extra_info["recovery_latency_s"] = result["recovery_latency"]
     benchmark.extra_info["state_recovered_subs"] = result["state_recovered_subs"]
+    benchmark.extra_info["hist"] = {
+        name: {"p50": s["p50"], "p95": s["p95"], "p99": s["p99"], "count": s["count"]}
+        for name, s in result["hist"].items()
+    }
     save_artifact("fig4_es_process", format_table(
         ["metric", "value"],
-        [[k, str(v)] for k, v in result.items()],
+        [[k, str(v)] for k, v in result.items() if k != "hist"],
         title="Figure 4(a) — ES process failure: local restart + checkpoint state"))
 
 
@@ -79,7 +97,11 @@ def test_fig4_node_failure_arm(benchmark, save_artifact):
     assert result["es_location"] == "p1b0"  # migrated to the backup node
     benchmark.extra_info["recovery_latency_s"] = result["recovery_latency"]
     benchmark.extra_info["state_recovered_subs"] = result["state_recovered_subs"]
+    benchmark.extra_info["hist"] = {
+        name: {"p50": s["p50"], "p95": s["p95"], "p99": s["p99"], "count": s["count"]}
+        for name, s in result["hist"].items()
+    }
     save_artifact("fig4_es_node", format_table(
         ["metric", "value"],
-        [[k, str(v)] for k, v in result.items()],
+        [[k, str(v)] for k, v in result.items() if k != "hist"],
         title="Figure 4(b) — ES node failure: migration + checkpoint state"))

@@ -46,6 +46,11 @@ def test_fig6_scalability_sweep(benchmark, save_artifact):
         }
         for r in rows
     }
+    # Per-phase latency histogram snapshots (deterministic; 640-node point).
+    benchmark.extra_info["hist_640"] = {
+        name: {"p50": s["p50"], "p95": s["p95"], "p99": s["p99"], "count": s["count"]}
+        for name, s in by_nodes[640]["hist"].items()
+    }
     # Figure 6 status board for the full machine, common load.
     snapshot = by_nodes[640]["snapshot"]
     assert 3.0 < snapshot.avg_cpu_pct < 9.0  # paper: 5.5%

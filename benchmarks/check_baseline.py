@@ -126,6 +126,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"baseline check FAILED ({len(problems)} problem(s)):")
         for problem in problems:
             print(f"  - {problem}")
+        refresh = f"python benchmarks/check_baseline.py {args.results} --update"
+        if args.baseline != DEFAULT_BASELINE:
+            refresh += f" --baseline {args.baseline}"
+        print("If the new numbers are intentional, refresh the baseline with:")
+        print(f"  {refresh}")
         return 1
     print(f"baseline check passed: {len(baseline)} benchmarks within tolerance")
     return 0

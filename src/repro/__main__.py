@@ -9,6 +9,7 @@ reproduce the paper without writing driver code:
     python -m repro compare           # §5.4 PWS vs PBS
     python -m repro ablations         # design-rationale ablations
     python -m repro report [--quick]  # full evaluation -> REPORT.md
+    python -m repro trace FILE        # span tree / histograms / critical path
     python -m repro demo              # boot + fault + recovery narration
 """
 
@@ -51,6 +52,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.fault_campaign import main as run
 
         run(rest)
+    elif command == "trace":
+        from repro.experiments.trace_view import main as run
+
+        return run(rest)
     elif command == "demo":
         import runpy
         import pathlib

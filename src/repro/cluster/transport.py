@@ -20,6 +20,11 @@ every locally-usable fabric — the watch daemon's heartbeat pattern.
 Timer discipline: every RPC cancels its timeout the moment the reply
 lands (or the send is dropped at source), so the simulator heap holds
 O(in-flight) — not O(total issued) — entries even at heartbeat rates.
+
+Observability: each ``rpc``/``rpc_retry`` opens a trace span
+(``rpc.call`` / ``rpc.retry``) closed at reply or timeout; callers may
+thread a parent span through so control-plane latency decomposes into
+the exact RPCs it waited on.
 """
 
 from __future__ import annotations
@@ -190,6 +195,7 @@ class Transport:
         payload: dict[str, Any] | None = None,
         network: str | None = None,
         timeout: float = 1.0,
+        span: Any = None,
     ) -> Signal:
         """Send a request; returns a signal that fires with the reply
         payload (a dict) or ``None`` on timeout/loss.
@@ -204,15 +210,24 @@ class Transport:
         * a request dropped *at source* (no usable fabric, crashed sender)
           fails the signal on the next tick instead of burning the full
           timeout — no reply can ever arrive for a send that never left.
+
+        Every call opens an ``rpc.call`` span (parented on ``span`` when
+        the caller threads one through) closed at reply/timeout, so the
+        round-trip latency feeds the ``rpc.call`` histogram and failovers
+        decompose into the RPCs they actually waited on.
         """
         rpc_id = self._rpc_ids.next()
         reply_port = f"_rpc.{rpc_id}"
         signal = self.sim.signal(name=f"rpc.{rpc_id}")
+        call_span = self.sim.trace.span(
+            "rpc.call", parent=span, src=src_node, dst=dst_node, mtype=mtype
+        )
 
         def finish(value: dict[str, Any] | None) -> None:
             self.unbind(src_node, reply_port)
             timeout_handle.cancel()
             if not signal.fired:
+                call_span.end(ok=value is not None)
                 signal.fire(value)
 
         def on_reply(msg: Message) -> None:
@@ -245,6 +260,7 @@ class Transport:
         backoff: float = 2.0,
         jitter: float = 0.1,
         inflight_cap: int | None = None,
+        span: Any = None,
     ) -> Signal:
         """Request/reply with retries for idempotent control-plane calls.
 
@@ -268,6 +284,9 @@ class Transport:
             raise TransportError(f"rpc_retry backoff must be >= 1.0, got {backoff}")
         cap = self.max_inflight_per_dest if inflight_cap is None else inflight_cap
         outer = self.sim.signal(name=f"rpc_retry.{dst_node}.{mtype}")
+        retry_span = self.sim.trace.span(
+            "rpc.retry", parent=span, src=src_node, dst=dst_node, mtype=mtype
+        )
         # Geometric split of the budget: weights backoff**i, summing to 1.
         total_weight = sum(backoff**i for i in range(attempts))
         slices = [timeout * (backoff**i) / total_weight for i in range(attempts)]
@@ -293,8 +312,10 @@ class Transport:
                         payload,
                         network=network,
                         timeout=min(attempt_timeout, remaining),
+                        span=retry_span,
                     )
                     if reply is not None:
+                        retry_span.end(ok=True, attempts_used=attempt + 1)
                         outer.fire(reply)
                         return
                     if attempt + 1 < len(slices):
@@ -306,6 +327,7 @@ class Transport:
                 self.sim.trace.mark(
                     "rpc.gave_up", src=src_node, dst=dst_node, mtype=mtype, attempts=attempts
                 )
+                retry_span.end(ok=False, attempts_used=attempts)
                 outer.fire(None)
             finally:
                 count = self._inflight.get(dst_node, 0) - 1
@@ -322,11 +344,19 @@ class Transport:
         self.sim.spawn(body(), name=f"rpc_retry.{src_node}->{dst_node}")
         return outer
 
-    def ping(self, src_node: str, dst_node: str, network: str, timeout: float = 0.25) -> Signal:
+    def ping(
+        self, src_node: str, dst_node: str, network: str, timeout: float = 0.25, span: Any = None
+    ) -> Signal:
         """OS-level reachability probe on one specific fabric."""
         return self.rpc(
-            src_node, dst_node, OS_PING_PORT, "os.ping", {}, network=network, timeout=timeout
+            src_node, dst_node, OS_PING_PORT, "os.ping", {}, network=network, timeout=timeout,
+            span=span,
         )
+
+    def inflight_total(self) -> int:
+        """Concurrent ``rpc_retry`` calls currently counted against any
+        destination's cap (the health reports' "in-flight RPCs")."""
+        return sum(self._inflight.values())
 
     # -- internals -----------------------------------------------------------
     def _pick_network(self, src_node: str, requested: str | None) -> Network | None:

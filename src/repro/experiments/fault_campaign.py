@@ -37,6 +37,9 @@ class CampaignResult:
     detect: list[float] = field(default_factory=list)
     diagnose: list[float] = field(default_factory=list)
     recover: list[float] = field(default_factory=list)
+    #: Closed ``gsd.failover`` root spans seen by the campaign — each one
+    #: is a full causal tree (detect → diagnose → recover) in the trace.
+    failover_spans: int = 0
 
     @property
     def coverage(self) -> float:
@@ -96,6 +99,9 @@ def run_campaign_class(
         # Repair so the next injection starts from a healthy cluster.
         _repair(cluster, kernel, injector, component, situation, target)
         sim.run(until=sim.now + 2.0 * heartbeat_interval)
+    result.failover_spans = sum(
+        1 for r in sim.trace.iter_records("gsd.failover") if r.get("duration") is not None
+    )
     return result
 
 
@@ -162,7 +168,8 @@ def render_campaign(results: dict[tuple[str, str], CampaignResult]) -> str:
     rows = []
     for (component, situation), r in sorted(results.items()):
         if not r.detect:
-            rows.append([f"{component}/{situation}", r.injected, "0%", "-", "-", "-"])
+            rows.append([f"{component}/{situation}", r.injected, "0%", "-", "-", "-",
+                         r.failover_spans])
             continue
         d, g, v = summarize(r.detect), summarize(r.diagnose), summarize(r.recover)
         rows.append([
@@ -172,10 +179,11 @@ def render_campaign(results: dict[tuple[str, str], CampaignResult]) -> str:
             f"{fmt_time(d.mean)} (p95 {fmt_time(d.p95)})",
             f"{fmt_time(g.mean)}",
             f"{fmt_time(v.mean)}",
+            r.failover_spans,
         ])
     return format_table(
         ["fault class", "injected", "coverage", "detect mean (p95)", "diagnose mean",
-         "recover mean"],
+         "recover mean", "spans"],
         rows,
         title="Fault campaign — random-phase injections (10 s heartbeat)",
     )

@@ -100,6 +100,12 @@ def run_point(
         "forward_batches": forward_batches,
         "forwarded_events": forwarded_events,
         "events_per_forward_batch": forwarded_events / forward_batches if forward_batches else 0.0,
+        # Spine latency distributions, fed by span close (deterministic).
+        "hist": {
+            name: hist.summary()
+            for name, hist in sorted(sim.trace.histograms().items())
+            if name in ("rpc.call", "es.deliver", "es.forward_batch", "db.query")
+        },
         "snapshot": gv.latest,
     }
 

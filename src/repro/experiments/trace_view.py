@@ -1,0 +1,142 @@
+"""Offline trace viewer: ``python -m repro trace <export.jsonl>``.
+
+Loads a :meth:`repro.sim.trace.Trace.export_jsonl` file and prints the
+three observability views the kernel builds at run time:
+
+* the **span forest** — every closed span indented under its parent, so
+  a failover reads as a causal tree instead of flat marks;
+* the **latency histogram table** — count / mean / p50 / p95 / p99 / max
+  per category (``rpc.call``, ``es.deliver``, ``gsd.failover``, ...);
+* the **critical path** — the longest-pole causal chain under the first
+  root span of ``--root-category`` (default ``gsd.failover``), i.e. the
+  step that gated completion at every level.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.report import format_table
+from repro.sim.trace import Trace, TraceRecord
+from repro.userenv.monitoring.analysis import critical_path, span_tree
+
+
+def fmt_seconds(value: float) -> str:
+    """Adaptive time unit: microseconds up to whole seconds."""
+    if value < 0:
+        return f"-{fmt_seconds(-value)}"
+    if value < 1e-3:
+        return f"{value * 1e6:.1f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.3f}s"
+
+
+_TREE_FIELD_SKIP = {"span_id", "parent_id", "start", "duration"}
+
+
+def _span_label(rec: TraceRecord) -> str:
+    extras = " ".join(
+        f"{k}={v}" for k, v in rec.fields.items() if k not in _TREE_FIELD_SKIP
+    )
+    label = f"{rec.category}  [{fmt_seconds(rec.get('duration', 0.0))}]"
+    return f"{label}  {extras}" if extras else label
+
+
+def render_span_tree(source: Trace | list[TraceRecord], max_roots: int | None = None) -> str:
+    """The span forest as an indented text tree (one line per span)."""
+    tree = span_tree(source)
+    spans, children = tree["spans"], tree["children"]
+    lines: list[str] = []
+
+    def walk(span_id: str, depth: int) -> None:
+        rec = spans[span_id]
+        lines.append(f"{'  ' * depth}{span_id} {_span_label(rec)}")
+        for child_id in children.get(span_id, []):
+            walk(child_id, depth + 1)
+
+    roots = tree["roots"] if max_roots is None else tree["roots"][:max_roots]
+    for root_id in roots:
+        walk(root_id, 0)
+    skipped = len(tree["roots"]) - len(roots)
+    if skipped > 0:
+        lines.append(f"... {skipped} more root span(s) not shown (raise --max-roots)")
+    return "\n".join(lines)
+
+
+def render_histograms(trace: Trace) -> str:
+    """Latency quantiles per category as an aligned table."""
+    rows = []
+    for name, hist in sorted(trace.histograms().items()):
+        s = hist.summary()
+        rows.append(
+            [
+                name,
+                s["count"],
+                fmt_seconds(s["mean"]),
+                fmt_seconds(s["p50"]),
+                fmt_seconds(s["p95"]),
+                fmt_seconds(s["p99"]),
+                fmt_seconds(s["max"]),
+            ]
+        )
+    if not rows:
+        return "(no histograms in this export)"
+    return format_table(["category", "count", "mean", "p50", "p95", "p99", "max"], rows)
+
+
+def render_critical_path(source: Trace | list[TraceRecord], root_category: str) -> str:
+    """The longest-pole chain under the first ``root_category`` span."""
+    path = critical_path(source, root_category=root_category)
+    if not path:
+        return f"(no closed {root_category!r} span in this export)"
+    lines = []
+    for depth, rec in enumerate(path):
+        arrow = "" if depth == 0 else "-> "
+        lines.append(f"{'  ' * depth}{arrow}{rec['span_id']} {_span_label(rec)}")
+    return "\n".join(lines)
+
+
+def render_trace(trace: Trace, root_category: str, max_roots: int | None) -> str:
+    """All three views (tree, histograms, critical path) as one report."""
+    sections = [
+        f"records: {len(trace)}   counters: {len(trace.counters())}   "
+        f"histograms: {len(trace.histograms())}",
+        "== span tree ==",
+        render_span_tree(trace, max_roots=max_roots) or "(no closed spans in this export)",
+        "== latency histograms ==",
+        render_histograms(trace),
+        f"== critical path ({root_category}) ==",
+        render_critical_path(trace, root_category),
+    ]
+    return "\n\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro trace``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Inspect an exported kernel trace (span tree, latency "
+        "histograms, critical path).",
+    )
+    parser.add_argument("path", help="trace JSONL file written by Trace.export_jsonl")
+    parser.add_argument(
+        "--root-category",
+        default="gsd.failover",
+        help="span category whose first root anchors the critical path "
+        "(default: gsd.failover)",
+    )
+    parser.add_argument(
+        "--max-roots",
+        type=int,
+        default=50,
+        help="cap on root spans rendered in the tree (default: 50)",
+    )
+    args = parser.parse_args(argv)
+    trace = Trace.load_jsonl(args.path)
+    print(render_trace(trace, args.root_category, args.max_roots))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    raise SystemExit(main())

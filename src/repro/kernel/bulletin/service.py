@@ -74,6 +74,8 @@ class BulletinDaemon(ServiceDaemon):
                 partition=self.partition_id,
             )
             self.sim.trace.count("db.puts")
+            # Ingest latency: producer send → row visible in the store.
+            self.sim.trace.observe("db.put", self.sim.now - msg.sent_at)
             return {"ok": True} if msg.rpc_id else None
         if msg.mtype == ports.DB_DELETE:
             ok = self.store.delete(msg.payload["table"], msg.payload["key"])
@@ -106,13 +108,16 @@ class BulletinDaemon(ServiceDaemon):
         # Global scope: fan out to peers asynchronously, then answer the RPC
         # ourselves (the handler returns None so the transport does not
         # auto-reply).
+        span = self.sim.trace.span(
+            "db.query", parent=msg.payload.get("_span", ""), node=self.node_id, table=table
+        )
         self.spawn(
-            self._global_query(msg, table, where, aggregate, local_rows),
+            self._global_query(msg, table, where, aggregate, local_rows, span),
             name=f"{self.node_id}/db.fanout",
         )
         return None
 
-    def _global_query(self, msg: Message, table: str, where, aggregate, local_rows):
+    def _global_query(self, msg: Message, table: str, where, aggregate, local_rows, span):
         peers = {
             part_id: node
             for part_id, node in self.kernel.db_locations().items()
@@ -124,7 +129,7 @@ class BulletinDaemon(ServiceDaemon):
         # Local-scope peer queries are idempotent: retry within the same
         # budget so one lost datagram does not hide a partition's rows.
         signals = {
-            part_id: self.rpc_retry(node, ports.DB, ports.DB_QUERY, dict(request))
+            part_id: self.rpc_retry(node, ports.DB, ports.DB_QUERY, dict(request), span=span)
             for part_id, node in peers.items()
         }
         rows = list(local_rows)
@@ -151,3 +156,4 @@ class BulletinDaemon(ServiceDaemon):
                 rows.sort(key=lambda r: (r.get("_partition", ""), r.get("_key", "")))
                 payload = {"rows": rows, "partitions_missing": sorted(missing)}
             self.send(msg.src_node, f"_rpc.{msg.rpc_id}", f"{ports.DB_QUERY}.reply", payload)
+        span.end(rows=row_count if aggregate else len(rows), missing=len(missing))

@@ -19,10 +19,38 @@ from typing import TYPE_CHECKING, Any
 from repro.cluster.hostos import HostProcess
 from repro.cluster.message import Message
 from repro.errors import ServiceUnavailable
-from repro.sim import Proc, Signal
+from repro.sim import Proc, Signal, Span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kernel.api import PhoenixKernel
+
+#: Bulletin table carrying the daemons' periodic ``kernel.health``
+#: self-reports (defined here, not in the bulletin module, to avoid an
+#: import cycle — the bulletin daemon is itself a ServiceDaemon).
+HEALTH_TABLE = "kernel_health"
+
+#: Spine latency histograms folded into every health report.
+HEALTH_HISTOGRAMS = (
+    "rpc.call",
+    "rpc.retry",
+    "es.publish",
+    "es.deliver",
+    "es.forward_batch",
+    "db.query",
+    "gsd.failover",
+    "gsd.diagnose",
+    "gsd.recover",
+)
+
+#: Spine counters folded into every health report.
+HEALTH_COUNTERS = (
+    "es.published",
+    "es.delivered",
+    "es.forward_requeued",
+    "es.outbox_dropped",
+    "rpc.retries",
+    "rpc.inflight_queued",
+)
 
 
 class ServiceDaemon:
@@ -47,6 +75,9 @@ class ServiceDaemon:
         self.hp = hostos.start_process(self.SERVICE)
         self.sim.trace.mark("service.started", service=self.SERVICE, node=self.node_id)
         self.on_start()
+        interval = self.timings.health_report_interval
+        if interval is not None:
+            self.spawn(self._health_loop(interval), name=f"{self.node_id}/{self.SERVICE}.health")
 
     def on_start(self) -> None:
         """Subclass hook: bind ports and spawn loops here."""
@@ -98,6 +129,7 @@ class ServiceDaemon:
         payload: dict[str, Any] | None = None,
         network: str | None = None,
         timeout: float | None = None,
+        span: Span | None = None,
     ) -> Signal:
         return self.transport.rpc(
             self.node_id,
@@ -107,6 +139,7 @@ class ServiceDaemon:
             payload,
             network=network,
             timeout=self.timings.rpc_timeout if timeout is None else timeout,
+            span=span,
         )
 
     def rpc_retry(
@@ -118,6 +151,7 @@ class ServiceDaemon:
         network: str | None = None,
         timeout: float | None = None,
         attempts: int | None = None,
+        span: Span | None = None,
     ) -> Signal:
         """Retrying RPC for *idempotent* calls (queries, checkpoint
         save/load, fan-out); same total timeout budget as :meth:`rpc`,
@@ -134,6 +168,7 @@ class ServiceDaemon:
             attempts=t.rpc_retry_attempts if attempts is None else attempts,
             backoff=t.rpc_retry_backoff,
             jitter=t.rpc_retry_jitter,
+            span=span,
         )
 
     def reply(self, msg: Message, payload: dict[str, Any]) -> None:
@@ -145,6 +180,55 @@ class ServiceDaemon:
     @property
     def partition_id(self) -> str:
         return self.cluster.node(self.node_id).partition_id
+
+    # -- kernel health self-reports ------------------------------------------
+    def health_snapshot(self) -> dict[str, Any]:
+        """The daemon's ``kernel.health`` self-report row.
+
+        Subclasses extend the dict (e.g. the event service adds its
+        federation outbox depth).  Histograms/counters come from the
+        node-shared trace, so every daemon republishing them keeps the
+        bulletin row fresh even when a sibling is wedged.
+        """
+        trace = self.sim.trace
+        hist: dict[str, Any] = {}
+        for name in HEALTH_HISTOGRAMS:
+            h = trace.histogram(name)
+            if h is not None and h.count:
+                hist[name] = h.summary()
+        counters = {n: trace.counter(n) for n in HEALTH_COUNTERS if trace.counter(n)}
+        return {
+            "service": self.SERVICE,
+            "node": self.node_id,
+            "partition": self.partition_id,
+            "time": self.sim.now,
+            "inflight_rpcs": self.transport.inflight_total(),
+            "counters": counters,
+            "hist": hist,
+        }
+
+    def _health_loop(self, interval: float) -> Generator[Any, Any, None]:
+        while True:
+            yield interval
+            if not self.alive:
+                return
+            self._publish_health()
+
+    def _publish_health(self) -> None:
+        """Push one ``kernel.health`` row to this partition's bulletin."""
+        from repro.kernel import ports
+
+        db_node = self.kernel.db_locations().get(self.partition_id)
+        if db_node is None:
+            return
+        row = self.health_snapshot()
+        self.send(
+            db_node,
+            ports.DB,
+            ports.DB_PUT,
+            {"table": HEALTH_TABLE, "key": f"{self.SERVICE}@{self.node_id}", "row": row},
+        )
+        self.sim.trace.count("health.reports")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "alive" if self.alive else "dead"

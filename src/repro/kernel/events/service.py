@@ -23,7 +23,16 @@ one acked ``es.forward_batch`` datagram per peer instead of one forward
 per event.  A batch the peer never acked is re-queued (in order) and the
 stranded outbox is folded into the state checkpoint, so a migrated
 instance re-delivers it after recovery; an administrative stop drains
-the outbox before the process dies.
+the outbox before the process dies.  Each peer's outbox is capped at
+``es_outbox_max``: a long peer outage drops the *oldest* queued forwards
+(traced as ``es.outbox_overflow``) instead of growing the checkpoint
+without bound.
+
+Observability: every publish opens an ``es.publish`` span (parented on
+the supplier's span when the publish payload carries ``_span``); its id
+rides on the event across the federation, so each delivery — local or
+remote — records an ``es.deliver`` span whose duration is the true
+publish→consumer latency and whose parent is the publish span.
 """
 
 from __future__ import annotations
@@ -57,7 +66,7 @@ class EventServiceDaemon(ServiceDaemon):
 
     def __init__(self, kernel, node_id: str) -> None:
         super().__init__(kernel, node_id)
-        self._subs = SubscriptionIndex()
+        self._subs = SubscriptionIndex(indexed_keys=tuple(self.timings.es_indexed_where_keys))
         # The prefix carries an incarnation stamp (start time in us): a
         # restarted instance's counter starts over, and a reused event id
         # would make peers' duplicate suppression swallow a *new* event.
@@ -109,8 +118,10 @@ class EventServiceDaemon(ServiceDaemon):
                 restored = 0
                 for part_id, events in reply["data"].get("outbox", {}).items():
                     if events and part_id != self.partition_id:
-                        self._outbox.setdefault(part_id, deque()).extend(events)
+                        pending = self._outbox.setdefault(part_id, deque())
+                        pending.extend(events)
                         restored += len(events)
+                        self._trim_outbox(part_id, pending)
                 self.sim.trace.mark(
                     "es.state_recovered", node=self.node_id, subs=len(self._subs),
                     outbox=restored,
@@ -165,6 +176,12 @@ class EventServiceDaemon(ServiceDaemon):
         return {"ok": removed is not None}
 
     def _on_publish(self, msg: Message) -> dict[str, Any]:
+        pub_span = self.sim.trace.span(
+            "es.publish",
+            parent=msg.payload.get("_span", ""),
+            node=self.node_id,
+            type=msg.payload["type"],
+        )
         event = Event(
             event_id=self._ids.next(),
             type=msg.payload["type"],
@@ -172,6 +189,7 @@ class EventServiceDaemon(ServiceDaemon):
             partition=self.partition_id,
             time=self.sim.now,
             data=dict(msg.payload.get("data", {})),
+            span=pub_span.span_id,
         )
         self.published += 1
         self.sim.trace.count("es.published")
@@ -180,8 +198,9 @@ class EventServiceDaemon(ServiceDaemon):
         payload = event.to_payload()
         for part_id in self.kernel.es_locations():
             if part_id != self.partition_id:
-                self._outbox.setdefault(part_id, deque()).append(payload)
+                self._enqueue_forward(part_id, payload)
         self._arm_flush()
+        pub_span.end(event_id=event.event_id)
         return {"ok": True, "event_id": event.event_id}
 
     def _on_forward_batch(self, msg: Message) -> dict[str, Any]:
@@ -206,6 +225,30 @@ class EventServiceDaemon(ServiceDaemon):
         return True
 
     # -- federation batching -------------------------------------------------
+    def _enqueue_forward(self, part_id: str, payload: dict[str, Any]) -> None:
+        pending = self._outbox.setdefault(part_id, deque())
+        pending.append(payload)
+        self._trim_outbox(part_id, pending)
+
+    def _trim_outbox(self, part_id: str, pending: deque) -> None:
+        """Enforce the per-peer high-water mark: drop the *oldest* queued
+        forwards past ``es_outbox_max`` (a wedge on one peer must not grow
+        the checkpoint payload without bound)."""
+        cap = self.timings.es_outbox_max
+        dropped = 0
+        while len(pending) > cap:
+            pending.popleft()
+            dropped += 1
+        if dropped:
+            self.sim.trace.count("es.outbox_dropped", dropped)
+            self.sim.trace.mark(
+                "es.outbox_overflow",
+                node=self.node_id,
+                peer=part_id,
+                dropped=dropped,
+                depth=len(pending),
+            )
+
     def _arm_flush(self) -> None:
         """Arm the outbox flush timer (no-op while one is already armed,
         so a publish burst shares a single flush)."""
@@ -234,6 +277,9 @@ class EventServiceDaemon(ServiceDaemon):
         self._arm_flush()  # overflow past the cap waits for the next window
 
     def _send_batch(self, part_id: str, batch: list[dict[str, Any]]):
+        span = self.sim.trace.span(
+            "es.forward_batch", node=self.node_id, peer=part_id, events=len(batch)
+        )
         try:
             reply = None
             peer = self.kernel.placement.get(("es", part_id))
@@ -245,16 +291,21 @@ class EventServiceDaemon(ServiceDaemon):
                 reply = yield self.rpc_retry(
                     peer, ports.ES, ports.ES_FORWARD_BATCH,
                     batch_to_payload(self.partition_id, batch),
+                    span=span,
                 )
             if reply is None:
                 # Peer unreachable (dead or mid-migration): put the batch
                 # back at the head — order preserved — and fold the
                 # stranded outbox into the checkpoint so even our *own*
                 # migration re-delivers it after recovery.
-                self._outbox.setdefault(part_id, deque()).extendleft(reversed(batch))
+                pending = self._outbox.setdefault(part_id, deque())
+                pending.extendleft(reversed(batch))
+                self._trim_outbox(part_id, pending)
                 self.sim.trace.count("es.forward_requeued", len(batch))
                 self._checkpoint_state()
+            span.end(ok=reply is not None)
         finally:
+            span.end(ok=False)  # no-op unless the sender died mid-flight
             self._inflight_batch.pop(part_id, None)
             self._arm_flush()
 
@@ -290,7 +341,18 @@ class EventServiceDaemon(ServiceDaemon):
             if sub.matches(event):
                 self.delivered += 1
                 self.sim.trace.count("es.delivered")
-                self.send(sub.node, sub.port, ports.ES_EVENT, {"event": event.to_payload()})
+                # The span starts at *publication* time, so its duration is
+                # the publish→consumer latency (including federation hops).
+                span = self.sim.trace.span(
+                    "es.deliver",
+                    parent=event.span,
+                    start=event.time,
+                    node=self.node_id,
+                    type=event.type,
+                    consumer=sub.consumer_id,
+                )
+                sent = self.send(sub.node, sub.port, ports.ES_EVENT, {"event": event.to_payload()})
+                span.end(ok=sent)
 
     def _ckpt_key(self) -> str:
         return f"{CKPT_KEY}.{self.partition_id}"
@@ -340,3 +402,10 @@ class EventServiceDaemon(ServiceDaemon):
         return sum(len(p) for p in self._outbox.values()) + sum(
             len(b) for b in self._inflight_batch.values()
         )
+
+    def health_snapshot(self) -> dict[str, Any]:
+        row = super().health_snapshot()
+        row["outbox_depth"] = self.outbox_depth()
+        row["published"] = self.published
+        row["delivered"] = self.delivered
+        return row

@@ -52,9 +52,13 @@ class Event:
     partition: str  # partition whose ES first accepted it
     time: float  # virtual time of publication
     data: dict[str, Any] = field(default_factory=dict, hash=False)
+    #: Tracing span id of the accepting instance's publish span — carried
+    #: across federation so remote deliveries join the publish's causal
+    #: tree ("" when tracing spans were not in play).
+    span: str = ""
 
     def to_payload(self) -> dict[str, Any]:
-        return {
+        payload = {
             "event_id": self.event_id,
             "type": self.type,
             "source": self.source,
@@ -62,6 +66,9 @@ class Event:
             "time": self.time,
             "data": dict(self.data),
         }
+        if self.span:
+            payload["span"] = self.span
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict[str, Any]) -> "Event":
@@ -72,6 +79,7 @@ class Event:
             partition=payload["partition"],
             time=payload["time"],
             data=dict(payload.get("data", {})),
+            span=payload.get("span", ""),
         )
 
 

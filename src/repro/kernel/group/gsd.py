@@ -24,6 +24,7 @@ from repro.kernel.events import types as ev
 from repro.kernel.group.metagroup import MetaGroup
 from repro.kernel.group.monitor import HeartbeatMonitor
 from repro.kernel.group.recovery import NODE, PROCESS, diagnose, restart_service_remote
+from repro.sim import Span
 
 
 class GSDDaemon(ServiceDaemon):
@@ -145,30 +146,41 @@ class GSDDaemon(ServiceDaemon):
         return None
 
     # -- event supply ------------------------------------------------------
-    def publish(self, event_type: str, data: dict[str, Any]) -> None:
+    def publish(self, event_type: str, data: dict[str, Any], span: Span | None = None) -> None:
         es_node = self.kernel.placement.get(("es", self.partition_id))
         if es_node is not None:
-            self.send(es_node, ports.ES, ports.ES_PUBLISH, {"type": event_type, "data": data})
+            payload: dict[str, Any] = {"type": event_type, "data": data}
+            if span is not None:
+                # The ES parents its publish span on ours, chaining the
+                # event's deliveries into the failover's causal tree.
+                payload["_span"] = span.span_id
+            self.send(es_node, ports.ES, ports.ES_PUBLISH, payload)
 
     # -- WD monitoring callbacks (Table 1 mechanics) -------------------------
     def _on_wd_nic_miss(self, subject: str, network: str) -> None:
         if not self.alive:  # a dead daemon's leftover timers are inert
             return
-        self.sim.trace.mark(
+        root = self.sim.trace.span(
+            "gsd.failover", component="wd", kind="network", node=subject, network=network
+        )
+        root.mark(
             "failure.detected", component="wd", node=subject, network=network, by=self.node_id
         )
-        self.spawn(self._wd_nic_failure(subject, network), name=f"{self.node_id}/gsd.wdnic")
+        self.spawn(self._wd_nic_failure(subject, network, root), name=f"{self.node_id}/gsd.wdnic")
 
-    def _wd_nic_failure(self, subject: str, network: str):
+    def _wd_nic_failure(self, subject: str, network: str, root: Span):
+        diag = root.child("gsd.diagnose", node=subject, network=network)
         yield self.timings.nic_analysis_delay
-        self.sim.trace.mark(
+        diag.end(kind="network")
+        root.mark(
             "failure.diagnosed", component="wd", kind="network", node=subject, network=network
         )
-        self.sim.trace.mark(
+        root.mark(
             "failure.recovered", component="wd", kind="network", node=subject, network=network
         )
-        self.publish(ev.NETWORK_FAILURE, {"node": subject, "network": network})
+        self.publish(ev.NETWORK_FAILURE, {"node": subject, "network": network}, span=root)
         self._export_net_state(subject, network, up=False)
+        root.end(ok=True)
 
     def _on_wd_nic_restore(self, subject: str, network: str) -> None:
         if not self.alive:
@@ -180,29 +192,38 @@ class GSDDaemon(ServiceDaemon):
     def _on_wd_full_miss(self, subject: str) -> None:
         if not self.alive:
             return
-        self.sim.trace.mark("failure.detected", component="wd", node=subject, by=self.node_id)
-        self.spawn(self._wd_failure(subject), name=f"{self.node_id}/gsd.wdrecover")
+        root = self.sim.trace.span("gsd.failover", component="wd", node=subject)
+        root.mark("failure.detected", component="wd", node=subject, by=self.node_id)
+        self.spawn(self._wd_failure(subject, root), name=f"{self.node_id}/gsd.wdrecover")
 
-    def _wd_failure(self, subject: str):
-        kind = yield from diagnose(self, subject, server_mode=False)
-        self.sim.trace.mark("failure.diagnosed", component="wd", kind=kind, node=subject)
+    def _wd_failure(self, subject: str, root: Span):
+        diag = root.child("gsd.diagnose", node=subject)
+        kind = yield from diagnose(self, subject, server_mode=False, span=diag)
+        diag.end(kind=kind)
+        root.mark("failure.diagnosed", component="wd", kind=kind, node=subject)
         if kind == PROCESS:
-            self.publish(ev.SERVICE_FAILURE, {"service": "wd", "node": subject})
-            ok = yield from restart_service_remote(self, subject, "wd")
+            self.publish(ev.SERVICE_FAILURE, {"service": "wd", "node": subject}, span=root)
+            rec = root.child("gsd.recover", node=subject, action="restart")
+            ok = yield from restart_service_remote(self, subject, "wd", span=rec)
+            rec.end(ok=ok)
             if ok:
-                self.sim.trace.mark(
+                root.mark(
                     "failure.recovered", component="wd", kind="process", node=subject
                 )
-                self.publish(ev.SERVICE_RECOVERY, {"service": "wd", "node": subject})
+                self.publish(ev.SERVICE_RECOVERY, {"service": "wd", "node": subject}, span=root)
             else:
-                self.sim.trace.mark("recovery.failed", component="wd", node=subject)
+                root.mark("recovery.failed", component="wd", node=subject)
+            root.end(kind=kind, ok=ok)
             return
         # Node death: "each WD is the representative of hosting node for
         # sending heartbeat, and migrating WD means nothing" — recovery 0.
         assert kind == NODE
         self._set_node_state(subject, "down")
-        self.publish(ev.NODE_FAILURE, {"node": subject, "partition": self.partition_id})
-        self.sim.trace.mark("failure.recovered", component="wd", kind="node", node=subject)
+        self.publish(
+            ev.NODE_FAILURE, {"node": subject, "partition": self.partition_id}, span=root
+        )
+        root.mark("failure.recovered", component="wd", kind="node", node=subject)
+        root.end(kind=kind, ok=True)
 
     def _on_wd_return(self, subject: str) -> None:
         if not self.alive:
@@ -226,29 +247,37 @@ class GSDDaemon(ServiceDaemon):
             if placed != self.node_id or svc in self._svc_recovering:
                 continue
             if not hostos.process_alive(svc):
-                self.sim.trace.mark(
+                root = self.sim.trace.span("gsd.failover", component=svc, node=self.node_id)
+                root.mark(
                     "failure.detected", component=svc, node=self.node_id, by=self.node_id
                 )
                 self._svc_recovering.add(svc)
-                self.spawn(self._restart_local_service(svc), name=f"{self.node_id}/gsd.svcfix")
+                self.spawn(
+                    self._restart_local_service(svc, root), name=f"{self.node_id}/gsd.svcfix"
+                )
 
-    def _restart_local_service(self, svc: str):
+    def _restart_local_service(self, svc: str, root: Span):
         try:
             # Same-host check: the process table is local (Table 3: 12 us).
+            diag = root.child("gsd.diagnose", node=self.node_id, service=svc)
             yield self.timings.local_check_delay
-            self.sim.trace.mark(
+            diag.end(kind="process")
+            root.mark(
                 "failure.diagnosed", component=svc, kind="process", node=self.node_id
             )
-            self.publish(ev.SERVICE_FAILURE, {"service": svc, "node": self.node_id})
+            self.publish(ev.SERVICE_FAILURE, {"service": svc, "node": self.node_id}, span=root)
+            rec = root.child("gsd.recover", node=self.node_id, service=svc, action="restart")
             yield self.timings.spawn_time(svc)
             if not self.cluster.hostos(self.node_id).process_alive(svc):
                 # (An administrator may have restarted it concurrently,
                 # e.g. a rolling restart; starting twice would be a bug.)
                 self.kernel.start_service(svc, self.node_id)
-            self.sim.trace.mark(
+            rec.end(ok=True)
+            root.mark(
                 "failure.recovered", component=svc, kind="process", node=self.node_id
             )
-            self.publish(ev.SERVICE_RECOVERY, {"service": svc, "node": self.node_id})
+            self.publish(ev.SERVICE_RECOVERY, {"service": svc, "node": self.node_id}, span=root)
+            root.end(ok=True)
         finally:
             self._svc_recovering.discard(svc)
 
@@ -264,26 +293,35 @@ class GSDDaemon(ServiceDaemon):
             if up == previous.get(network, True):
                 continue
             if not up:
-                self.sim.trace.mark(
+                root = self.sim.trace.span(
+                    "gsd.failover", component="es", kind="network",
+                    node=self.node_id, network=network,
+                )
+                root.mark(
                     "failure.detected", component="es", node=self.node_id,
                     network=network, by=self.node_id,
                 )
-                self.spawn(self._local_nic_failure(network), name=f"{self.node_id}/gsd.localnic")
+                self.spawn(
+                    self._local_nic_failure(network, root), name=f"{self.node_id}/gsd.localnic"
+                )
             else:
                 self.sim.trace.mark(
                     "network.restored", component="es", node=self.node_id, network=network
                 )
                 self.publish(ev.NETWORK_RECOVERY, {"node": self.node_id, "network": network})
 
-    def _local_nic_failure(self, network: str):
+    def _local_nic_failure(self, network: str, root: Span):
+        diag = root.child("gsd.diagnose", node=self.node_id, network=network)
         yield self.timings.local_check_delay
-        self.sim.trace.mark(
+        diag.end(kind="network")
+        root.mark(
             "failure.diagnosed", component="es", kind="network", node=self.node_id, network=network
         )
-        self.sim.trace.mark(
+        root.mark(
             "failure.recovered", component="es", kind="network", node=self.node_id, network=network
         )
-        self.publish(ev.NETWORK_FAILURE, {"node": self.node_id, "network": network})
+        self.publish(ev.NETWORK_FAILURE, {"node": self.node_id, "network": network}, span=root)
+        root.end(ok=True)
 
     # -- bookkeeping ---------------------------------------------------------
     def _ckpt_key(self) -> str:

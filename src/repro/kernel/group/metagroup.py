@@ -273,8 +273,9 @@ class MetaGroup:
         if not self.gsd.alive or subject in self._recovering:
             return
         self._recovering.add(subject)
-        self.sim.trace.mark("failure.detected", component="gsd", node=subject, by=self.me)
-        self.gsd.spawn(self._handle_member_failure(subject), name=f"{self.me}/mg.recover")
+        root = self.sim.trace.span("gsd.failover", component="gsd", node=subject)
+        root.mark("failure.detected", component="gsd", node=subject, by=self.me)
+        self.gsd.spawn(self._handle_member_failure(subject, root), name=f"{self.me}/mg.recover")
 
     def _on_return(self, subject: str) -> None:
         if not self.gsd.alive:
@@ -282,20 +283,23 @@ class MetaGroup:
         self.sim.trace.mark("member.returned", node=subject, by=self.me)
 
     # -- the takeover path -----------------------------------------------
-    def _handle_member_failure(self, failed_node: str):
+    def _handle_member_failure(self, failed_node: str, root):
         try:
             partition = self._node_partition.get(failed_node)
             if partition is None or self.view is None:
+                root.end(aborted=True)
                 return
             was_leader = self.view.leader()[1] == failed_node
-            kind = yield from diagnose(self.gsd, failed_node, server_mode=True)
-            self.sim.trace.mark(
+            diag = root.child("gsd.diagnose", node=failed_node)
+            kind = yield from diagnose(self.gsd, failed_node, server_mode=True, span=diag)
+            diag.end(kind=kind)
+            root.mark(
                 "failure.diagnosed", component="gsd", kind=kind, node=failed_node, by=self.me
             )
             # The co-located service group died with its node.
             if kind == NODE:
                 for svc in self.gsd.managed_services():
-                    self.sim.trace.mark(
+                    root.mark(
                         "failure.diagnosed", component=svc, kind="node", node=failed_node, by=self.me
                     )
 
@@ -307,8 +311,8 @@ class MetaGroup:
                 self.install_view(self._make_view(members))
                 self.broadcast_view()
                 self.gsd.kernel.note_placement("metagroup", "leader", self.me)
-                self.sim.trace.mark("leader.takeover", old=failed_node, new=self.me)
-                self.gsd.publish(ev.LEADER_CHANGED, {"old": failed_node, "new": self.me})
+                root.mark("leader.takeover", old=failed_node, new=self.me)
+                self.gsd.publish(ev.LEADER_CHANGED, {"old": failed_node, "new": self.me}, span=root)
             else:
                 leader = self.view.leader()[1]
                 if leader == self.me:
@@ -319,15 +323,22 @@ class MetaGroup:
                     self.gsd.send(leader, ports.GSD, ports.GSD_MEMBER_FAILED, {"node": failed_node})
 
             if kind == PROCESS:
-                self.gsd.publish(ev.SERVICE_FAILURE, {"service": "gsd", "node": failed_node})
-                ok = yield from restart_service_remote(self.gsd, failed_node, "gsd")
+                self.gsd.publish(
+                    ev.SERVICE_FAILURE, {"service": "gsd", "node": failed_node}, span=root
+                )
+                rec = root.child("gsd.recover", node=failed_node, action="restart")
+                ok = yield from restart_service_remote(self.gsd, failed_node, "gsd", span=rec)
+                rec.end(ok=ok)
                 if ok:
-                    self.sim.trace.mark(
+                    root.mark(
                         "failure.recovered", component="gsd", kind="process", node=failed_node
                     )
-                    self.gsd.publish(ev.SERVICE_RECOVERY, {"service": "gsd", "node": failed_node})
+                    self.gsd.publish(
+                        ev.SERVICE_RECOVERY, {"service": "gsd", "node": failed_node}, span=root
+                    )
                 else:
-                    self.sim.trace.mark("recovery.failed", component="gsd", node=failed_node)
+                    root.mark("recovery.failed", component="gsd", node=failed_node)
+                root.end(kind=kind, ok=ok)
                 return
 
             # Node death: publish, then migrate the GSD (and with it the
@@ -335,30 +346,38 @@ class MetaGroup:
             # nodes then computes; if the chosen target dies under us we
             # move on to the next candidate rather than leaving the
             # partition headless.
-            self.gsd.publish(ev.NODE_FAILURE, {"node": failed_node, "partition": partition})
+            self.gsd.publish(
+                ev.NODE_FAILURE, {"node": failed_node, "partition": partition}, span=root
+            )
+            rec = root.child("gsd.recover", node=failed_node, action="migrate")
             yield self.gsd.timings.migrate_select_time
             tried: set[str] = {failed_node}
             while True:
                 target = pick_migration_target(self.gsd, partition, exclude=tried)
                 if target is None:
-                    self.sim.trace.mark(
+                    root.mark(
                         "recovery.failed", component="gsd", node=failed_node, reason="no target"
                     )
+                    rec.end(ok=False)
+                    root.end(kind=kind, ok=False)
                     return
                 tried.add(target)
-                self.sim.trace.mark("service.migrating", service="gsd", src=failed_node, dst=target)
-                ok = yield from restart_service_remote(self.gsd, target, "gsd")
+                root.mark("service.migrating", service="gsd", src=failed_node, dst=target)
+                ok = yield from restart_service_remote(self.gsd, target, "gsd", span=rec)
                 if ok:
-                    self.sim.trace.mark(
+                    rec.end(ok=True, dst=target)
+                    root.mark(
                         "failure.recovered", component="gsd", kind="node",
                         node=failed_node, dst=target,
                     )
                     self.gsd.publish(
                         ev.SERVICE_RECOVERY,
                         {"service": "gsd", "node": target, "migrated_from": failed_node},
+                        span=root,
                     )
+                    root.end(kind=kind, ok=True)
                     return
-                self.sim.trace.mark(
+                root.mark(
                     "migration.retry", component="gsd", node=failed_node, failed_target=target
                 )
         finally:

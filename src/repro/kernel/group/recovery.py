@@ -19,19 +19,20 @@ from __future__ import annotations
 
 from repro.kernel import ports
 from repro.kernel.daemon import ServiceDaemon
-from repro.sim import Timeout
+from repro.sim import Span, Timeout
 
 #: Diagnosis verdicts.
 PROCESS = "process"
 NODE = "node"
 
 
-def diagnose(daemon: ServiceDaemon, subject_node: str, server_mode: bool):
+def diagnose(daemon: ServiceDaemon, subject_node: str, server_mode: bool, span: Span | None = None):
     """Coroutine: probe ``subject_node`` and return ``PROCESS`` or ``NODE``.
 
     ``server_mode`` selects the fast path used for server nodes (single
     window + confirm delay, ~0.3 s) instead of the retried probes used for
-    compute nodes (~2 s).
+    compute nodes (~2 s).  ``span`` parents the probe RPCs' spans, so a
+    failover trace shows each probe round under the diagnosis step.
     """
     timings = daemon.timings
     networks = list(daemon.cluster.networks)
@@ -39,7 +40,8 @@ def diagnose(daemon: ServiceDaemon, subject_node: str, server_mode: bool):
     for _ in range(rounds):
         signals = [
             daemon.transport.ping(
-                daemon.node_id, subject_node, network, timeout=timings.ping_timeout
+                daemon.node_id, subject_node, network, timeout=timings.ping_timeout,
+                span=span,
             )
             for network in networks
         ]
@@ -53,7 +55,9 @@ def diagnose(daemon: ServiceDaemon, subject_node: str, server_mode: bool):
     return NODE
 
 
-def restart_service_remote(daemon: ServiceDaemon, node_id: str, service: str):
+def restart_service_remote(
+    daemon: ServiceDaemon, node_id: str, service: str, span: Span | None = None
+):
     """Coroutine: ask ``node_id``'s PPM to (re)start ``service``.
 
     Returns True on acknowledged success.  The RPC timeout covers the
@@ -61,7 +65,8 @@ def restart_service_remote(daemon: ServiceDaemon, node_id: str, service: str):
     """
     timeout = daemon.timings.spawn_time(service) + 2.0 * daemon.timings.rpc_timeout
     reply = yield daemon.rpc(
-        node_id, ports.PPM, ports.PPM_START_SERVICE, {"service": service}, timeout=timeout
+        node_id, ports.PPM, ports.PPM_START_SERVICE, {"service": service}, timeout=timeout,
+        span=span,
     )
     return bool(reply and reply.get("ok"))
 

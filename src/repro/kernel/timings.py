@@ -112,6 +112,22 @@ class KernelTimings:
     #: Cap on events carried by one forward batch (bounds datagram size);
     #: overflow stays queued for the next flush window.
     es_forward_batch_max: int = 64
+    #: High-water mark per peer on the ES federation outbox: a long peer
+    #: outage drops the *oldest* queued forwards past this depth (traced
+    #: as ``es.outbox_overflow`` + the ``es.outbox_dropped`` counter)
+    #: instead of growing the checkpoint payload without bound.
+    es_outbox_max: int = 1024
+    #: Hot equality ``where`` keys bucketed by the ES subscription index
+    #: — per-deployment tunable (e.g. add ``service`` or ``user`` when a
+    #: deployment's monitors filter on them); empty disables the buckets.
+    es_indexed_where_keys: tuple[str, ...] = ("node",)
+
+    #: Period of each kernel daemon's ``kernel.health`` self-report to
+    #: the data bulletin (span/histogram/counter snapshot, outbox depth,
+    #: in-flight RPCs).  ``None`` disables the reports — monitoring
+    #: deployments opt in, keeping background traffic identical for the
+    #: paper-calibrated benchmarks.
+    health_report_interval: float | None = None
 
     #: CPU fraction of one node consumed by kernel daemons between
     #: heartbeats (drives Table 4's Linpack overhead model).
@@ -147,6 +163,12 @@ class KernelTimings:
             raise KernelError("es_forward_flush must be >= 0")
         if self.es_forward_batch_max < 1:
             raise KernelError("es_forward_batch_max must be >= 1")
+        if self.es_outbox_max < 1:
+            raise KernelError("es_outbox_max must be >= 1")
+        if any(not key or not isinstance(key, str) for key in self.es_indexed_where_keys):
+            raise KernelError("es_indexed_where_keys must be non-empty strings")
+        if self.health_report_interval is not None and self.health_report_interval <= 0:
+            raise KernelError("health_report_interval must be positive (or None)")
 
     @property
     def service_check_period(self) -> float:

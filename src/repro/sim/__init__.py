@@ -12,7 +12,7 @@ Public surface:
 from repro.sim.core import EventHandle, Simulator, Timer
 from repro.sim.process import Proc, ProcState, Signal, Timeout, all_of, any_of, spawn
 from repro.sim.rng import RngRegistry
-from repro.sim.trace import Trace, TraceRecord
+from repro.sim.trace import Histogram, Span, Trace, TraceRecord
 
 __all__ = [
     "EventHandle",
@@ -26,6 +26,8 @@ __all__ = [
     "any_of",
     "spawn",
     "RngRegistry",
+    "Histogram",
+    "Span",
     "Trace",
     "TraceRecord",
 ]

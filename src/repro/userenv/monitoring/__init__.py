@@ -2,9 +2,12 @@
 
 from repro.userenv.monitoring.analysis import (
     Trend,
+    critical_path,
     fault_analysis,
+    health_report,
     messaging_report,
     performance_report,
+    span_tree,
 )
 from repro.userenv.monitoring.display import render_events, render_performance, render_snapshot
 from repro.userenv.monitoring.gridview import ClusterSnapshot, GridView, install_gridview
@@ -13,11 +16,14 @@ __all__ = [
     "ClusterSnapshot",
     "GridView",
     "Trend",
+    "critical_path",
     "fault_analysis",
+    "health_report",
     "install_gridview",
     "messaging_report",
     "performance_report",
     "render_events",
     "render_performance",
     "render_snapshot",
+    "span_tree",
 ]

@@ -11,7 +11,11 @@ adds the two analysis functions over GridView's retained data:
   nodes/services fail most, mean time to recovery per failure type;
 * :func:`messaging_report` — the messaging-spine health view over the
   kernel's trace counters (event fan-out, federation batching, RPC
-  retry/queueing pressure).
+  retry/queueing pressure);
+* :func:`span_tree` / :func:`critical_path` — causal decomposition of a
+  traced operation (e.g. a GSD failover) from its span records;
+* :func:`health_report` — the cluster health view over the daemons'
+  ``kernel.health`` self-reports published to the data bulletin.
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.kernel.events.types import Event
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, TraceRecord
 from repro.userenv.monitoring.gridview import ClusterSnapshot
 from repro.util import summarize
 
@@ -121,7 +125,7 @@ def messaging_report(trace: Trace) -> dict[str, Any]:
     c = trace.counter
     batches = c("es.forward_batches")
     batched_events = c("es.forward_batched_events")
-    return {
+    report: dict[str, Any] = {
         "es": {
             "published": c("es.published"),
             "delivered": c("es.delivered"),
@@ -137,4 +141,123 @@ def messaging_report(trace: Trace) -> dict[str, Any]:
             "retries": c("rpc.retries"),
             "inflight_queued": c("rpc.inflight_queued"),
         },
+    }
+    report["es"]["outbox_dropped"] = c("es.outbox_dropped")
+    latency = {name: hist.summary() for name, hist in sorted(trace.histograms().items())}
+    if latency:
+        report["latency"] = latency
+    return report
+
+
+# -- causal span analysis ----------------------------------------------------
+def _span_records(source: Trace | list[TraceRecord]) -> list[TraceRecord]:
+    records = source.records() if isinstance(source, Trace) else source
+    # A span *close* record carries both an id and a duration; point marks
+    # correlated to a span carry only ``span_id``.
+    return [r for r in records if r.get("span_id") and r.get("duration") is not None]
+
+
+def span_tree(source: Trace | list[TraceRecord]) -> dict[str, Any]:
+    """Index span close-records into a causal forest.
+
+    Returns ``{"spans": id -> record, "children": id -> [ids],
+    "roots": [ids]}``.  A span whose parent never closed (e.g. the
+    process died) is treated as a root, so partial traces still render.
+    """
+    spans: dict[str, TraceRecord] = {}
+    for rec in _span_records(source):
+        spans[rec["span_id"]] = rec
+    children: dict[str, list[str]] = {}
+    roots: list[str] = []
+    for span_id, rec in spans.items():
+        parent = rec.get("parent_id", "")
+        if parent and parent in spans:
+            children.setdefault(parent, []).append(span_id)
+        else:
+            roots.append(span_id)
+    for ids in children.values():
+        ids.sort(key=lambda sid: (spans[sid].get("start", 0.0), sid))
+    roots.sort(key=lambda sid: (spans[sid].get("start", 0.0), sid))
+    return {"spans": spans, "children": children, "roots": roots}
+
+
+def critical_path(
+    source: Trace | list[TraceRecord],
+    root_category: str = "gsd.failover",
+    root_id: str | None = None,
+) -> list[TraceRecord]:
+    """Longest-pole causal chain under a root span, root first.
+
+    Starting from ``root_id`` (or the first closed span whose category is
+    ``root_category``), descend into the child whose *end time* is
+    latest — the child that gated the parent's completion — until a leaf.
+    For a failover this reads detection → diagnosis → recovery with the
+    dominating step at every level.
+    """
+    tree = span_tree(source)
+    spans, children = tree["spans"], tree["children"]
+    if root_id is None:
+        candidates = [sid for sid in tree["roots"] if spans[sid].category == root_category]
+        if not candidates:
+            candidates = [sid for sid in spans if spans[sid].category == root_category]
+        if not candidates:
+            return []
+        root_id = min(candidates, key=lambda sid: (spans[sid].get("start", 0.0), sid))
+    if root_id not in spans:
+        return []
+    path = [spans[root_id]]
+    current = root_id
+    while children.get(current):
+        # Only children that closed within the parent's interval can have
+        # gated its completion (async fan-out may close after the parent).
+        gating = [sid for sid in children[current] if spans[sid].time <= spans[current].time]
+        if not gating:
+            break
+        current = max(gating, key=lambda sid: (spans[sid].time, sid))
+        path.append(spans[current])
+    return path
+
+
+# -- kernel health endpoint ---------------------------------------------------
+def health_report(
+    rows: list[dict[str, Any]],
+    now: float | None = None,
+    stale_after: float | None = None,
+) -> dict[str, Any]:
+    """Cluster health view over ``kernel_health`` bulletin rows.
+
+    Each row is one daemon's self-report (see
+    :meth:`repro.kernel.daemon.ServiceDaemon.health_snapshot`).  Returns
+    per-daemon freshness/queue depths plus the spine latency quantiles;
+    for every histogram name, the summary with the largest ``count`` wins
+    (the daemons share a node-local trace, so the biggest snapshot is the
+    most complete).  With ``now`` and ``stale_after``, daemons whose last
+    report is older than the threshold are listed under ``"stale"``.
+    """
+    services: dict[str, dict[str, Any]] = {}
+    latency: dict[str, dict[str, float]] = {}
+    stale: list[str] = []
+    for row in rows:
+        name = f"{row.get('service', '?')}@{row.get('node', '?')}"
+        reported = float(row.get("time", 0.0))
+        entry: dict[str, Any] = {
+            "partition": row.get("partition"),
+            "reported_at": reported,
+            "inflight_rpcs": row.get("inflight_rpcs", 0),
+        }
+        if "outbox_depth" in row:
+            entry["outbox_depth"] = row["outbox_depth"]
+        if now is not None:
+            entry["age_s"] = now - reported
+            if stale_after is not None and entry["age_s"] > stale_after:
+                stale.append(name)
+        services[name] = entry
+        for hist_name, summary in (row.get("hist") or {}).items():
+            best = latency.get(hist_name)
+            if best is None or summary.get("count", 0) > best.get("count", 0):
+                latency[hist_name] = dict(summary)
+    return {
+        "services": services,
+        "latency": dict(sorted(latency.items())),
+        "stale": sorted(stale),
     }

@@ -8,6 +8,7 @@ from repro.kernel import KernelTimings, PhoenixKernel
 from repro.kernel.events.filters import Subscription
 from repro.kernel.events.types import Event
 from repro.sim import Simulator
+from repro.userenv.monitoring import messaging_report
 from tests.kernel.conftest import drive
 from tests.kernel.test_events import publish, subscribe_collector
 
@@ -218,3 +219,70 @@ def test_outbox_survives_es_kill_and_peer_server_crash():
     assert [e.data["i"] for e in inbox] == list(range(6))  # delivered once, in order
     for before, after in zip(samples, samples[1:]):
         assert_monotone(before, after)
+
+
+# -- outbox high-water mark ---------------------------------------------------
+
+
+def test_outbox_high_water_mark_drops_oldest_on_peer_outage():
+    """A wedged peer must not grow the sender's outbox (and therefore its
+    checkpoint payload) without bound: past ``es_outbox_max`` the oldest
+    queued forwards are dropped, traced, and counted."""
+    sim = Simulator(seed=11)
+    cluster = Cluster(sim, ClusterSpec.build(partitions=2, computes=2))
+    kernel = PhoenixKernel(
+        cluster,
+        # A huge heartbeat interval keeps the GSD from recovering the peer
+        # within the test window — the outage stays in effect throughout.
+        timings=KernelTimings(heartbeat_interval=120.0, es_outbox_max=4),
+    )
+    kernel.boot()
+    injector = FaultInjector(cluster)
+    sim.run(until=1.0)
+
+    injector.crash_node("p1s0")  # peer partition's ES is now unreachable
+    for i in range(12):
+        publish(kernel, sim, "p0c0", "custom.tick", {"i": i}, partition="p0")
+    sim.run(until=sim.now + 10.0)
+
+    dropped = sim.trace.counter("es.outbox_dropped")
+    assert dropped >= 1
+    marks = sim.trace.records("es.outbox_overflow", node="p0s0", peer="p1")
+    assert marks and all(r["depth"] <= 4 for r in marks)
+    sender = kernel.live_daemon("es", kernel.placement[("es", "p0")])
+    pending = sender._outbox["p1"]
+    assert len(pending) <= 4  # bounded at the cap despite 12 publishes
+    # Drop-oldest: what remains queued is a newest-first suffix, in order.
+    kept = [p["data"]["i"] for p in pending]
+    assert kept == sorted(kept)
+    report = messaging_report(sim.trace)
+    assert report["es"]["outbox_dropped"] == dropped
+
+
+def test_indexed_where_keys_configurable_via_timings():
+    """Deployments whose hot equality ``where`` key is not ``node`` can
+    point the subscription index elsewhere via KernelTimings."""
+    sim = Simulator(seed=11)
+    cluster = Cluster(sim, ClusterSpec.build(partitions=2, computes=2))
+    kernel = PhoenixKernel(
+        cluster,
+        timings=KernelTimings(es_indexed_where_keys=("node", "severity")),
+    )
+    kernel.boot()
+    sim.run(until=1.0)
+    es = kernel.live_daemon("es", kernel.placement[("es", "p0")])
+    assert es._subs._where_keys == ("node", "severity")
+
+    inbox = []
+    cluster.transport.bind(
+        "p0c0", "sink", lambda m: inbox.append(Event.from_payload(m.payload["event"])))
+    reply = drive(sim, kernel.client("p0c0").subscribe(
+        "c1", "sink", types=("custom.*",), where={"severity": "high"}, partition="p0"))
+    assert reply and reply["ok"]
+    # The custom key landed in an indexed equality slot...
+    assert any(es._subs._eq["severity"].values())
+    # ...and filtering through it still delivers exactly the matches.
+    publish(kernel, sim, "p0c1", "custom.alert", {"severity": "low"}, partition="p0")
+    publish(kernel, sim, "p0c1", "custom.alert", {"severity": "high"}, partition="p0")
+    sim.run(until=sim.now + 1.0)
+    assert [e.data["severity"] for e in inbox] == ["high"]

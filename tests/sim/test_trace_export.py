@@ -37,6 +37,45 @@ def test_export_serializes_odd_values(tmp_path):
     assert "odd" in path.read_text()
 
 
+def test_export_load_roundtrip_with_spans_and_histograms(tmp_path):
+    """An export with spans/histograms is fully re-loadable — the trace
+    CLI's input contract."""
+    from repro.sim.trace import Trace
+
+    sim = Simulator()
+
+    def scenario():
+        root = sim.trace.span("gsd.failover", node="n1")
+        yield 1.5
+        root.end(ok=True)
+
+    sim.spawn(scenario())
+    sim.run()
+    sim.trace.count("es.published", 4)
+    path = tmp_path / "trace.jsonl"
+    sim.trace.export_jsonl(str(path))
+
+    back = Trace.load_jsonl(str(path))
+    assert back.counter("es.published") == 4.0
+    rec = back.first("gsd.failover")
+    assert rec["span_id"] == "sp1" and rec["duration"] == 1.5
+    hist = back.histogram("gsd.failover")
+    assert hist.count == 1 and hist.max == 1.5
+    assert back.total_marked == len(back)
+
+
+def test_bounded_capacity_evicts_but_total_marked_is_exact():
+    from repro.sim.trace import Trace
+
+    trace = Trace(capacity=10)
+    for i in range(25):
+        trace.mark("tick", seq=i)
+    assert len(trace) == 10
+    assert trace.total_marked == 25
+    # Only the newest records are retained, oldest evicted first.
+    assert [r["seq"] for r in trace.records("tick")] == list(range(15, 25))
+
+
 def test_staggered_heartbeats_spread_and_still_detect():
     """KernelTimings.stagger_heartbeats randomizes WD phases without
     breaking detection."""

@@ -82,6 +82,10 @@ def test_main_update_then_check_roundtrip(tmp_path, capsys):
     assert main([str(results), "--baseline", str(baseline)]) == 1
     out = capsys.readouterr().out
     assert "latency" in out and "FAILED" in out
+    # The failure message spells out the exact refresh command.
+    assert "refresh the baseline" in out
+    assert f"python benchmarks/check_baseline.py {results} --update" in out
+    assert f"--baseline {baseline}" in out
 
 
 def test_main_missing_baseline_fails(tmp_path):

@@ -39,3 +39,47 @@ def test_scalability_command(capsys):
 def test_ablations_a3(capsys):
     assert main(["ablations", "--which", "a3"]) == 0
     assert "tree" in capsys.readouterr().out
+
+
+def test_trace_command(tmp_path, capsys):
+    from repro.sim import Simulator
+
+    sim = Simulator()
+
+    def failover():
+        root = sim.trace.span("gsd.failover", node="p1s0")
+        diag = root.child("gsd.diagnose")
+        yield 0.5
+        diag.end(kind="node")
+        rec = root.child("gsd.recover", action="migrate")
+        yield 2.0
+        rec.end(ok=True)
+        root.end(ok=True)
+
+    sim.spawn(failover())
+    sim.run()
+    path = tmp_path / "trace.jsonl"
+    sim.trace.export_jsonl(str(path))
+
+    assert main(["trace", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "== span tree ==" in out
+    assert "== latency histograms ==" in out
+    assert "== critical path (gsd.failover) ==" in out
+    # The tree indents children under the failover root...
+    assert "sp1 gsd.failover" in out and "\n  sp2 gsd.diagnose" in out
+    # ...and the critical path follows the gating (longest) child.
+    assert "-> sp3 gsd.recover" in out
+
+
+def test_trace_command_custom_root_category(tmp_path, capsys):
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    sim.trace.span("rpc.call").end()
+    path = tmp_path / "trace.jsonl"
+    sim.trace.export_jsonl(str(path))
+    assert main(["trace", str(path), "--root-category", "rpc.call"]) == 0
+    out = capsys.readouterr().out
+    assert "== critical path (rpc.call) ==" in out
+    assert "no closed 'gsd.failover'" not in out

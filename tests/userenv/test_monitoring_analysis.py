@@ -2,11 +2,15 @@
 
 import pytest
 
+from repro.sim.trace import TraceRecord
 from repro.userenv.monitoring import (
+    critical_path,
     fault_analysis,
+    health_report,
     install_gridview,
     messaging_report,
     performance_report,
+    span_tree,
 )
 from repro.userenv.monitoring.gridview import ClusterSnapshot
 
@@ -106,3 +110,91 @@ def test_messaging_report_surfaces_spine_counters(kernel, sim):
     assert report["es"]["events_per_batch"] > 1.0
     assert report["rpc"]["retries"] == sim.trace.counter("rpc.retries")
     assert report["rpc"]["inflight_queued"] == sim.trace.counter("rpc.inflight_queued")
+
+
+def test_messaging_report_outbox_drops_and_latency_quantiles():
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=1)
+    sim.trace.count("es.outbox_dropped", 3)
+    sim.trace.observe("rpc.call", 0.004)
+    sim.trace.observe("rpc.call", 0.012)
+    report = messaging_report(sim.trace)
+    assert report["es"]["outbox_dropped"] == 3
+    summary = report["latency"]["rpc.call"]
+    assert summary["count"] == 2 and summary["p95"] >= summary["p50"] > 0.0
+    # No histograms -> no latency section at all.
+    assert "latency" not in messaging_report(Simulator(seed=2).trace)
+
+
+# -- causal span analysis -----------------------------------------------------
+
+
+def span_rec(end, category, sid, parent="", start=0.0, **fields):
+    return TraceRecord(time=end, category=category, fields={
+        "span_id": sid, "parent_id": parent, "start": start,
+        "duration": end - start, **fields})
+
+
+def test_span_tree_links_children_and_roots_orphans():
+    records = [
+        span_rec(10.0, "gsd.failover", "sp1"),
+        span_rec(4.0, "gsd.diagnose", "sp2", parent="sp1", start=1.0),
+        span_rec(9.0, "gsd.recover", "sp3", parent="sp1", start=4.0),
+        # Parent never closed (process died mid-span): treated as a root.
+        span_rec(2.0, "es.deliver", "sp9", parent="sp7", start=1.5),
+        # A point mark with a span_id but no duration is not a span close.
+        TraceRecord(time=0.5, category="failure.detected", fields={"span_id": "sp1"}),
+    ]
+    tree = span_tree(records)
+    assert set(tree["spans"]) == {"sp1", "sp2", "sp3", "sp9"}
+    assert tree["roots"] == ["sp1", "sp9"]  # sorted by start time
+    assert tree["children"]["sp1"] == ["sp2", "sp3"]
+
+
+def test_critical_path_descends_into_the_gating_child():
+    records = [
+        span_rec(10.0, "gsd.failover", "sp1"),
+        span_rec(4.0, "gsd.diagnose", "sp2", parent="sp1", start=0.0),
+        span_rec(9.0, "gsd.recover", "sp3", parent="sp1", start=1.0),
+        span_rec(8.0, "rpc.call", "sp4", parent="sp3", start=2.0),
+        # Async fan-out closing *after* the root cannot have gated it.
+        span_rec(12.0, "es.publish", "sp5", parent="sp1", start=9.5),
+    ]
+    path = critical_path(records)
+    assert [r["span_id"] for r in path] == ["sp1", "sp3", "sp4"]
+    assert [r.category for r in path] == ["gsd.failover", "gsd.recover", "rpc.call"]
+
+
+def test_critical_path_without_matching_root_is_empty():
+    assert critical_path([span_rec(1.0, "rpc.call", "sp1")]) == []
+
+
+# -- kernel health endpoint ---------------------------------------------------
+
+
+def health_row(service, node, time, hist=None, **extra):
+    row = {"service": service, "node": node, "partition": "p0", "time": time,
+           "inflight_rpcs": 0, "counters": {}, "hist": hist or {}}
+    row.update(extra)
+    return row
+
+
+def test_health_report_largest_count_wins_and_staleness():
+    small = {"rpc.call": {"count": 3, "p50": 0.001, "p95": 0.004, "p99": 0.004}}
+    big = {"rpc.call": {"count": 40, "p50": 0.002, "p95": 0.016, "p99": 0.063}}
+    rows = [
+        health_row("es", "p0s0", 95.0, hist=big, outbox_depth=2),
+        health_row("db", "p0s0", 96.0, hist=small),
+        health_row("gsd", "p1s0", 10.0),  # last report long ago
+    ]
+    report = health_report(rows, now=100.0, stale_after=30.0)
+    assert report["latency"]["rpc.call"] == big["rpc.call"]
+    assert report["stale"] == ["gsd@p1s0"]
+    es = report["services"]["es@p0s0"]
+    assert es["outbox_depth"] == 2 and es["age_s"] == pytest.approx(5.0)
+    assert "outbox_depth" not in report["services"]["db@p0s0"]
+
+
+def test_health_report_empty_rows():
+    assert health_report([]) == {"services": {}, "latency": {}, "stale": []}
