@@ -10,7 +10,13 @@ independent and match the single-shot tables.
 import pytest
 
 from benchmarks.conftest import once
-from repro.experiments.fault_campaign import render_campaign, run_campaign
+from repro.experiments.fault_campaign import (
+    check_gray_campaign,
+    render_campaign,
+    render_gray_campaign,
+    run_campaign,
+    run_gray_campaign,
+)
 from repro.util import summarize
 
 
@@ -29,3 +35,32 @@ def test_fault_campaign(benchmark, save_artifact):
     node_diag = summarize(results[("wd", "node")].diagnose)
     assert node_diag.mean == pytest.approx(2.03, abs=0.05)
     benchmark.extra_info["detect_mean_s"] = s.mean
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_gray_failure_campaign(benchmark, save_artifact):
+    """Gray failures: loss, flaps, one-way splits (robustness extension).
+
+    The gates mirror the CI check: same-epoch dual leadership can never
+    happen, 20 % loss must not trigger failovers, and every flap edge /
+    asymmetric split must be handled (detected, epoch-fenced takeover,
+    stale leader stood down post-heal).
+    """
+    results = once(benchmark, lambda: run_gray_campaign(injections=4, seed=0))
+    save_artifact("gray_failure_campaign", render_gray_campaign(results))
+    assert check_gray_campaign(results) == []
+    loss, flap, split = (results[k] for k in ("link-loss", "link-flap", "asym-split"))
+    # 20 % one-way loss: observed (covered) but ridden out by suspicion decay.
+    assert loss.coverage == 1.0 and loss.spurious_failovers == 0
+    assert loss.suspected > 0  # the detector did notice the drops
+    # Flaps: every down edge detected as a NIC fault within interval+grace.
+    assert flap.coverage == 1.0
+    assert flap.detect and max(flap.detect) <= 10.3
+    # Asymmetric split: exactly one epoch-bumped takeover per injection,
+    # zero same-epoch dual-leader intervals, stale side reconciled.
+    assert split.coverage == 1.0
+    assert split.dual_leader_intervals == 0
+    assert split.stale_leader_time > 0  # the hazard was real, and contained
+    benchmark.extra_info["gray_suspected"] = loss.suspected + flap.suspected
+    benchmark.extra_info["gray_stale_belief_s"] = split.stale_leader_time
+    benchmark.extra_info["gray_takeover_mean_s"] = summarize(split.detect).mean

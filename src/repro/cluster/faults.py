@@ -11,6 +11,18 @@ The three "unhealthy situations" per component:
 * ``kill_process``  — failure of the WD/GSD/ES process;
 * ``crash_node``    — failure of the node the process runs on;
 * ``fail_nic``      — failure of one network interface of that node.
+
+Beyond the paper's clean fail-stop faults, the injector also drives
+*gray* failures — the conditions real clusters lose leaders to:
+
+* ``degrade_link`` — directional per-message loss and latency inflation
+  on one node's link (asymmetric/one-way failure modes included);
+* ``flap_link``    — a seeded down/up flap schedule on one link.
+
+Every restoration (``restore_nic``, ``boot_node``, ``restore_fabric``,
+``heal_network``, ``restore_link``, flap up-edges) marks a
+``fault.repaired`` trace record mirroring the ``fault.injected`` one, so
+harnesses can compute exact downtime windows from the trace alone.
 """
 
 from __future__ import annotations
@@ -40,6 +52,7 @@ class FaultInjector:
         self.cluster = cluster
         self.sim = cluster.sim
         self.injected: list[InjectedFault] = []
+        self.repaired: list[InjectedFault] = []
 
     # -- immediate faults ----------------------------------------------------
     def kill_process(self, node_id: str, process_name: str, case: str = "") -> InjectedFault:
@@ -68,11 +81,13 @@ class FaultInjector:
         net.set_link(node_id, False)
         return self._record("network", node_id, network, case)
 
-    def restore_nic(self, node_id: str, network: str) -> None:
+    def restore_nic(self, node_id: str, network: str, case: str = "") -> InjectedFault:
         self.cluster.networks[network].set_link(node_id, True)
+        return self._record_repair("network", node_id, network, case)
 
-    def boot_node(self, node_id: str) -> None:
+    def boot_node(self, node_id: str, case: str = "") -> InjectedFault:
         self.cluster.boot_node(node_id)
+        return self._record_repair("node", node_id, node_id, case)
 
     def fail_fabric(self, network: str, case: str = "") -> InjectedFault:
         """Take a whole fabric down (all nodes lose that network)."""
@@ -82,8 +97,9 @@ class FaultInjector:
         net.set_fabric(False)
         return self._record("fabric", "*", network, case)
 
-    def restore_fabric(self, network: str) -> None:
+    def restore_fabric(self, network: str, case: str = "") -> InjectedFault:
         self.cluster.networks[network].set_fabric(True)
+        return self._record_repair("fabric", "*", network, case)
 
     def split_network(self, network: str, groups: list[set[str]], case: str = "") -> InjectedFault:
         """Partition one fabric into isolated connectivity groups."""
@@ -95,8 +111,91 @@ class FaultInjector:
             "split", "*", network, case, extra={"groups": [sorted(g) for g in groups]}
         )
 
-    def heal_network(self, network: str) -> None:
+    def heal_network(self, network: str, case: str = "") -> InjectedFault:
         self.cluster.networks[network].heal()
+        return self._record_repair("split", "*", network, case)
+
+    # -- gray (non-fail-stop) faults ----------------------------------------
+    def degrade_link(
+        self,
+        node_id: str,
+        network: str,
+        *,
+        loss: float = 0.0,
+        latency_mult: float = 1.0,
+        direction: str = "both",
+        case: str = "",
+    ) -> InjectedFault:
+        """Make one node's link lossy and/or slow without taking it down.
+
+        ``direction="out"`` degrades only what the node sends — the
+        asymmetric case where its heartbeats vanish while inbound probes
+        still arrive.
+        """
+        net = self.cluster.networks.get(network)
+        if net is None:
+            raise ClusterError(f"unknown network {network!r}")
+        net.degrade(node_id, loss=loss, latency_mult=latency_mult, direction=direction)
+        return self._record(
+            "degrade", node_id, network, case,
+            extra={"loss": loss, "latency_mult": latency_mult, "direction": direction},
+        )
+
+    def restore_link(self, node_id: str, network: str, direction: str = "both", case: str = "") -> InjectedFault:
+        """Remove a gray degradation profile from one node's link."""
+        net = self.cluster.networks.get(network)
+        if net is None:
+            raise ClusterError(f"unknown network {network!r}")
+        net.restore_quality(node_id, direction=direction)
+        return self._record_repair(
+            "degrade", node_id, network, case, extra={"direction": direction}
+        )
+
+    def flap_link(
+        self,
+        node_id: str,
+        network: str,
+        *,
+        flaps: int,
+        down_time: float,
+        up_time: float,
+        jitter: float = 0.0,
+        case: str = "",
+    ) -> InjectedFault:
+        """Drive a seeded down/up flap schedule on one node's link.
+
+        Each cycle takes the link down for ``down_time`` then back up for
+        ``up_time`` (both optionally stretched by exponential ``jitter``
+        from the injector's own seeded RNG stream, so schedules are
+        deterministic per seed).  Every edge emits a ``fault.injected`` /
+        ``fault.repaired`` mark tagged with the cycle number.
+        """
+        net = self.cluster.networks.get(network)
+        if net is None:
+            raise ClusterError(f"unknown network {network!r}")
+        if flaps < 1:
+            raise ClusterError(f"flap_link needs flaps >= 1, got {flaps}")
+        rng = self.sim.rngs.stream(f"fault.flap.{node_id}.{network}")
+
+        def _schedule():
+            for cycle in range(flaps):
+                if net.link_up(node_id):
+                    net.set_link(node_id, False)
+                self._record("flap", node_id, network, case, extra={"cycle": cycle})
+                yield down_time + (float(rng.exponential(jitter)) if jitter > 0 else 0.0)
+                net.set_link(node_id, True)
+                self._record_repair("flap", node_id, network, case, extra={"cycle": cycle})
+                yield up_time + (float(rng.exponential(jitter)) if jitter > 0 else 0.0)
+
+        self.sim.spawn(_schedule(), name=f"fault.flap.{node_id}.{network}")
+        return InjectedFault(
+            kind="flap-schedule",
+            node_id=node_id,
+            target=network,
+            time=self.sim.now,
+            case=case,
+            extra={"flaps": flaps, "down_time": down_time, "up_time": up_time},
+        )
 
     # -- scheduled faults ----------------------------------------------------
     def at(self, delay: float, method_name: str, *args, **kwargs) -> None:
@@ -119,5 +218,22 @@ class FaultInjector:
         self.injected.append(fault)
         self.sim.trace.mark(
             "fault.injected", kind=kind, node=node_id, target=target, case=case, **fault.extra
+        )
+        return fault
+
+    def _record_repair(
+        self, kind: str, node_id: str, target: str, case: str, extra: dict | None = None
+    ) -> InjectedFault:
+        fault = InjectedFault(
+            kind=kind,
+            node_id=node_id,
+            target=target,
+            time=self.sim.now,
+            case=case,
+            extra=extra or {},
+        )
+        self.repaired.append(fault)
+        self.sim.trace.mark(
+            "fault.repaired", kind=kind, node=node_id, target=target, case=case, **fault.extra
         )
         return fault

@@ -10,7 +10,11 @@ Failure surface modelled here:
   of one network interface";
 * whole-fabric outage;
 * fabric *split* into connectivity groups (network partition);
-* independent per-message loss.
+* independent per-message loss;
+* per-link *gray* degradation — directional loss probability and latency
+  inflation on one node's link, so a NIC can be lossy or slow (or lossy
+  in only one direction) without being *down*.  A degraded link still
+  passes :meth:`path_open`; only statistics change.
 
 Delivery is datagram-like: any failed check silently drops the message
 and marks a ``net.drop`` trace record; protocols above detect loss via
@@ -20,11 +24,37 @@ heartbeats/timeouts exactly as the real system would.
 from __future__ import annotations
 
 from collections.abc import Callable
+from dataclasses import dataclass
 
 from repro.cluster.message import Message
 from repro.cluster.spec import NetworkSpec
 from repro.errors import ClusterError
 from repro.sim import Simulator
+
+#: Valid ``direction`` arguments for link degradation.
+DEGRADE_DIRECTIONS = ("out", "in", "both")
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """Gray-failure profile of one direction of one node's link.
+
+    ``loss`` is an independent per-message drop probability; ``latency_mult``
+    scales the sampled fabric latency.  Both apply on top of the fabric's
+    own ``loss_rate``/jitter, so a degraded link on a lossy fabric is worse
+    than either alone — as in the field.
+    """
+
+    loss: float = 0.0
+    latency_mult: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss <= 1.0:
+            raise ClusterError(f"degradation loss must be in [0, 1], got {self.loss}")
+        if self.latency_mult < 1.0:
+            raise ClusterError(
+                f"degradation latency_mult must be >= 1, got {self.latency_mult}"
+            )
 
 
 class Network:
@@ -50,6 +80,8 @@ class Network:
         self._link_up: dict[str, bool] = {nid: True for nid in node_ids}
         #: None = fully connected; else node -> group tag, cross-group drops.
         self._split: dict[str, int] | None = None
+        #: Gray degradation per (node, "out"|"in"); absent = clean link.
+        self._degraded: dict[tuple[str, str], LinkDegradation] = {}
         self._rng = sim.rngs.stream(f"net.{self.name}")
         #: Per-(src, dst) FIFO clock: latest scheduled arrival on the flow.
         self._flow_clock: dict[tuple[str, str], float] = {}
@@ -84,6 +116,42 @@ class Network:
     def heal(self) -> None:
         """Undo :meth:`split`."""
         self._split = None
+
+    def degrade(
+        self,
+        node_id: str,
+        *,
+        loss: float = 0.0,
+        latency_mult: float = 1.0,
+        direction: str = "both",
+    ) -> None:
+        """Apply a gray-failure profile to one node's link.
+
+        ``direction="out"`` degrades only messages the node *sends* (its
+        transmit path), ``"in"`` only messages it *receives* — the
+        asymmetric, one-way failure modes a binary up/down link model
+        cannot express.  Re-degrading replaces the previous profile.
+        """
+        if node_id not in self._link_up:
+            raise ClusterError(f"network {self.name}: unknown node {node_id}")
+        if direction not in DEGRADE_DIRECTIONS:
+            raise ClusterError(f"network {self.name}: bad direction {direction!r}")
+        profile = LinkDegradation(loss=loss, latency_mult=latency_mult)
+        for side in ("out", "in") if direction == "both" else (direction,):
+            self._degraded[(node_id, side)] = profile
+
+    def restore_quality(self, node_id: str, direction: str = "both") -> bool:
+        """Remove the gray-failure profile; returns True if one existed."""
+        if direction not in DEGRADE_DIRECTIONS:
+            raise ClusterError(f"network {self.name}: bad direction {direction!r}")
+        removed = False
+        for side in ("out", "in") if direction == "both" else (direction,):
+            removed |= self._degraded.pop((node_id, side), None) is not None
+        return removed
+
+    def degradation(self, node_id: str, direction: str) -> LinkDegradation | None:
+        """The active profile for one direction of a node's link, if any."""
+        return self._degraded.get((node_id, direction))
 
     # -- sender-visible health --------------------------------------------
     def usable_from(self, node_id: str) -> bool:
@@ -143,6 +211,25 @@ class Network:
             trace.count(f"net.{self.name}.drops")
             trace.mark("net.loss", network=self.name, src=msg.src_node, dst=msg.dst_node, mtype=msg.mtype)
             return False
+        # Gray degradation: sender's outbound profile and receiver's inbound
+        # profile drop independently (a message crossing two degraded links
+        # survives only if both let it through).
+        out = self._degraded.get((msg.src_node, "out"))
+        inbound = self._degraded.get((msg.dst_node, "in"))
+        latency_mult = 1.0
+        for profile in (out, inbound):
+            if profile is None:
+                continue
+            if profile.loss > 0 and self._rng.random() < profile.loss:
+                self.dropped += 1
+                trace.count(f"net.{self.name}.drops")
+                trace.count(f"net.{self.name}.degraded_drops")
+                trace.mark(
+                    "net.loss", network=self.name, src=msg.src_node, dst=msg.dst_node,
+                    mtype=msg.mtype, degraded=True,
+                )
+                return False
+            latency_mult *= profile.latency_mult
         trace.count(f"net.{self.name}.msgs")
         trace.count(f"net.{self.name}.bytes", msg.size)
 
@@ -162,7 +249,9 @@ class Network:
         # FIFO per (src, dst) flow: jitter never reorders two messages on
         # the same path, as on a real store-and-forward fabric (a later
         # send may arrive together with, but not before, an earlier one).
-        arrival = self.sim.now + self.latency_sample(msg.src_node, msg.dst_node, msg.size)
+        arrival = self.sim.now + latency_mult * self.latency_sample(
+            msg.src_node, msg.dst_node, msg.size
+        )
         flow = (msg.src_node, msg.dst_node)
         prev = self._flow_clock.get(flow, 0.0)
         if arrival < prev:

@@ -6,6 +6,21 @@ many faults of each class at *random phases* against random targets on
 the paper testbed and aggregates detection / diagnosis / recovery
 latencies (mean, p95, max) plus the campaign's coverage — every injected
 fault must be detected and recovered.
+
+The **gray campaign** (``--gray``) extends the matrix beyond fail-stop
+faults to the conditions real clusters lose leaders to:
+
+* ``gray/link-loss``  — 20 % one-way loss on a compute node's links;
+  the suspicion-based detector must ride it out (zero spurious
+  failovers, zero takeovers);
+* ``gray/link-flap``  — a seeded down/up flap schedule on one data
+  link; every down edge must be detected as a NIC failure and every up
+  edge must be seen restored, still with no full-node failovers;
+* ``gray/asym-split`` — the leader's outbound links go fully lossy
+  while inbound stays up (one-way partition).  Exactly one epoch-bumped
+  takeover must happen, and after the heal the stale leader must fence
+  and stand down — the campaign samples leadership continuously and the
+  count of *same-epoch* dual-leader intervals must be zero.
 """
 
 from __future__ import annotations
@@ -154,6 +169,276 @@ def _repair(cluster, kernel, injector, component, situation, target) -> None:
         injector.restore_nic(target, "data")
 
 
+# -- gray-failure campaign ---------------------------------------------------
+
+#: Gray fault classes (``gray/<kind>`` in reports).
+GRAY_CLASSES = ("link-loss", "link-flap", "asym-split")
+
+#: Full-failure verdicts: a diagnosis of one of these kinds while the
+#: subject is actually alive is a spurious failover.
+_FULL_KINDS = ("process", "node")
+
+
+@dataclass
+class GrayCampaignResult:
+    """Outcome of one gray fault class.
+
+    ``dual_leader_intervals`` counts sampled instants where two live
+    GSDs claimed leadership **at the same epoch** — the split-brain
+    hazard epoch fencing exists to prevent; it must be zero.
+    ``stale_leader_time`` is the (expected, benign) span during which an
+    unreachable old leader still *believed* it led at a superseded
+    epoch, before self-demoting or standing down.
+    """
+
+    kind: str = ""
+    injected: int = 0
+    covered: int = 0
+    spurious_failovers: int = 0
+    dual_leader_intervals: int = 0
+    stale_leader_time: float = 0.0
+    suspected: int = 0
+    false_suspicions: int = 0
+    fenced: int = 0
+    nic_reports: int = 0
+    repairs: int = 0
+    detect: list[float] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        return self.covered / self.injected if self.injected else 0.0
+
+
+def _leader_claims(kernel) -> list[tuple[str, int]]:
+    """(node, epoch) for every live GSD currently claiming leadership."""
+    claims = []
+    for (service, node), daemon in kernel._live.items():
+        if service != "gsd" or not daemon.alive:
+            continue
+        mg = daemon.metagroup
+        if mg.view is not None and mg.is_leader:
+            claims.append((node, mg.view.epoch))
+    return claims
+
+
+class _LeaderSampler:
+    """Advance the sim in slices, sampling leadership claims each step."""
+
+    def __init__(self, sim, kernel, result: GrayCampaignResult, slice_s: float) -> None:
+        self.sim = sim
+        self.kernel = kernel
+        self.result = result
+        self.slice_s = slice_s
+
+    def run_until(self, until: float) -> None:
+        while self.sim.now < until:
+            self.sim.run(until=min(self.sim.now + self.slice_s, until))
+            claims = _leader_claims(self.kernel)
+            if len(claims) > 1:
+                self.result.stale_leader_time += self.slice_s
+                epochs = [epoch for _, epoch in claims]
+                if len(epochs) != len(set(epochs)):
+                    self.result.dual_leader_intervals += 1
+
+
+def _count_spurious(sim, t0: float, exempt_node: str | None = None) -> int:
+    """Full-failure diagnoses after ``t0`` against subjects that never
+    died.  ``exempt_node`` excludes diagnoses *about* or *by* a node that
+    was genuinely unreachable (the isolated leader in an asym split)."""
+    spurious = 0
+    for r in sim.trace.iter_records("failure.diagnosed"):
+        if r.time <= t0 or r.get("kind") not in _FULL_KINDS:
+            continue
+        if exempt_node is not None and exempt_node in (r.get("node"), r.get("by")):
+            continue
+        spurious += 1
+    return spurious
+
+
+def run_gray_class(
+    kind: str,
+    injections: int = 4,
+    seed: int = 0,
+    heartbeat_interval: float = 10.0,
+    loss: float = 0.2,
+    spec: ClusterSpec | None = None,
+) -> GrayCampaignResult:
+    """Run one gray fault class; see module docstring for the scenarios."""
+    if kind not in GRAY_CLASSES:
+        raise ValueError(f"unknown gray class {kind!r}; expected one of {GRAY_CLASSES}")
+    sim = Simulator(seed=seed, trace_capacity=None)
+    cluster = Cluster(sim, spec or ClusterSpec.build(partitions=4, computes=6))
+    kernel = PhoenixKernel(cluster, timings=KernelTimings(heartbeat_interval=heartbeat_interval))
+    kernel.boot()
+    injector = FaultInjector(cluster)
+    rng = sim.rngs.stream(f"campaign.gray.{kind}")
+    networks = sorted(cluster.networks)
+    result = GrayCampaignResult(kind=kind)
+    sampler = _LeaderSampler(sim, kernel, result, slice_s=0.25 * heartbeat_interval)
+    sim.run(until=2.0 * heartbeat_interval)
+    start = sim.now
+
+    for i in range(injections):
+        sim.run(until=sim.now + float(rng.uniform(0.2, 1.2)) * heartbeat_interval)
+        t0 = sim.now
+        case = f"g{i}"
+
+        if kind == "link-loss":
+            target = _pick_target(cluster, kernel, "wd", rng)
+            if target is None:
+                continue
+            drops0 = sum(sim.trace.counter(f"net.{n}.degraded_drops") for n in networks)
+            for net in networks:
+                injector.degrade_link(target, net, loss=loss, direction="out", case=case)
+            result.injected += 1
+            sampler.run_until(sim.now + 6.0 * heartbeat_interval)
+            for net in networks:
+                injector.restore_link(target, net, case=case)
+            drops = sum(sim.trace.counter(f"net.{n}.degraded_drops") for n in networks)
+            if drops > drops0:
+                result.covered += 1
+            sampler.run_until(sim.now + 2.0 * heartbeat_interval)
+
+        elif kind == "link-flap":
+            target = _pick_target(cluster, kernel, "wd", rng)
+            if target is None:
+                continue
+            flaps = 3
+            down_time = up_time = 1.5 * heartbeat_interval
+            injector.flap_link(
+                target, "data", flaps=flaps, down_time=down_time, up_time=up_time, case=case
+            )
+            result.injected += 1
+            sampler.run_until(sim.now + flaps * (down_time + up_time) + 2.0 * heartbeat_interval)
+            downs = [
+                r.time for r in sim.trace.iter_records(
+                    "fault.injected", kind="flap", node=target, case=case)
+            ]
+            detects = [
+                r.time for r in sim.trace.iter_records(
+                    "failure.detected", component="wd", node=target, network="data")
+                if r.time > t0
+            ]
+            restores = [
+                r.time for r in sim.trace.iter_records(
+                    "network.restored", component="wd", node=target, network="data")
+                if r.time > t0
+            ]
+            if len(detects) >= flaps and len(restores) >= flaps:
+                result.covered += 1
+            for edge in downs:
+                first = next((t for t in detects if t > edge), None)
+                if first is not None:
+                    result.detect.append(first - edge)
+
+        else:  # asym-split
+            claims = _leader_claims(kernel)
+            if len(claims) != 1:
+                continue
+            leader_node, leader_epoch = claims[0]
+            for net in networks:
+                injector.degrade_link(leader_node, net, loss=1.0, direction="out", case=case)
+            result.injected += 1
+            sampler.run_until(sim.now + 8.0 * heartbeat_interval)
+            for net in networks:
+                injector.restore_link(leader_node, net, case=case)
+            sampler.run_until(sim.now + 6.0 * heartbeat_interval)
+            takeovers = [
+                r for r in sim.trace.iter_records("leader.takeover") if r.time > t0
+            ]
+            final = _leader_claims(kernel)
+            views = {
+                d.metagroup.view.key
+                for (svc, _), d in kernel._live.items()
+                if svc == "gsd" and d.alive and d.metagroup.view is not None
+            }
+            stood_down = any(
+                r.time > t0
+                for r in sim.trace.iter_records("gsd.superseded", node=leader_node)
+            )
+            if (
+                len(takeovers) == 1
+                and takeovers[0].get("epoch") == leader_epoch + 1
+                and len(final) == 1
+                and final[0][0] != leader_node
+                and len(views) == 1
+                and stood_down
+            ):
+                result.covered += 1
+                result.detect.append(takeovers[0].time - t0)
+            result.spurious_failovers += max(0, len(takeovers) - 1)
+            result.spurious_failovers += _count_spurious(sim, t0, exempt_node=leader_node)
+
+    if kind in ("link-loss", "link-flap"):
+        # Nothing actually died: every full-failure diagnosis and every
+        # takeover over the whole run is spurious.
+        result.spurious_failovers = _count_spurious(sim, start)
+        result.spurious_failovers += sum(
+            1 for r in sim.trace.iter_records("leader.takeover") if r.time > start
+        )
+    result.suspected = sum(1 for _ in sim.trace.iter_records("failure.suspected"))
+    result.false_suspicions = int(sim.trace.counter("gsd.false_suspicions"))
+    result.fenced = sum(1 for _ in sim.trace.iter_records("gsd.fenced"))
+    result.nic_reports = sum(
+        1 for r in sim.trace.iter_records("failure.diagnosed", kind="network")
+        if r.time > start
+    )
+    result.repairs = len(injector.repaired)
+    return result
+
+
+def run_gray_campaign(
+    injections: int = 4, seed: int = 0
+) -> dict[str, GrayCampaignResult]:
+    """One GrayCampaignResult per class in GRAY_CLASSES."""
+    return {
+        kind: run_gray_class(kind, injections=injections, seed=seed)
+        for kind in GRAY_CLASSES
+    }
+
+
+def render_gray_campaign(results: dict[str, GrayCampaignResult]) -> str:
+    """Aggregate table: coverage + robustness gates per gray class."""
+    rows = []
+    for kind, r in sorted(results.items()):
+        latency = "-"
+        if r.detect:
+            d = summarize(r.detect)
+            latency = f"{fmt_time(d.mean)} (max {fmt_time(d.max)})"
+        rows.append([
+            f"gray/{kind}",
+            r.injected,
+            f"{100 * r.coverage:.0f}%",
+            r.spurious_failovers,
+            r.dual_leader_intervals,
+            fmt_time(r.stale_leader_time) if r.stale_leader_time else "0",
+            r.suspected,
+            r.fenced,
+            latency,
+        ])
+    return format_table(
+        ["gray class", "injected", "coverage", "spurious", "dual-leader",
+         "stale-belief", "suspected", "fenced", "detect mean (max)"],
+        rows,
+        title="Gray-failure campaign — loss, flaps, asymmetric splits (10 s heartbeat)",
+    )
+
+
+def check_gray_campaign(results: dict[str, GrayCampaignResult]) -> list[str]:
+    """Acceptance gates for CI: returns a list of violations (empty = pass)."""
+    problems = []
+    for kind, r in sorted(results.items()):
+        if r.dual_leader_intervals:
+            problems.append(
+                f"gray/{kind}: {r.dual_leader_intervals} same-epoch dual-leader intervals"
+            )
+        if r.spurious_failovers:
+            problems.append(f"gray/{kind}: {r.spurious_failovers} spurious failovers")
+        if kind in ("link-flap", "asym-split") and r.coverage < 1.0:
+            problems.append(f"gray/{kind}: coverage {100 * r.coverage:.0f}% < 100%")
+    return problems
+
+
 def run_campaign(injections: int = 8, seed: int = 0) -> dict[tuple[str, str], CampaignResult]:
     """One CampaignResult per fault class in CLASSES."""
     return {
@@ -194,7 +479,27 @@ def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description="Random-phase fault campaign")
     parser.add_argument("--injections", type=int, default=8)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--gray", action="store_true",
+        help="run the gray-failure classes (loss/flap/asym-split) instead of fail-stop",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="with --gray: exit nonzero on dual-leader intervals, spurious "
+             "failovers, or incomplete flap/split coverage (CI gate)",
+    )
     args = parser.parse_args(argv)
+    if args.gray:
+        results = run_gray_campaign(injections=args.injections, seed=args.seed)
+        print(render_gray_campaign(results))
+        if args.check:
+            problems = check_gray_campaign(results)
+            for problem in problems:
+                print(f"FAIL: {problem}")
+            if problems:
+                raise SystemExit(1)
+            print("gray campaign gates: OK")
+        return
     print(render_campaign(run_campaign(injections=args.injections, seed=args.seed)))
 
 

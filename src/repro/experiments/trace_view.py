@@ -18,7 +18,7 @@ import argparse
 
 from repro.experiments.report import format_table
 from repro.sim.trace import Trace, TraceRecord
-from repro.userenv.monitoring.analysis import critical_path, span_tree
+from repro.userenv.monitoring.analysis import alerts, critical_path, span_tree
 
 
 def fmt_seconds(value: float) -> str:
@@ -85,6 +85,22 @@ def render_histograms(trace: Trace) -> str:
     return format_table(["category", "count", "mean", "p50", "p95", "p99", "max"], rows)
 
 
+def render_alerts(trace: Trace) -> str:
+    """Alert rules evaluated over the export's latency histograms.
+
+    The offline analog of the monitoring layer's :func:`alerts` over a
+    live health report: staleness rules need live self-reports, but the
+    latency-p99 ceilings apply to any exported trace.
+    """
+    report = {"latency": {name: h.summary() for name, h in trace.histograms().items()}}
+    fired = alerts(report)
+    if not fired:
+        return "(none: spine latency p99s within limits)"
+    return "\n".join(
+        f"[{a.severity}] {a.rule} {a.subject}: {a.message}" for a in fired
+    )
+
+
 def render_critical_path(source: Trace | list[TraceRecord], root_category: str) -> str:
     """The longest-pole chain under the first ``root_category`` span."""
     path = critical_path(source, root_category=root_category)
@@ -106,6 +122,8 @@ def render_trace(trace: Trace, root_category: str, max_roots: int | None) -> str
         render_span_tree(trace, max_roots=max_roots) or "(no closed spans in this export)",
         "== latency histograms ==",
         render_histograms(trace),
+        "== alerts ==",
+        render_alerts(trace),
         f"== critical path ({root_category}) ==",
         render_critical_path(trace, root_category),
     ]

@@ -60,6 +60,10 @@ class PhoenixKernel:
         #: partition id for partition services, or a wider tag such as
         #: ("metagroup", "leader").
         self.placement: dict[tuple[str, str], str] = {}
+        #: Monotone fencing epochs for contested placements (currently the
+        #: meta-group leader): a stale-epoch update is rejected, so a
+        #: healed ex-leader can never clobber the record of its successor.
+        self._placement_epochs: dict[tuple[str, str], int] = {}
         self._live: dict[tuple[str, str], ServiceDaemon] = {}
         #: User-environment services supervised by a partition's GSD
         #: (service name -> partition id).  See :meth:`register_user_service`.
@@ -108,7 +112,7 @@ class PhoenixKernel:
         view = View(view_id=1, members=members)
         for part in self.cluster.partitions:
             self.gsd(part.partition_id).metagroup.install_view(view)
-        self.note_placement("metagroup", "leader", members[0][1])
+        self.note_placement("metagroup", "leader", members[0][1], epoch=view.epoch)
         self.booted = True
         self.sim.trace.mark("kernel.booted", nodes=self.cluster.size, partitions=len(members))
 
@@ -150,9 +154,28 @@ class PhoenixKernel:
             return None
         return self._live.get((service, node_id))
 
-    def note_placement(self, service: str, scope: str, node_id: str) -> None:
-        """Record that ``service`` for ``scope`` now lives on ``node_id``."""
-        self.placement[(service, scope)] = node_id
+    def note_placement(
+        self, service: str, scope: str, node_id: str, epoch: int | None = None
+    ) -> bool:
+        """Record that ``service`` for ``scope`` now lives on ``node_id``.
+
+        With ``epoch``, the record is fenced: an update stamped with an
+        epoch older than the recorded one is rejected (returns False and
+        marks ``gsd.fenced``), so two sides of a healed asymmetric split
+        cannot fight over the entry — the higher epoch always wins.
+        """
+        key = (service, scope)
+        if epoch is not None:
+            current = self._placement_epochs.get(key)
+            if current is not None and epoch < current:
+                self.sim.trace.mark(
+                    "gsd.fenced", target="placement", service=service, scope=scope,
+                    node=node_id, epoch=epoch, current_epoch=current,
+                )
+                return False
+            self._placement_epochs[key] = epoch
+        self.placement[key] = node_id
+        return True
 
     # -- service accessors (host-side introspection) -------------------------
     def _partition_daemon(self, service: str, partition_id: str) -> ServiceDaemon:

@@ -129,7 +129,10 @@ class BulletinDaemon(ServiceDaemon):
         # Local-scope peer queries are idempotent: retry within the same
         # budget so one lost datagram does not hide a partition's rows.
         signals = {
-            part_id: self.rpc_retry(node, ports.DB, ports.DB_QUERY, dict(request), span=span)
+            part_id: self.rpc_retry(
+                node, ports.DB, ports.DB_QUERY, dict(request), span=span,
+                call_class="bulletin.fanout",
+            )
             for part_id, node in peers.items()
         }
         rows = list(local_rows)

@@ -46,7 +46,9 @@ class CheckpointDaemon(ServiceDaemon):
             return
         # Anti-entropy pull is idempotent; retry so one lost datagram does
         # not cost a whole partition its recovered state.
-        reply = yield self.rpc_retry(replica_node, ports.CKPT_REPLICA, ports.CKPT_PULL, {})
+        reply = yield self.rpc_retry(
+            replica_node, ports.CKPT_REPLICA, ports.CKPT_PULL, {}, call_class="ckpt.pull"
+        )
         if reply and "dump" in reply:
             updated = self.store.absorb(reply["dump"], self.sim.now)
             self.sim.trace.mark("ckpt.synced", node=self.node_id, keys=updated)

@@ -152,10 +152,17 @@ class ServiceDaemon:
         timeout: float | None = None,
         attempts: int | None = None,
         span: Span | None = None,
+        call_class: str | None = None,
     ) -> Signal:
         """Retrying RPC for *idempotent* calls (queries, checkpoint
         save/load, fan-out); same total timeout budget as :meth:`rpc`,
-        policy from :class:`~repro.kernel.timings.KernelTimings`."""
+        policy from :class:`~repro.kernel.timings.KernelTimings`.
+
+        ``call_class`` tags the call site for a per-class in-flight
+        budget (``KernelTimings.rpc_inflight_budgets``): wide fan-outs
+        and bulky pulls get cheaper per-destination caps than ordinary
+        control-plane calls.
+        """
         t = self.timings
         return self.transport.rpc_retry(
             self.node_id,
@@ -168,6 +175,7 @@ class ServiceDaemon:
             attempts=t.rpc_retry_attempts if attempts is None else attempts,
             backoff=t.rpc_retry_backoff,
             jitter=t.rpc_retry_jitter,
+            inflight_cap=None if call_class is None else t.inflight_budget(call_class),
             span=span,
         )
 

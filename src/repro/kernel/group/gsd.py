@@ -23,7 +23,7 @@ from repro.kernel.daemon import ServiceDaemon
 from repro.kernel.events import types as ev
 from repro.kernel.group.metagroup import MetaGroup
 from repro.kernel.group.monitor import HeartbeatMonitor
-from repro.kernel.group.recovery import NODE, PROCESS, diagnose, restart_service_remote
+from repro.kernel.group.recovery import ALIVE, NODE, PROCESS, diagnose, restart_service_remote
 from repro.sim import Span
 
 
@@ -47,6 +47,8 @@ class GSDDaemon(ServiceDaemon):
             on_nic_restore=self._on_wd_nic_restore,
             on_full_miss=self._on_wd_full_miss,
             on_return=self._on_wd_return,
+            suspicion_threshold=self.timings.suspicion_threshold,
+            suspicion_decay=self.timings.suspicion_decay,
         )
         self._svc_recovering: set[str] = set()
         self._local_nics_ok: dict[str, bool] | None = None
@@ -109,7 +111,10 @@ class GSDDaemon(ServiceDaemon):
         ckpt_node = self.kernel.placement.get(("ckpt", self.partition_id))
         if ckpt_node is None:
             return
-        reply = yield self.rpc_retry(ckpt_node, ports.CKPT, ports.CKPT_LOAD, {"key": self._ckpt_key()})
+        reply = yield self.rpc_retry(
+            ckpt_node, ports.CKPT, ports.CKPT_LOAD, {"key": self._ckpt_key()},
+            call_class="ckpt.pull",
+        )
         if reply and reply.get("found"):
             self.node_state = dict(reply["data"].get("node_state", {}))
             self.sim.trace.mark("gsd.state_recovered", node=self.node_id, entries=len(self.node_state))
@@ -139,6 +144,7 @@ class GSDDaemon(ServiceDaemon):
                 "node": self.node_id,
                 "node_state": dict(self.node_state),
                 "view_id": view.view_id if view else None,
+                "epoch": view.epoch if view else None,
                 "members": [list(m) for m in view.members] if view else [],
                 "is_leader": self.metagroup.is_leader,
             }
@@ -198,9 +204,19 @@ class GSDDaemon(ServiceDaemon):
 
     def _wd_failure(self, subject: str, root: Span):
         diag = root.child("gsd.diagnose", node=subject)
-        kind = yield from diagnose(self, subject, server_mode=False, span=diag)
+        kind = yield from diagnose(self, subject, server_mode=False, span=diag, service="wd")
         diag.end(kind=kind)
-        root.mark("failure.diagnosed", component="wd", kind=kind, node=subject)
+        if kind == ALIVE:
+            # Gray failure: the WD answered our direct liveness query, so
+            # the silent heartbeats were eaten by the network, not a death.
+            # Resume monitoring with a fresh deadline instead of failing
+            # the node over.
+            root.mark("suspicion.cleared", component="wd", node=subject, by=self.node_id)
+            self.sim.trace.count("gsd.false_suspicions")
+            self.wd_monitor.expect(subject)
+            root.end(kind=kind, ok=True)
+            return
+        root.mark("failure.diagnosed", component="wd", kind=kind, node=subject, by=self.node_id)
         if kind == PROCESS:
             self.publish(ev.SERVICE_FAILURE, {"service": "wd", "node": subject}, span=root)
             rec = root.child("gsd.recover", node=subject, action="restart")

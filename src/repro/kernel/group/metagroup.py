@@ -18,6 +18,18 @@ Concretely:
 * membership changes go through the Leader, which broadcasts a new view;
   when the *Leader* is the failed member, the Princess installs and
   broadcasts the new view itself — the takeover.
+
+Gray-failure hardening (MSCS-style epochs + fencing): every view carries
+a monotone **leader epoch**, bumped exactly once per takeover.  Views are
+ordered by ``(epoch, view_id)``; a view or membership command stamped
+with an older epoch is *fenced* — rejected with a ``gsd.fenced`` trace
+mark, and the sender is pushed the newer view so the stale side of a
+healed asymmetric split reconciles instead of writing.  A member that
+discovers its partition is now represented by a *different* node (its
+GSD was migrated while it was unreachable-but-alive) stands down: it
+stops itself and any co-located service group members whose placement
+moved — the post-heal reconciliation step that guarantees a heal can
+never leave two writers.
 """
 
 from __future__ import annotations
@@ -30,6 +42,7 @@ from repro.kernel import ports
 from repro.kernel.events import types as ev
 from repro.kernel.group.monitor import HeartbeatMonitor
 from repro.kernel.group.recovery import (
+    ALIVE,
     NODE,
     PROCESS,
     diagnose,
@@ -44,10 +57,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclass(frozen=True)
 class View:
-    """One membership view: ordered (partition, node) pairs."""
+    """One membership view: ordered (partition, node) pairs.
+
+    ``epoch`` is the leader epoch: bumped exactly once per takeover and
+    never otherwise, so any two views from different leader lineages are
+    ordered even when their view_ids collide (the split-brain case).
+    Views compare by ``key`` = ``(epoch, view_id)``.
+    """
 
     view_id: int
     members: tuple[tuple[str, str], ...]
+    epoch: int = 1
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.epoch, self.view_id)
 
     def nodes(self) -> list[str]:
         return [node for _, node in self.members]
@@ -61,13 +85,24 @@ class View:
     def contains_node(self, node_id: str) -> bool:
         return any(node == node_id for _, node in self.members)
 
+    def node_for(self, partition_id: str) -> str | None:
+        for part, node in self.members:
+            if part == partition_id:
+                return node
+        return None
+
     def to_payload(self) -> dict[str, Any]:
-        return {"view_id": self.view_id, "members": [list(m) for m in self.members]}
+        return {
+            "view_id": self.view_id,
+            "epoch": self.epoch,
+            "members": [list(m) for m in self.members],
+        }
 
     @classmethod
     def from_payload(cls, payload: dict[str, Any]) -> "View":
         return cls(
             view_id=int(payload["view_id"]),
+            epoch=int(payload.get("epoch", 1)),
             members=tuple((m[0], m[1]) for m in payload["members"]),
         )
 
@@ -90,9 +125,17 @@ class MetaGroup:
             on_nic_restore=self._on_nic_restore,
             on_full_miss=self._on_full_miss,
             on_return=self._on_return,
+            suspicion_threshold=gsd.timings.suspicion_threshold,
+            suspicion_decay=gsd.timings.suspicion_decay,
         )
         self._recovering: set[str] = set()
         self._rejoining = False
+        self._standing_down = False
+        #: An isolated leader (every peer evicted) self-demotes: reigning
+        #: alone is indistinguishable from being the wrong side of an
+        #: asymmetric partition, so it probes for the surviving group
+        #: instead of claiming leadership.
+        self.demoted = False
 
     # -- identity helpers --------------------------------------------------
     @property
@@ -101,7 +144,11 @@ class MetaGroup:
 
     @property
     def is_leader(self) -> bool:
-        return self.view is not None and self.view.leader()[1] == self.me
+        return (
+            self.view is not None
+            and self.view.leader()[1] == self.me
+            and not self.demoted
+        )
 
     @property
     def is_princess(self) -> bool:
@@ -118,11 +165,24 @@ class MetaGroup:
         return self._ring.predecessor(self.me)
 
     # -- view management -----------------------------------------------------
-    def install_view(self, view: View) -> None:
-        """Adopt ``view``; rearms ring monitoring toward the new predecessor."""
-        if self.view is not None and view.view_id <= self.view.view_id:
-            return  # stale or duplicate
+    def install_view(self, view: View) -> bool:
+        """Adopt ``view``; rearms ring monitoring toward the new predecessor.
+
+        Returns True if adopted.  Views are ordered by ``(epoch,
+        view_id)``; one from an older *epoch* is **fenced** — rejected
+        with a ``gsd.fenced`` mark — because it comes from a superseded
+        leader lineage (callers push the newer view back at the sender so
+        the stale side reconciles).
+        """
+        if self.view is not None and view.key <= self.view.key:
+            if view.epoch < self.view.epoch:
+                self.sim.trace.mark(
+                    "gsd.fenced", target="view", node=self.me, view_id=view.view_id,
+                    epoch=view.epoch, current_epoch=self.view.epoch,
+                )
+            return False  # stale or duplicate
         old_pred = self.predecessor()
+        was_leader = self.is_leader
         self.view = view
         self._ring = Ring(view.nodes())
         self._node_partition = {node: part for part, node in view.members}
@@ -132,13 +192,62 @@ class MetaGroup:
         if new_pred is not None and new_pred != old_pred:
             self.monitor.expect(new_pred)
         self.sim.trace.mark(
-            "view.installed", node=self.me, view_id=view.view_id, members=len(view.members)
+            "view.installed", node=self.me, view_id=view.view_id, epoch=view.epoch,
+            members=len(view.members),
         )
-        if not view.contains_node(self.me) and not self._rejoining:
-            # We were evicted (e.g. falsely declared dead across a network
-            # split); rejoin through the current leader.
-            self._rejoining = True
-            self.gsd.spawn(self._rejoin(), name=f"{self.me}/mg.rejoin")
+        if was_leader and not self.is_leader:
+            # A higher-epoch view dethroned us (we were the stale side of
+            # a healed split, or a takeover raced our own view change).
+            self.sim.trace.mark("leader.stepdown", node=self.me, epoch=view.epoch)
+        if not view.contains_node(self.me):
+            replacement = view.node_for(self.gsd.partition_id)
+            if replacement is not None and replacement != self.me:
+                # Post-heal reconciliation: our partition is already
+                # represented by a migrated GSD, so we are a superseded
+                # duplicate — stand down rather than rejoin.
+                self._stand_down(view, replacement)
+            elif not self._rejoining:
+                # We were evicted (e.g. falsely declared dead across a
+                # network split); rejoin through the current leader.
+                self._rejoining = True
+                self.gsd.spawn(self._rejoin(), name=f"{self.me}/mg.rejoin")
+        elif len(view.members) > 1:
+            self.demoted = False
+        elif len(self.gsd.cluster.partitions) > 1 and not self.demoted:
+            # We just evicted our last peer.  A leader that watched every
+            # member vanish is indistinguishable from a leader on the
+            # wrong (outbound-dead) side of an asymmetric partition, so
+            # it must not keep acting on that belief: demote, and probe
+            # for a surviving group to rejoin or stand down into.
+            self.demoted = True
+            self.sim.trace.mark("leader.isolated", node=self.me, epoch=view.epoch)
+            self.gsd.spawn(self._probe_for_group(), name=f"{self.me}/mg.probe")
+        return True
+
+    def _stand_down(self, view: View, replacement: str) -> None:
+        """Stop this GSD: a newer-epoch view shows our partition led from
+        ``replacement``.  Fencing already silences our control messages;
+        standing down removes the stale *writer* itself, plus any
+        co-located service-group members whose placement moved away."""
+        if self._standing_down:
+            return
+        self._standing_down = True
+        self.sim.trace.mark(
+            "gsd.superseded", node=self.me, partition=self.gsd.partition_id,
+            replacement=replacement, epoch=view.epoch,
+        )
+        for subject in self.monitor.subjects():
+            self.monitor.forget(subject)
+        for subject in self.gsd.wd_monitor.subjects():
+            self.gsd.wd_monitor.forget(subject)
+        kernel = self.gsd.kernel
+        for svc in self.gsd.managed_services():
+            placed = kernel.placement.get((svc, self.gsd.partition_id))
+            if placed is not None and placed != self.me:
+                local = kernel.live_daemon(svc, self.me)
+                if local is not None and local.alive:
+                    local.stop()
+        self.gsd.stop()
 
     def _rejoin(self):
         try:
@@ -146,15 +255,53 @@ class MetaGroup:
         finally:
             self._rejoining = False
 
+    def _probe_for_group(self):
+        """Isolated-leader reconciliation: keep sending JOINs toward the
+        recorded leadership placement.  On the stale side of a healed
+        asymmetric split the join eventually lands, gets refused (our
+        partition slot is taken), and the corrective view stands us down;
+        if instead a joiner reaches *us*, ``on_join`` re-promotes."""
+        while self.demoted and self.gsd.alive:
+            leader = self.gsd.kernel.placement.get(("metagroup", "leader"))
+            if leader is not None and leader != self.me:
+                self.gsd.send(
+                    leader, ports.GSD, ports.GSD_JOIN,
+                    {"partition": self.gsd.partition_id, "node": self.me},
+                )
+            yield self.gsd.timings.heartbeat_interval
+
     def broadcast_view(self) -> None:
         assert self.view is not None
         for _, node in self.view.members:
             if node != self.me:
                 self.gsd.send(node, ports.GSD, ports.GSD_VIEW, {"view": self.view.to_payload()})
 
-    def _make_view(self, members: tuple[tuple[str, str], ...]) -> View:
+    def _export_leader(self) -> None:
+        """Publish the epoch-stamped leadership record to the bulletin, so
+        monitoring readers can resolve conflicting claims by epoch."""
+        if self.view is None:
+            return
+        db_node = self.gsd.kernel.placement.get(("db", self.gsd.partition_id))
+        if db_node is not None:
+            self.gsd.send(
+                db_node, ports.DB, ports.DB_PUT,
+                {
+                    "table": "metagroup",
+                    "key": "leader",
+                    "row": {
+                        "node": self.me,
+                        "epoch": self.view.epoch,
+                        "view_id": self.view.view_id,
+                    },
+                },
+            )
+
+    def _make_view(
+        self, members: tuple[tuple[str, str], ...], bump_epoch: bool = False
+    ) -> View:
         next_id = (self.view.view_id if self.view else 0) + 1
-        return View(view_id=next_id, members=members)
+        epoch = (self.view.epoch if self.view else 1) + (1 if bump_epoch else 0)
+        return View(view_id=next_id, members=members, epoch=epoch)
 
     # -- ring heartbeats -----------------------------------------------------
     def beat_loop(self):
@@ -175,13 +322,20 @@ class MetaGroup:
         sender = msg.payload.get("node")
         beat_view = msg.payload.get("view")
         if beat_view is not None:
-            their_id = int(beat_view["view_id"])
-            mine = self.view.view_id if self.view is not None else 0
-            if their_id > mine:
+            theirs = (int(beat_view.get("epoch", 1)), int(beat_view["view_id"]))
+            mine = self.view.key if self.view is not None else (0, 0)
+            if theirs > mine:
                 self.install_view(View.from_payload(beat_view))
-            elif their_id < mine and sender is not None:
+            elif theirs < mine and sender is not None:
+                if theirs[0] < mine[0]:
+                    # A beat from a superseded leader lineage.
+                    self.sim.trace.mark(
+                        "gsd.fenced", target="ring_beat", node=self.me, sender=sender,
+                        epoch=theirs[0], current_epoch=mine[0],
+                    )
                 # The sender is behind (stale side of a healed split):
-                # push our view so its ring re-forms or it rejoins.
+                # push our view so its ring re-forms, it rejoins, or a
+                # superseded duplicate stands down.
                 self.gsd.send(sender, ports.GSD, ports.GSD_VIEW,
                               {"view": self.view.to_payload()})
         if sender == self.predecessor():
@@ -190,6 +344,11 @@ class MetaGroup:
     # -- control messages ------------------------------------------------
     def on_join(self, msg: Message) -> None:
         """Leader side: admit a (re)joining GSD."""
+        if self.demoted and self.view is not None and self.view.leader()[1] == self.me:
+            # An isolated ex-leader that a joiner can still reach: the
+            # group is re-forming around us — resume leadership.
+            self.demoted = False
+            self.sim.trace.mark("leader.reformed", node=self.me, epoch=self.view.epoch)
         if not self.is_leader:
             # Forward to whoever we believe leads (a restarted GSD may have
             # a stale idea of the leader's location).
@@ -205,6 +364,18 @@ class MetaGroup:
             return
         partition = msg.payload["partition"]
         node = msg.payload["node"]
+        current = self.view.node_for(partition)
+        if current is not None and current != node:
+            # The partition already has a representative (e.g. its GSD
+            # was migrated while the old host was unreachable-but-alive).
+            # Refuse, and push the current view so the stale duplicate
+            # reconciles — its stand-down path fires on installation.
+            self.sim.trace.mark(
+                "gsd.join_refused", partition=partition, node=node,
+                current=current, epoch=self.view.epoch,
+            )
+            self.gsd.send(node, ports.GSD, ports.GSD_VIEW, {"view": self.view.to_payload()})
+            return
         members = [(p, n) for p, n in self.view.members if p != partition]
         members.append((partition, node))
         self.install_view(self._make_view(tuple(members)))
@@ -213,11 +384,35 @@ class MetaGroup:
         self.sim.trace.mark("member.joined", partition=partition, node=node)
 
     def on_view(self, msg: Message) -> None:
-        self.install_view(View.from_payload(msg.payload["view"]))
+        view = View.from_payload(msg.payload["view"])
+        installed = self.install_view(view)
+        if not installed and self.view is not None and view.epoch < self.view.epoch:
+            # The sender is pushing a superseded lineage's view: reply
+            # with the newer one so the stale side demotes, rejoins, or
+            # stands down instead of retrying forever.
+            if msg.src_node != self.me:
+                self.gsd.send(
+                    msg.src_node, ports.GSD, ports.GSD_VIEW,
+                    {"view": self.view.to_payload()},
+                )
 
     def on_member_failed(self, msg: Message) -> None:
         """Leader side: drop a reported-dead member and broadcast."""
         if not self.is_leader or self.view is None:
+            return
+        claimed_epoch = msg.payload.get("epoch")
+        if claimed_epoch is not None and int(claimed_epoch) < self.view.epoch:
+            # A stale-epoch eviction command (e.g. from the old side of a
+            # healed split): fence it and correct the sender.
+            self.sim.trace.mark(
+                "gsd.fenced", target="member_failed", node=self.me, sender=msg.src_node,
+                epoch=int(claimed_epoch), current_epoch=self.view.epoch,
+            )
+            if msg.src_node != self.me:
+                self.gsd.send(
+                    msg.src_node, ports.GSD, ports.GSD_VIEW,
+                    {"view": self.view.to_payload()},
+                )
             return
         node = msg.payload["node"]
         if not self.view.contains_node(node):
@@ -291,8 +486,20 @@ class MetaGroup:
                 return
             was_leader = self.view.leader()[1] == failed_node
             diag = root.child("gsd.diagnose", node=failed_node)
-            kind = yield from diagnose(self.gsd, failed_node, server_mode=True, span=diag)
+            kind = yield from diagnose(
+                self.gsd, failed_node, server_mode=True, span=diag, service="gsd"
+            )
             diag.end(kind=kind)
+            if kind == ALIVE:
+                # Gray failure: the member's GSD answered our status query
+                # directly — the quiet ring beats were network loss, not a
+                # death.  Keep the membership, resume monitoring.
+                root.mark("suspicion.cleared", component="gsd", node=failed_node, by=self.me)
+                self.sim.trace.count("gsd.false_suspicions")
+                if failed_node == self.predecessor():
+                    self.monitor.expect(failed_node)
+                root.end(kind=kind, ok=True)
+                return
             root.mark(
                 "failure.diagnosed", component="gsd", kind=kind, node=failed_node, by=self.me
             )
@@ -308,19 +515,30 @@ class MetaGroup:
             if was_leader:
                 # "In case of failure of Leader ... select Princess to take
                 # over it."  We are the Leader's successor == the Princess.
-                self.install_view(self._make_view(members))
+                # The takeover bumps the leader epoch: every control
+                # message of the old lineage is now fenceable, so even if
+                # the old leader was only unreachable (asymmetric split)
+                # it can never re-assert leadership after the heal.
+                self.install_view(self._make_view(members, bump_epoch=True))
                 self.broadcast_view()
-                self.gsd.kernel.note_placement("metagroup", "leader", self.me)
-                root.mark("leader.takeover", old=failed_node, new=self.me)
-                self.gsd.publish(ev.LEADER_CHANGED, {"old": failed_node, "new": self.me}, span=root)
+                epoch = self.view.epoch
+                self.gsd.kernel.note_placement("metagroup", "leader", self.me, epoch=epoch)
+                self._export_leader()
+                root.mark("leader.takeover", old=failed_node, new=self.me, epoch=epoch)
+                self.gsd.publish(
+                    ev.LEADER_CHANGED,
+                    {"old": failed_node, "new": self.me, "epoch": epoch},
+                    span=root,
+                )
             else:
+                report = {"node": failed_node, "epoch": self.view.epoch}
                 leader = self.view.leader()[1]
                 if leader == self.me:
                     self.on_member_failed(
-                        Message(self.me, self.me, ports.GSD, ports.GSD_MEMBER_FAILED, {"node": failed_node})
+                        Message(self.me, self.me, ports.GSD, ports.GSD_MEMBER_FAILED, report)
                     )
                 else:
-                    self.gsd.send(leader, ports.GSD, ports.GSD_MEMBER_FAILED, {"node": failed_node})
+                    self.gsd.send(leader, ports.GSD, ports.GSD_MEMBER_FAILED, report)
 
             if kind == PROCESS:
                 self.gsd.publish(

@@ -5,6 +5,24 @@ meta-group member tracks its ring predecessor.  Beats arrive on every
 healthy fabric; a deadline miss on *some* fabrics is a NIC failure, a
 miss on *all* fabrics starts full diagnosis (process vs node).
 
+Detection is **suspicion-based** rather than single-miss (the approach
+membership services adopted after gray failures in the field — MSCS,
+Vogels et al. 1998): every missed deadline adds one point of suspicion
+for the subject and marks a ``failure.suspected`` trace record; every
+beat that arrives decays it.  A full miss is declared only when *all*
+fabrics are stale **and** the accumulated suspicion reaches
+``suspicion_threshold``.  The default threshold equals the fabric count,
+so a clean fail-stop crash is still declared at the very first deadline
+sweep (all fabrics miss together — identical timing to single-miss
+detection), while a lossy link that drops isolated beats keeps decaying
+its score back down and never escalates.
+
+Silent fabrics keep their deadline timers re-armed each interval, so
+suspicion accumulates across windows and a raised threshold delays —
+never starves — detection: under total silence the score grows by the
+fabric count per interval, bounding detection latency at roughly
+``ceil(threshold / fabrics)`` intervals plus grace.
+
 The monitor is purely mechanical — no protocol decisions.  It reports
 through four callbacks:
 
@@ -28,6 +46,10 @@ class _SubjectState:
     last_seen: dict[str, float] = field(default_factory=dict)
     timers: dict[str, Timer] = field(default_factory=dict)
     nic_stale: set[str] = field(default_factory=set)
+    #: Consecutive missed deadlines per fabric (resets on a beat).
+    nic_streak: dict[str, int] = field(default_factory=dict)
+    #: Accumulated suspicion score (missed deadlines minus decayed beats).
+    suspicion: float = 0.0
     suspended: bool = False
 
 
@@ -44,9 +66,15 @@ class HeartbeatMonitor:
         on_nic_restore: Callable[[str, str], None],
         on_full_miss: Callable[[str], None],
         on_return: Callable[[str], None],
+        suspicion_threshold: float | None = None,
+        suspicion_decay: float = 1.0,
     ) -> None:
         if interval <= 0 or grace <= 0:
             raise KernelError("interval and grace must be positive")
+        if suspicion_threshold is not None and suspicion_threshold <= 0:
+            raise KernelError("suspicion_threshold must be positive (or None)")
+        if suspicion_decay < 0:
+            raise KernelError("suspicion_decay must be >= 0")
         self.sim = sim
         self.networks = list(networks)
         self.interval = interval
@@ -55,6 +83,12 @@ class HeartbeatMonitor:
         self.on_nic_restore = on_nic_restore
         self.on_full_miss = on_full_miss
         self.on_return = on_return
+        #: None -> one full deadline sweep (all fabrics miss together), i.e.
+        #: fail-stop detection timing is byte-identical to single-miss mode.
+        self.suspicion_threshold = (
+            float(len(self.networks)) if suspicion_threshold is None else float(suspicion_threshold)
+        )
+        self.suspicion_decay = float(suspicion_decay)
         self._subjects: dict[str, _SubjectState] = {}
 
     # -- subject management --------------------------------------------------
@@ -81,6 +115,11 @@ class HeartbeatMonitor:
         state = self._subjects.get(subject)
         return state.suspended if state is not None else False
 
+    def suspicion(self, subject: str) -> float:
+        """Current suspicion score (0.0 for unknown subjects)."""
+        state = self._subjects.get(subject)
+        return state.suspicion if state is not None else 0.0
+
     def last_seen(self, subject: str) -> float | None:
         state = self._subjects.get(subject)
         if state is None or not state.last_seen:
@@ -96,13 +135,20 @@ class HeartbeatMonitor:
         if state is None:
             state = _SubjectState()
             self._subjects[subject] = state
+        state.nic_streak[network] = 0
         if state.suspended:
             state.suspended = False
             state.nic_stale.clear()
+            state.suspicion = 0.0
             self.on_return(subject)
-        elif network in state.nic_stale:
-            state.nic_stale.discard(network)
-            self.on_nic_restore(subject, network)
+        else:
+            # A beat is positive evidence: decay the suspicion score so a
+            # lossy-but-alive subject's isolated misses never accumulate
+            # to the threshold.
+            state.suspicion = max(0.0, state.suspicion - self.suspicion_decay)
+            if network in state.nic_stale:
+                state.nic_stale.discard(network)
+                self.on_nic_restore(subject, network)
         self._arm(subject, state, network)
 
     # -- suspension (diagnosis/recovery in progress) -------------------------
@@ -133,17 +179,33 @@ class HeartbeatMonitor:
         state = self._subjects.get(subject)
         if state is None or state.suspended:
             return
-        state.timers.pop(network, None)
         state.nic_stale.add(network)
+        streak = state.nic_streak.get(network, 0) + 1
+        state.nic_streak[network] = streak
+        state.suspicion += 1.0
         stale_everywhere = all(
             self.sim.now - state.last_seen.get(net, -float("inf")) >= self.interval
             for net in self.networks
         )
-        if stale_everywhere:
+        self.sim.trace.mark(
+            "failure.suspected",
+            subject=subject,
+            network=network,
+            score=state.suspicion,
+            stale_everywhere=stale_everywhere,
+        )
+        if stale_everywhere and state.suspicion >= self.suspicion_threshold:
             self.suspend(subject)
             state.suspended = True
             self.on_full_miss(subject)
-        else:
+            return
+        # Keep the deadline armed: sustained silence must keep feeding the
+        # suspicion score (else a raised threshold would never be reached),
+        # at one firing per missed-beat interval.
+        timer = state.timers.get(network)
+        if timer is not None:
+            timer.restart(self.interval)
+        if not stale_everywhere and streak == 1:
+            # Report the fabric quiet exactly once per silence streak —
+            # repeat firings only accumulate suspicion.
             self.on_nic_miss(subject, network)
-            # Stay armed for this fabric so sustained silence does not
-            # re-fire every interval: it re-arms only when a beat returns.

@@ -9,6 +9,15 @@ fabric:
   compute nodes, or after a single window plus a short cross-check for
   server nodes (another ring member's view corroborates).
 
+When the caller names the monitored ``service``, each round additionally
+queries the *process itself* (the WD's process-query port, or the GSD's
+status port — both bound to the monitored process, so a dead process
+can never answer).  A reply proves the subject alive and the silence
+gray (lossy/flapping links ate the heartbeats): diagnosis returns the
+third verdict, **ALIVE**, and the caller resumes monitoring instead of
+failing the subject over.  This is the verification step that keeps a
+20 %-lossy link from triggering spurious failovers.
+
 Each probe round is real traffic: OS pings with a timeout, evaluated at
 the end of a fixed window, so diagnosing times in Tables 1–3 emerge from
 ``KernelTimings.probe_window`` and friends rather than hard-coded sleeps
@@ -24,10 +33,25 @@ from repro.sim import Span, Timeout
 #: Diagnosis verdicts.
 PROCESS = "process"
 NODE = "node"
+ALIVE = "alive"
+
+#: Per-service liveness probes: (port, mtype, payload) answered only by
+#: the monitored process itself (owner-bound endpoints).
+_LIVENESS_PROBES = {
+    "wd": (ports.WD, ports.WD_PROC_QUERY, {"process": "wd"}),
+    "gsd": (ports.GSD, ports.GSD_STATUS, {}),
+}
 
 
-def diagnose(daemon: ServiceDaemon, subject_node: str, server_mode: bool, span: Span | None = None):
-    """Coroutine: probe ``subject_node`` and return ``PROCESS`` or ``NODE``.
+def diagnose(
+    daemon: ServiceDaemon,
+    subject_node: str,
+    server_mode: bool,
+    span: Span | None = None,
+    service: str | None = None,
+):
+    """Coroutine: probe ``subject_node``; return ``PROCESS``, ``NODE``,
+    or (with ``service`` set) ``ALIVE``.
 
     ``server_mode`` selects the fast path used for server nodes (single
     window + confirm delay, ~0.3 s) instead of the retried probes used for
@@ -36,6 +60,7 @@ def diagnose(daemon: ServiceDaemon, subject_node: str, server_mode: bool, span: 
     """
     timings = daemon.timings
     networks = list(daemon.cluster.networks)
+    probe = _LIVENESS_PROBES.get(service) if service else None
     rounds = 1 if server_mode else 1 + timings.node_confirm_rounds
     for _ in range(rounds):
         signals = [
@@ -45,7 +70,21 @@ def diagnose(daemon: ServiceDaemon, subject_node: str, server_mode: bool, span: 
             )
             for network in networks
         ]
+        queries = []
+        if probe is not None:
+            port, mtype, payload = probe
+            queries = [
+                daemon.rpc(
+                    subject_node, port, mtype, dict(payload), network=network,
+                    timeout=timings.ping_timeout, span=span,
+                )
+                for network in networks
+            ]
         yield Timeout(timings.probe_window)
+        for sig in queries:
+            reply = sig.value if sig.fired else None
+            if reply and reply.get("alive", True):
+                return ALIVE
         if any(sig.fired and sig.value for sig in signals):
             return PROCESS
     if server_mode:

@@ -36,6 +36,18 @@ class KernelTimings:
     #: must exceed worst-case network jitter by a wide margin.
     deadline_grace: float = 0.1
 
+    #: Missed-deadline suspicion score at which a subject that is stale on
+    #: *every* fabric is declared fully missed (see
+    #: :class:`repro.kernel.group.monitor.HeartbeatMonitor`).  ``None``
+    #: means "one full deadline sweep" (= the fabric count), which keeps
+    #: clean fail-stop detection at exactly one heartbeat interval + grace
+    #: — the paper's Tables 1–3 timing — while still absorbing isolated
+    #: gray-loss misses.  Raise it to trade detection latency for
+    #: robustness on very lossy links.
+    suspicion_threshold: float | None = None
+    #: Suspicion points removed per received beat (positive evidence decay).
+    suspicion_decay: float = 1.0
+
     #: Bookkeeping delay to attribute a per-NIC heartbeat miss (Table 1/2
     #: "network" rows: 348 us).
     nic_analysis_delay: float = usec(348)
@@ -97,6 +109,15 @@ class KernelTimings:
     #: Per-destination cap on concurrent retrying RPCs (excess calls
     #: queue FIFO at the sender instead of piling onto a struggling node).
     rpc_inflight_cap: int = 32
+    #: Per-call-class overrides of ``rpc_inflight_cap``: call sites tag
+    #: their ``rpc_retry`` with a class name and get a cheaper budget than
+    #: the transport-global cap — wide fan-outs (bulletin federation
+    #: queries) and bulky transfers (checkpoint pulls/saves) each get
+    #: their own ceiling so neither can monopolize a destination's queue.
+    rpc_inflight_budgets: dict = field(
+        default_factory=lambda: {"bulletin.fanout": 8, "ckpt.pull": 4, "ckpt.save": 8},
+        hash=False,
+    )
 
     #: Debounce window for event-service subscription checkpoints: a
     #: subscribe burst coalesces into one full-registry save per window
@@ -157,6 +178,15 @@ class KernelTimings:
             raise KernelError("rpc_retry_backoff must be >= 1.0")
         if self.rpc_inflight_cap < 1:
             raise KernelError("rpc_inflight_cap must be >= 1")
+        for call_class, cap in self.rpc_inflight_budgets.items():
+            if not call_class or not isinstance(call_class, str):
+                raise KernelError("rpc_inflight_budgets keys must be non-empty strings")
+            if not isinstance(cap, int) or cap < 1:
+                raise KernelError(f"rpc_inflight_budgets[{call_class!r}] must be an int >= 1")
+        if self.suspicion_threshold is not None and self.suspicion_threshold <= 0:
+            raise KernelError("suspicion_threshold must be positive (or None)")
+        if self.suspicion_decay < 0:
+            raise KernelError("suspicion_decay must be >= 0")
         if self.es_ckpt_debounce < 0:
             raise KernelError("es_ckpt_debounce must be >= 0")
         if self.es_forward_flush < 0:
@@ -187,6 +217,16 @@ class KernelTimings:
     #: Default restart cost for user-environment services not in the table
     #: (override per service via ``extra["spawn.<service>"]``).
     DEFAULT_USER_SPAWN_TIME = 0.15
+
+    def inflight_budget(self, call_class: str | None) -> int:
+        """In-flight cap for a tagged ``rpc_retry`` call site.
+
+        Unknown (or untagged) classes fall back to the transport-global
+        ``rpc_inflight_cap``.
+        """
+        if call_class is None:
+            return self.rpc_inflight_cap
+        return int(self.rpc_inflight_budgets.get(call_class, self.rpc_inflight_cap))
 
     def ckpt_write_cost(self, size_bytes: int) -> float:
         """Time to commit a checkpoint of ``size_bytes`` to local storage."""

@@ -215,7 +215,7 @@ class BusinessRuntime(ServiceDaemon):
         # Retried save (idempotent full-state snapshot): a lost datagram
         # can no longer silently drop the app registry.
         self.rpc_retry(ckpt_node, ports.CKPT, ports.CKPT_SAVE,
-                       {"key": self.CKPT_KEY, "data": data})
+                       {"key": self.CKPT_KEY, "data": data}, call_class="ckpt.save")
 
     def _load_state(self):
         """Rebuild the app registry after a restart/migration; running

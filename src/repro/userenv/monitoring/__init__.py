@@ -1,7 +1,9 @@
 """GridView monitoring user environment."""
 
 from repro.userenv.monitoring.analysis import (
+    Alert,
     Trend,
+    alerts,
     critical_path,
     fault_analysis,
     health_report,
@@ -13,9 +15,11 @@ from repro.userenv.monitoring.display import render_events, render_performance, 
 from repro.userenv.monitoring.gridview import ClusterSnapshot, GridView, install_gridview
 
 __all__ = [
+    "Alert",
     "ClusterSnapshot",
     "GridView",
     "Trend",
+    "alerts",
     "critical_path",
     "fault_analysis",
     "health_report",

@@ -15,7 +15,10 @@ adds the two analysis functions over GridView's retained data:
 * :func:`span_tree` / :func:`critical_path` — causal decomposition of a
   traced operation (e.g. a GSD failover) from its span records;
 * :func:`health_report` — the cluster health view over the daemons'
-  ``kernel.health`` self-reports published to the data bulletin.
+  ``kernel.health`` self-reports published to the data bulletin;
+* :func:`alerts` — threshold rules over a health report (daemon report
+  staleness, spine latency p99 ceilings), the piece an administrator
+  pages on.
 """
 
 from __future__ import annotations
@@ -261,3 +264,75 @@ def health_report(
         "latency": dict(sorted(latency.items())),
         "stale": sorted(stale),
     }
+
+
+# -- alerting ------------------------------------------------------------------
+@dataclass(frozen=True)
+class Alert:
+    """One fired alert rule."""
+
+    severity: str  # "warning" | "critical"
+    rule: str  # "health.stale" | "latency.p99"
+    subject: str  # daemon name or histogram name
+    value: float
+    message: str
+
+
+#: Default p99 ceilings (seconds) for spine latency histograms.  The
+#: event-notification path gets the tightest budget: a slow ``es.deliver``
+#: tail delays every failure-driven reaction downstream of it.
+DEFAULT_P99_LIMITS = {
+    "es.deliver": 0.5,
+    "rpc.call": 1.0,
+    "db.query": 1.0,
+}
+
+
+def alerts(
+    report: dict[str, Any],
+    p99_limits: dict[str, float] | None = None,
+) -> list[Alert]:
+    """Evaluate alert rules over a :func:`health_report` dict.
+
+    Two rule families:
+
+    * ``health.stale`` (critical) — a daemon's last ``kernel.health``
+      self-report is older than the report's staleness threshold (its
+      heartbeat analog at the monitoring layer);
+    * ``latency.p99`` (warning) — a spine latency histogram's p99 exceeds
+      its ceiling from ``p99_limits`` (default :data:`DEFAULT_P99_LIMITS`).
+
+    Also works over a latency-only report (e.g. built from an exported
+    trace), where ``services``/``stale`` are simply absent.
+    """
+    limits = DEFAULT_P99_LIMITS if p99_limits is None else p99_limits
+    fired: list[Alert] = []
+    services = report.get("services", {})
+    for name in report.get("stale", []):
+        age = float(services.get(name, {}).get("age_s", 0.0))
+        fired.append(
+            Alert(
+                severity="critical",
+                rule="health.stale",
+                subject=name,
+                value=age,
+                message=f"no kernel.health report from {name} for {age:.1f}s",
+            )
+        )
+    for hist_name, limit in sorted(limits.items()):
+        summary = report.get("latency", {}).get(hist_name)
+        if not summary:
+            continue
+        p99 = float(summary.get("p99", 0.0))
+        if p99 > limit:
+            fired.append(
+                Alert(
+                    severity="warning",
+                    rule="latency.p99",
+                    subject=hist_name,
+                    value=p99,
+                    message=f"{hist_name} p99 {p99 * 1e3:.1f}ms exceeds {limit * 1e3:.0f}ms",
+                )
+            )
+    fired.sort(key=lambda a: (a.severity != "critical", a.rule, a.subject))
+    return fired

@@ -89,7 +89,9 @@ class PWSServer(ServiceDaemon):
         ckpt_node = self.kernel.placement.get(("ckpt", self.partition_id))
         if ckpt_node is None:
             return
-        reply = yield self.rpc_retry(ckpt_node, ports.CKPT, ports.CKPT_LOAD, {"key": CKPT_KEY})
+        reply = yield self.rpc_retry(
+            ckpt_node, ports.CKPT, ports.CKPT_LOAD, {"key": CKPT_KEY}, call_class="ckpt.pull"
+        )
         if reply and reply.get("found"):
             data = reply["data"]
             self.jobs = {
@@ -504,7 +506,7 @@ class PWSServer(ServiceDaemon):
         # Retried save (idempotent full-state snapshot): a lost datagram
         # can no longer silently drop the job/lease registry.
         self.rpc_retry(ckpt_node, ports.CKPT, ports.CKPT_SAVE,
-                       {"key": CKPT_KEY, "data": data})
+                       {"key": CKPT_KEY, "data": data}, call_class="ckpt.save")
 
 
 def install_pws(kernel, pools: list[PoolSpec], partition_id: str | None = None,

@@ -4,6 +4,7 @@ import pytest
 
 from repro.sim.trace import TraceRecord
 from repro.userenv.monitoring import (
+    alerts,
     critical_path,
     fault_analysis,
     health_report,
@@ -198,3 +199,39 @@ def test_health_report_largest_count_wins_and_staleness():
 
 def test_health_report_empty_rows():
     assert health_report([]) == {"services": {}, "latency": {}, "stale": []}
+
+
+def test_alerts_fire_on_staleness_and_p99():
+    rows = [
+        health_row("gsd", "p1s0", 10.0),  # stale
+        health_row(
+            "es", "p0s0", 98.0,
+            hist={"es.deliver": {"count": 50, "p50": 0.1, "p95": 0.4, "p99": 0.9}},
+        ),
+    ]
+    report = health_report(rows, now=100.0, stale_after=30.0)
+    fired = alerts(report)
+    assert [(a.severity, a.rule, a.subject) for a in fired] == [
+        ("critical", "health.stale", "gsd@p1s0"),
+        ("warning", "latency.p99", "es.deliver"),
+    ]
+    assert fired[0].value == pytest.approx(90.0)
+    assert fired[1].value == pytest.approx(0.9)
+
+
+def test_alerts_quiet_when_healthy():
+    rows = [
+        health_row(
+            "es", "p0s0", 99.0,
+            hist={"es.deliver": {"count": 50, "p50": 0.001, "p95": 0.01, "p99": 0.02}},
+        ),
+    ]
+    report = health_report(rows, now=100.0, stale_after=30.0)
+    assert alerts(report) == []
+
+
+def test_alerts_custom_limits_and_latency_only_report():
+    report = {"latency": {"rpc.call": {"count": 9, "p99": 0.5}}}
+    assert alerts(report) == []  # default rpc.call ceiling is 1.0 s
+    fired = alerts(report, p99_limits={"rpc.call": 0.1})
+    assert len(fired) == 1 and fired[0].rule == "latency.p99"
