@@ -14,9 +14,10 @@ from benchmarks.conftest import once
 from repro.experiments.scalability import render_sweep, run_sweep
 from repro.userenv.monitoring import render_snapshot
 
-#: The paper's machine is the 640-node point; 1024 substantiates §1's
-#: "easily extends to increasing system scale".
-SWEEP = (64, 128, 256, 640, 1024)
+#: The paper's machine is the 640-node point; 1024–4096 substantiate §1's
+#: "easily extends to increasing system scale" (the engine's timer-wheel
+#: fast path is what makes the 4096 point affordable in CI).
+SWEEP = (64, 128, 256, 640, 1024, 2048, 4096)
 
 
 @pytest.mark.benchmark(group="fig6")
@@ -27,10 +28,11 @@ def test_fig6_scalability_sweep(benchmark, save_artifact):
     # Every node is visible from the single access point at every scale.
     for nodes in SWEEP:
         assert by_nodes[nodes]["rows_per_refresh"] == nodes
-    # Per-node kernel traffic is flat (the partitioned design's point).
-    small, big = by_nodes[64], by_nodes[1024]
+    # Per-node kernel traffic is flat (the partitioned design's point) —
+    # all the way to the 4096-node point, 6.4x the paper's machine.
+    small, big = by_nodes[64], by_nodes[SWEEP[-1]]
     assert big["msgs_per_node_per_s"] == pytest.approx(small["msgs_per_node_per_s"], rel=0.25)
-    # Collection latency grows far slower than 10x node count.
+    # Collection latency grows far slower than 64x node count.
     assert big["refresh_latency_ms"] < 5 * small["refresh_latency_ms"]
     # Federation batching: the event storm crosses partition boundaries
     # in far fewer datagrams than events forwarded (Dawning 4000A point).

@@ -30,6 +30,10 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_BASELINE.json
 REL_TOL = 0.15
 #: A run may be this many times slower than baseline before CI complains.
 TIME_FACTOR = 5.0
+#: ``extra_info`` keys with this prefix are host-speed measurements
+#: (events/sec, marks/sec) recorded for the record but never compared —
+#: only the deterministic keys gate.
+WALLCLOCK_PREFIX = "wallclock_"
 
 
 def load_results(path: Path) -> dict[str, dict[str, Any]]:
@@ -57,6 +61,8 @@ def compare_values(
     """Recursively compare extra_info values; numbers get ``rel_tol``."""
     if isinstance(expected, dict) and isinstance(actual, dict):
         for key in expected:
+            if isinstance(key, str) and key.startswith(WALLCLOCK_PREFIX):
+                continue  # informational host-speed number, never gated
             if key not in actual:
                 problems.append(f"{path}.{key}: missing from current run")
             else:

@@ -1,0 +1,205 @@
+"""Frozen copy of the pre-fast-path event scheduler (the PR-4 engine).
+
+This is the "before" leg of the engine throughput gate in
+``bench_engine_throughput.py``: a faithful trim of the old
+``repro.sim.core`` hot path — per-event ``EventHandle`` allocation, heap
+push + lazy-delete for every timer, and the ``peek()`` + ``step()`` run
+loop that swept cancelled heap tops twice per event.  Benchmarking
+against an in-process copy keeps the speedup ratio robust to host speed:
+both legs run in the same interpreter, so only the engine differs.
+
+Do not "improve" this module — its obsolescence is the point.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import SimulationError
+
+
+class LegacyEventHandle:
+    """A scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "fired", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple[Any, ...],
+        sim: "LegacySimulator | None" = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+        self._sim = sim
+
+    def cancel(self) -> None:
+        if self.cancelled or self.fired:
+            return
+        self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
+
+    @property
+    def pending(self) -> bool:
+        return not self.cancelled and not self.fired
+
+
+class LegacyTimer:
+    """Restartable one-shot timer over the legacy scheduler."""
+
+    __slots__ = ("_sim", "_delay", "_callback", "_args", "_priority", "_handle")
+
+    def __init__(
+        self,
+        sim: "LegacySimulator",
+        delay: float,
+        callback: Callable[..., Any],
+        args: tuple[Any, ...] = (),
+        priority: int = 0,
+    ) -> None:
+        self._sim = sim
+        self._delay = delay
+        self._callback = callback
+        self._args = args
+        self._priority = priority
+        self._handle: LegacyEventHandle | None = sim.schedule(
+            delay, callback, *args, priority=priority
+        )
+
+    @property
+    def active(self) -> bool:
+        return self._handle is not None and self._handle.pending
+
+    def cancel(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def restart(self, delay: float | None = None) -> None:
+        self.cancel()
+        if delay is not None:
+            self._delay = delay
+        self._handle = self._sim.schedule(
+            self._delay, self._callback, *self._args, priority=self._priority
+        )
+
+
+class LegacySimulator:
+    """The pre-fast-path engine: heap-only, allocation per event."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, int, LegacyEventHandle]] = []
+        self._seq = 0
+        self._dead = 0
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> LegacyEventHandle:
+        if not math.isfinite(delay) or delay < 0:
+            raise SimulationError(f"invalid delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> LegacyEventHandle:
+        if not math.isfinite(time) or time < self._now:
+            raise SimulationError(f"cannot schedule at {time!r} (now={self._now!r})")
+        self._seq += 1
+        handle = LegacyEventHandle(time, priority, self._seq, callback, args, sim=self)
+        heapq.heappush(self._heap, (time, priority, self._seq, handle))
+        return handle
+
+    def timer(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> LegacyTimer:
+        return LegacyTimer(self, delay, callback, args, priority=priority)
+
+    def peek(self) -> float | None:
+        self._drop_dead()
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        self._drop_dead()
+        if not self._heap:
+            return False
+        handle = heapq.heappop(self._heap)[3]
+        self._now = handle.time
+        handle.fired = True
+        self.events_executed += 1
+        handle.callback(*handle.args)
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until!r} is in the past (now={self._now!r})")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while not self._stopped:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap) - self._dead
+
+    def _drop_dead(self) -> None:
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+            self._dead -= 1
+
+    def _note_cancelled(self) -> None:
+        self._dead += 1
+        if self._dead > 64 and self._dead * 2 > len(self._heap):
+            self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+            heapq.heapify(self._heap)
+            self._dead = 0

@@ -257,5 +257,7 @@ class Network:
         if arrival < prev:
             arrival = prev
         self._flow_clock[flow] = arrival
-        self.sim.schedule_at(arrival, _arrive)
+        # Delivery handles are fire-and-forget (nothing retains them), so
+        # the engine may recycle them through its free list.
+        self.sim.schedule_at(arrival, _arrive, transient=True)
         return True

@@ -224,11 +224,15 @@ class Transport:
         )
 
         def finish(value: dict[str, Any] | None) -> None:
+            # Settle exactly once; after that the timeout handle may have
+            # been recycled by the engine (it is scheduled transient), so
+            # the guard must come before any handle access.
+            if signal.fired:
+                return
             self.unbind(src_node, reply_port)
             timeout_handle.cancel()
-            if not signal.fired:
-                call_span.end(ok=value is not None)
-                signal.fire(value)
+            call_span.end(ok=value is not None)
+            signal.fire(value)
 
         def on_reply(msg: Message) -> None:
             finish(msg.payload)
@@ -237,13 +241,14 @@ class Transport:
             finish(None)
 
         self.bind(src_node, reply_port, on_reply, owner=None)
-        timeout_handle = self.sim.schedule(timeout, on_timeout)
+        timeout_handle = self.sim.schedule(timeout, on_timeout, transient=True)
         accepted = self.send(
             src_node, dst_node, dst_port, mtype, payload, network=network, rpc_id=rpc_id
         )
         if not accepted:
-            timeout_handle.cancel()
-            self.sim.schedule(0.0, on_timeout)
+            # Fail fast on the next tick; finish() cancels the armed
+            # timeout itself, keeping the settle path single.
+            self.sim.schedule(0.0, on_timeout, transient=True)
         return signal
 
     def rpc_retry(

@@ -50,6 +50,10 @@ def run_point(
 ) -> dict:
     """One sweep point; returns the measured scaling quantities."""
     sim = Simulator(seed=seed, trace_capacity=50_000)
+    # The harness reads only counters, histograms, and gridview.* records;
+    # filtering at mark time keeps the 2048/4096-node points from paying a
+    # record allocation per heartbeat/export mark they will never read.
+    sim.trace.set_record_filter(("gridview.",))
     cluster = Cluster(sim, spec_for(nodes))
     kernel = PhoenixKernel(cluster, timings=KernelTimings(heartbeat_interval=heartbeat_interval))
     kernel.boot()

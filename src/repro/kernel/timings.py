@@ -138,6 +138,15 @@ class KernelTimings:
     #: as ``es.outbox_overflow`` + the ``es.outbox_dropped`` counter)
     #: instead of growing the checkpoint payload without bound.
     es_outbox_max: int = 1024
+    #: Per-consumer delivery SLO, seconds of publish→consumer p99 latency:
+    #: when set, each ES daemon feeds a per-subscription latency histogram
+    #: (``es.deliver.to.<consumer_id>``) and the monitoring layer's
+    #: ``alerts()`` fires a warning for any consumer whose p99 exceeds the
+    #: ceiling — so one slow consumer is visible even when the aggregate
+    #: ``es.deliver`` histogram looks healthy.  ``None`` (default)
+    #: disables the per-consumer histograms, keeping trace output
+    #: identical for the paper-calibrated benchmarks.
+    es_deliver_slo: float | None = None
     #: Hot equality ``where`` keys bucketed by the ES subscription index
     #: — per-deployment tunable (e.g. add ``service`` or ``user`` when a
     #: deployment's monitors filter on them); empty disables the buckets.
@@ -195,6 +204,8 @@ class KernelTimings:
             raise KernelError("es_forward_batch_max must be >= 1")
         if self.es_outbox_max < 1:
             raise KernelError("es_outbox_max must be >= 1")
+        if self.es_deliver_slo is not None and self.es_deliver_slo <= 0:
+            raise KernelError("es_deliver_slo must be positive (or None)")
         if any(not key or not isinstance(key, str) for key in self.es_indexed_where_keys):
             raise KernelError("es_indexed_where_keys must be non-empty strings")
         if self.health_report_interval is not None and self.health_report_interval <= 0:

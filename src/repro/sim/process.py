@@ -106,8 +106,10 @@ class Proc:
         self._pending: EventHandle | None = None
         self._waiting_on: Signal | None = None
         # First step happens as its own event so spawning inside an event
-        # callback cannot reenter arbitrarily deep.
-        self._pending = sim.schedule(0.0, self._step, _FIRST)
+        # callback cannot reenter arbitrarily deep.  All _pending handles
+        # are transient: _step clears the reference before resuming the
+        # body and _detach clears it on cancel, so the engine may recycle.
+        self._pending = sim.schedule(0.0, self._step, _FIRST, transient=True)
 
     # -- public API ----------------------------------------------------------
     @property
@@ -164,7 +166,7 @@ class Proc:
         if isinstance(yielded, (int, float)):
             yielded = Timeout(yielded)
         if isinstance(yielded, Timeout):
-            self._pending = self.sim.schedule(yielded.delay, self._step, None)
+            self._pending = self.sim.schedule(yielded.delay, self._step, None, transient=True)
         elif isinstance(yielded, Proc):
             self._waiting_on = yielded.done
             yielded.done._register(self)
@@ -184,7 +186,7 @@ class Proc:
 
     def _wake_soon(self, value: Any) -> None:
         self._waiting_on = None
-        self._pending = self.sim.schedule(0.0, self._step, value)
+        self._pending = self.sim.schedule(0.0, self._step, value, transient=True)
 
     def _detach(self) -> None:
         if self._pending is not None:

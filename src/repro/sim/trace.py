@@ -17,6 +17,14 @@ section 5.4, plus two causal layers:
 * **Latency histograms** (:meth:`Trace.observe`) — fixed-bucket
   distributions keyed by category (``rpc.call``, ``es.deliver``, ...),
   fed automatically by span close, summarized as p50/p95/p99/max.
+
+Tracing is **zero-cost when unobserved**: ``capacity=0`` or
+``counters_only=True`` short-circuits :meth:`Trace.mark` to counter-only
+accounting (no :class:`TraceRecord` is constructed — a shared sentinel is
+returned), and :meth:`Trace.set_record_filter` drops whole category
+families at mark time via a memoized prefix lookup, so a 4096-node sweep
+retains only the records its harness reads.  Counters, histograms, and
+span timing keep working in every mode.
 """
 
 from __future__ import annotations
@@ -42,6 +50,13 @@ class TraceRecord:
 
     def get(self, key: str, default: Any = None) -> Any:
         return self.fields.get(key, default)
+
+
+#: Shared sentinel returned by :meth:`Trace.mark` when record retention is
+#: off (``capacity=0`` / ``counters_only=True``) or the category is
+#: filtered out — callers get a well-formed record without a per-mark
+#: allocation.  Never stored in any trace.
+_NULL_RECORD = TraceRecord(time=0.0, category="", fields={})
 
 
 #: Default histogram bucket upper bounds, seconds: log-spaced from the
@@ -204,25 +219,64 @@ class Trace:
 
     ``capacity=None`` retains everything (fine for experiments that run
     minutes of virtual time); long-running scalability sweeps pass a bound
-    so memory stays flat.
+    so memory stays flat.  ``capacity=0`` (or ``counters_only=True``) puts
+    :meth:`mark` on a counter-only fast path: no record is constructed and
+    the shared ``_NULL_RECORD`` sentinel is returned.
     """
 
-    def __init__(self, capacity: int | None = None, clock: Callable[[], float] | None = None) -> None:
+    def __init__(
+        self,
+        capacity: int | None = None,
+        clock: Callable[[], float] | None = None,
+        counters_only: bool = False,
+    ) -> None:
         self._records: deque[TraceRecord] = deque(maxlen=capacity)
         self._clock = clock or (lambda: 0.0)
         self._counters: dict[str, float] = {}
         self._histograms: dict[str, Histogram] = {}
         self._span_seq = 0
-        #: Total records ever marked (not capped by capacity).
+        #: True when marks skip record construction entirely.
+        self._drop_records = counters_only or capacity == 0
+        #: Category-prefix allowlist (None = keep everything) plus a
+        #: per-category memo so the prefix scan runs once per category.
+        self._record_filter: tuple[str, ...] | None = None
+        self._filter_memo: dict[str, bool] = {}
+        #: Total records ever marked (not capped by capacity or filters).
         self.total_marked = 0
 
     # -- records ---------------------------------------------------------
     def mark(self, category: str, **fields: Any) -> TraceRecord:
-        """Append a record stamped at the current virtual time."""
+        """Append a record stamped at the current virtual time.
+
+        In counter-only mode (``capacity=0`` / ``counters_only=True``) or
+        when a record filter excludes ``category``, only ``total_marked``
+        is bumped and the shared sentinel record is returned.
+        """
+        self.total_marked += 1
+        if self._drop_records:
+            return _NULL_RECORD
+        record_filter = self._record_filter
+        if record_filter is not None:
+            keep = self._filter_memo.get(category)
+            if keep is None:
+                keep = category.startswith(record_filter)
+                self._filter_memo[category] = keep
+            if not keep:
+                return _NULL_RECORD
         record = TraceRecord(time=self._clock(), category=category, fields=fields)
         self._records.append(record)
-        self.total_marked += 1
         return record
+
+    def set_record_filter(self, prefixes: "tuple[str, ...] | list[str] | None") -> None:
+        """Retain only future records whose category starts with one of
+        ``prefixes`` (``None`` restores keep-everything).
+
+        Filtering happens at mark time — excluded categories never
+        construct a record — and does not touch counters, histograms, or
+        ``total_marked``.  Already-retained records are kept.
+        """
+        self._record_filter = tuple(prefixes) if prefixes is not None else None
+        self._filter_memo = {}
 
     def records(self, category: str | None = None, **match: Any) -> list[TraceRecord]:
         """All retained records, optionally filtered.

@@ -272,8 +272,8 @@ class Alert:
     """One fired alert rule."""
 
     severity: str  # "warning" | "critical"
-    rule: str  # "health.stale" | "latency.p99"
-    subject: str  # daemon name or histogram name
+    rule: str  # "health.stale" | "latency.p99" | "es.deliver.slo"
+    subject: str  # daemon name, histogram name, or consumer id
     value: float
     message: str
 
@@ -287,20 +287,30 @@ DEFAULT_P99_LIMITS = {
     "db.query": 1.0,
 }
 
+#: Histogram-name prefix of the per-subscription delivery latency
+#: distributions fed when ``KernelTimings.es_deliver_slo`` is set.
+CONSUMER_SLO_PREFIX = "es.deliver.to."
+
 
 def alerts(
     report: dict[str, Any],
     p99_limits: dict[str, float] | None = None,
+    consumer_slo: float | None = None,
 ) -> list[Alert]:
     """Evaluate alert rules over a :func:`health_report` dict.
 
-    Two rule families:
+    Three rule families:
 
     * ``health.stale`` (critical) — a daemon's last ``kernel.health``
       self-report is older than the report's staleness threshold (its
       heartbeat analog at the monitoring layer);
     * ``latency.p99`` (warning) — a spine latency histogram's p99 exceeds
-      its ceiling from ``p99_limits`` (default :data:`DEFAULT_P99_LIMITS`).
+      its ceiling from ``p99_limits`` (default :data:`DEFAULT_P99_LIMITS`);
+    * ``es.deliver.slo`` (warning) — a *per-consumer* delivery histogram
+      (``es.deliver.to.<consumer_id>``, fed when
+      ``KernelTimings.es_deliver_slo`` is set) has a p99 past
+      ``consumer_slo`` (default: the aggregate ``es.deliver`` ceiling), so
+      one slow subscription pages even when the aggregate looks healthy.
 
     Also works over a latency-only report (e.g. built from an exported
     trace), where ``services``/``stale`` are simply absent.
@@ -332,6 +342,25 @@ def alerts(
                     subject=hist_name,
                     value=p99,
                     message=f"{hist_name} p99 {p99 * 1e3:.1f}ms exceeds {limit * 1e3:.0f}ms",
+                )
+            )
+    slo = limits.get("es.deliver", 0.5) if consumer_slo is None else consumer_slo
+    for hist_name, summary in sorted(report.get("latency", {}).items()):
+        if not hist_name.startswith(CONSUMER_SLO_PREFIX) or not summary:
+            continue
+        p99 = float(summary.get("p99", 0.0))
+        if p99 > slo:
+            consumer = hist_name[len(CONSUMER_SLO_PREFIX):]
+            fired.append(
+                Alert(
+                    severity="warning",
+                    rule="es.deliver.slo",
+                    subject=consumer,
+                    value=p99,
+                    message=(
+                        f"consumer {consumer} delivery p99 {p99 * 1e3:.1f}ms "
+                        f"exceeds SLO {slo * 1e3:.0f}ms"
+                    ),
                 )
             )
     fired.sort(key=lambda a: (a.severity != "critical", a.rule, a.subject))

@@ -95,3 +95,57 @@ def test_record_get_and_getitem():
     assert rec.get("b", "fallback") == "fallback"
     with pytest.raises(KeyError):
         rec["b"]
+
+
+# -- zero-cost fast paths (engine fast-path PR) ----------------------------
+
+def test_capacity_zero_counts_but_retains_nothing():
+    from repro.sim.trace import _NULL_RECORD
+
+    trace = Trace(capacity=0)
+    rec = trace.mark("hb.sent", node="n1")
+    assert rec is _NULL_RECORD  # shared sentinel: no per-mark allocation
+    assert trace.total_marked == 1 and len(trace) == 0
+    # Counters and histograms keep working on the fast path.
+    trace.count("msgs", 2)
+    trace.observe("rpc.call", 0.01)
+    assert trace.counter("msgs") == 2
+    assert trace.histogram("rpc.call").count == 1
+
+
+def test_counters_only_mode_equals_capacity_zero():
+    trace = Trace(counters_only=True)
+    assert trace.mark("x") is trace.mark("y")
+    assert trace.total_marked == 2 and len(trace) == 0
+
+
+def test_record_filter_keeps_only_matching_prefixes():
+    trace = Trace()
+    trace.set_record_filter(("gridview.", "failure."))
+    trace.mark("gridview.refresh")
+    trace.mark("failure.detected")
+    trace.mark("hb.sent")  # filtered out, still counted
+    assert trace.total_marked == 3
+    assert [r.category for r in trace.records()] == [
+        "gridview.refresh", "failure.detected",
+    ]
+
+
+def test_record_filter_reset_and_memo_invalidation():
+    trace = Trace()
+    trace.set_record_filter(("a.",))
+    trace.mark("b.x")  # memoized as dropped
+    assert len(trace) == 0
+    trace.set_record_filter(None)  # must invalidate the memo
+    trace.mark("b.x")
+    assert len(trace) == 1
+
+
+def test_span_feeds_histogram_even_when_records_dropped():
+    sim = Simulator(trace_capacity=0)
+    span = sim.trace.span("rpc.call")
+    sim.schedule(0.25, span.end)
+    sim.run()
+    hist = sim.trace.histogram("rpc.call")
+    assert hist.count == 1 and hist.max == pytest.approx(0.25)
+    assert len(sim.trace) == 0

@@ -92,3 +92,16 @@ def test_main_missing_baseline_fails(tmp_path):
     results = tmp_path / "bench.json"
     write_bench_json(results, {"a": bench()})
     assert main([str(results), "--baseline", str(tmp_path / "nope.json")]) == 1
+
+
+def test_wallclock_prefixed_keys_are_never_compared():
+    """Host-speed numbers (events/sec etc.) are recorded but not gated."""
+    base = {"a": bench(events=100, wallclock_ops_per_s=2_500_000)}
+    drifted = {"a": bench(events=100, wallclock_ops_per_s=400_000)}
+    assert check(base, drifted) == []
+    # ... even when the key vanishes entirely from the current run.
+    assert check(base, {"a": bench(events=100)}) == []
+    # Deterministic keys alongside them still gate.
+    wrong = {"a": bench(events=300, wallclock_ops_per_s=2_500_000)}
+    problems = check(base, wrong)
+    assert len(problems) == 1 and "events" in problems[0]
