@@ -1,0 +1,36 @@
+"""Serving campaign — the business-hosting tier under open-loop load.
+
+A reduced-budget run of the ``repro serve`` campaign: three request
+classes through admission control and the SLO autoscaler, with the
+mid-run worker kill/recover cycle.  The deterministic gates (per-class
+p99 within SLO, zero lost-capacity drift, balanced SLA transitions)
+must hold at benchmark scale exactly as they do at the full ~1M-request
+acceptance run.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.serve_campaign import (
+    check_serve,
+    render_serve,
+    run_serve_campaign,
+)
+
+
+@pytest.mark.benchmark(group="serve")
+def test_serve_campaign_50k(benchmark, save_artifact):
+    result = once(benchmark, lambda: run_serve_campaign(requests=50_000, seed=0))
+    save_artifact("serve_campaign", render_serve(result))
+    assert check_serve(result) == []
+    info = benchmark.extra_info
+    info["generated"] = result.generated
+    info["completed"] = result.completed
+    info["rejected"] = result.rejected
+    info["failed"] = result.failed
+    info["drift"] = result.drift
+    info["autoscale_up"] = result.autoscale_up
+    info["autoscale_down"] = result.autoscale_down
+    info["sla_violations"] = result.sla_violations
+    info["p99"] = {name: entry["p99"]
+                   for name, entry in sorted(result.classes.items())}

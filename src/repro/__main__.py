@@ -9,6 +9,7 @@ reproduce the paper without writing driver code:
     python -m repro compare           # §5.4 PWS vs PBS
     python -m repro ablations         # design-rationale ablations
     python -m repro report [--quick]  # full evaluation -> REPORT.md
+    python -m repro serve [--check]   # serving-tier campaign (~1M requests)
     python -m repro trace FILE        # span tree / histograms / critical path
     python -m repro demo              # boot + fault + recovery narration
 """
@@ -50,6 +51,10 @@ def main(argv: list[str] | None = None) -> int:
         run(rest)
     elif command == "campaign":
         from repro.experiments.fault_campaign import main as run
+
+        run(rest)
+    elif command == "serve":
+        from repro.experiments.serve_campaign import main as run
 
         run(rest)
     elif command == "trace":

@@ -1,5 +1,6 @@
 """Business application runtime environment."""
 
+from repro.userenv.business.autoscale import Autoscaler, AutoscalePolicy, TierPolicy
 from repro.userenv.business.requests import ReplicaServer, RequestDriver
 from repro.userenv.business.runtime import (
     BizAppSpec,
@@ -8,13 +9,26 @@ from repro.userenv.business.runtime import (
     TierSpec,
     install_business_runtime,
 )
+from repro.userenv.business.traffic import (
+    AdmissionQueue,
+    ArrivalProfile,
+    RequestClass,
+    TrafficGenerator,
+)
 
 __all__ = [
+    "AdmissionQueue",
+    "ArrivalProfile",
+    "Autoscaler",
+    "AutoscalePolicy",
     "BizAppSpec",
     "BusinessRuntime",
     "Replica",
     "ReplicaServer",
+    "RequestClass",
     "RequestDriver",
+    "TierPolicy",
     "TierSpec",
+    "TrafficGenerator",
     "install_business_runtime",
 ]

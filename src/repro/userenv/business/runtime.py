@@ -142,8 +142,11 @@ class BusinessRuntime(ServiceDaemon):
         self.apps: dict[str, AppState] = {}
         self._worker_nodes = worker_nodes
         self._free: dict[str, int] = {}
+        self._capacity: dict[str, int] = {}
         self._node_up: dict[str, bool] = {}
         self._rr: dict[tuple[str, str], int] = {}
+        #: Optional TrafficGenerator surfacing admission state in health rows.
+        self._traffic = None
 
     # -- lifecycle -----------------------------------------------------------
     def on_start(self) -> None:
@@ -152,31 +155,10 @@ class BusinessRuntime(ServiceDaemon):
         self.spawn(self._startup(), name=f"{self.node_id}/bizrt.start")
 
     def _startup(self):
-        yield from self._load_state()
-        db_node = self.kernel.placement.get(("db", self.partition_id))
-        if db_node is not None:
-            reply = yield self.rpc(
-                db_node, ports.DB, ports.DB_QUERY,
-                {"table": TABLE_NODE_METRICS, "where": None, "scope": "global"},
-                timeout=10.0,
-            )
-            for row in (reply or {}).get("rows", []):
-                node = row["_key"]
-                if self._worker_nodes is None or node in self._worker_nodes:
-                    self._free.setdefault(node, int(row.get("cpus", 0)))
-                    self._node_up.setdefault(node, True)
-        # Account for replicas re-adopted from the checkpointed registry,
-        # and re-place any that died while we were down (their failure
-        # events had no consumer).
-        for state in self.apps.values():
-            for replica in state.replicas:
-                if replica.healthy and replica.node in self._free:
-                    self._free[replica.node] -= self._tier_cpus(replica.app, replica.tier)
-        for state in self.apps.values():
-            for replica in list(state.replicas):
-                if not replica.healthy:
-                    self.sim.trace.count("bizrt.heals")
-                    self._place(replica, self._tier_cpus(replica.app, replica.tier))
+        # Subscribe *before* rebuilding state: a failure fired while we
+        # reconcile must find a consumer.  An event that races ahead of
+        # the registry reload is still caught, because _load_state
+        # re-checks process liveness after the subscription is live.
         es_node = self.kernel.placement.get(("es", self.partition_id))
         if es_node is not None:
             yield self.rpc(
@@ -189,6 +171,54 @@ class BusinessRuntime(ServiceDaemon):
                     "where": {},
                 },
             )
+        yield from self._load_state()
+        yield from self._load_capacity()
+        # Account for replicas re-adopted from the checkpointed registry,
+        # and re-place any that died while we were down (their failure
+        # events had no consumer).
+        for state in self.apps.values():
+            for replica in state.replicas:
+                if replica.healthy and replica.node in self._free:
+                    self._free[replica.node] -= self._tier_cpus(replica.app, replica.tier)
+        for state in self.apps.values():
+            for replica in list(state.replicas):
+                if not replica.healthy:
+                    self.sim.trace.count("bizrt.heals")
+                    self._place(replica, self._tier_cpus(replica.app, replica.tier))
+
+    def _load_capacity(self):
+        """Build the worker capacity map from the bulletin's node metrics.
+
+        The bulletin is soft-state: right after a service-group migration
+        the fresh instance may not have re-received any exports, so an
+        empty answer is retried until the detectors' next export lands —
+        without capacity the runtime could never place a replica again.
+        """
+        db_node = self.kernel.placement.get(("db", self.partition_id))
+        if db_node is None:
+            return
+        rows: list[dict[str, Any]] = []
+        for _attempt in range(5):
+            reply = yield self.rpc(
+                db_node, ports.DB, ports.DB_QUERY,
+                {"table": TABLE_NODE_METRICS, "where": None, "scope": "global"},
+                timeout=10.0,
+            )
+            rows = [
+                row for row in (reply or {}).get("rows", [])
+                if self._worker_nodes is None or row["_key"] in self._worker_nodes
+            ]
+            if rows:
+                break
+            yield self.timings.heartbeat_interval
+        for row in rows:
+            node = row["_key"]
+            self._free.setdefault(node, int(row.get("cpus", 0)))
+            self._capacity.setdefault(node, int(row.get("cpus", 0)))
+            # A worker that is down right now must not look placeable;
+            # its NODE_RECOVERY will flip it back (same ground-truth
+            # check _load_state applies to replica processes).
+            self._node_up.setdefault(node, self.cluster.node(node).up)
 
     # -- persistence (the runtime itself is GSD-supervised) -----------------
     CKPT_KEY = "bizrt.state"
@@ -208,6 +238,8 @@ class BusinessRuntime(ServiceDaemon):
                     "replicas": [r.to_payload() for r in state.replicas],
                     "deployed_at": state.deployed_at,
                     "downtime": state.downtime,
+                    "down_since": state._down_since,
+                    "alerted_down": state.alerted_down,
                 }
                 for state in self.apps.values()
             ],
@@ -233,6 +265,10 @@ class BusinessRuntime(ServiceDaemon):
             )
             state = AppState(spec=spec, deployed_at=blob["deployed_at"],
                              downtime=blob["downtime"])
+            # An app that was mid-outage keeps its original outage clock:
+            # restarting it at recovery time would over-report availability.
+            state._down_since = blob.get("down_since")
+            state.alerted_down = bool(blob.get("alerted_down", False))
             state.replicas = [Replica.from_payload(p) for p in blob["replicas"]]
             # A replica only counts as healthy if its process actually
             # survived our outage (node up + task process alive).
@@ -358,14 +394,33 @@ class BusinessRuntime(ServiceDaemon):
             },
         )
         state = self.apps.get(replica.app)
+        # The replica may have been retired (scale-down) while the spawn
+        # was in flight; its slot must not rejoin the serving set.
+        retired = state is None or not any(r is replica for r in state.replicas)
         if reply is not None and reply.get("ok"):
+            if retired:
+                self.send(replica.node, ports.PPM, ports.PPM_KILL_JOB,
+                          {"job_id": replica.job_id})
+                if self._node_up.get(replica.node):
+                    self._free[replica.node] = self._free.get(replica.node, 0) + cpus
+                replica.node = None
+                return
             replica.healthy = True
             self.sim.trace.count("bizrt.replicas_started")
         else:
-            self._free[replica.node] = self._free.get(replica.node, 0) + cpus
+            # Refund only while the node is up (the guard scale()/_heal()
+            # already use): a node that died mid-spawn rebuilds its free
+            # count from capacity at NODE_RECOVERY, so an unguarded
+            # refund would be double-counted after recovery.
+            failed_node = replica.node
+            if failed_node is not None and self._node_up.get(failed_node):
+                self._free[failed_node] = self._free.get(failed_node, 0) + cpus
             replica.node = None
             replica.healthy = False
-        if state is not None:
+            if not retired:
+                self.sim.trace.count("bizrt.spawn_failed")
+                self._place(replica, cpus, avoid=failed_node)
+        if not retired:
             self._note_and_alert(state)
             self._checkpoint()
 
@@ -389,12 +444,35 @@ class BusinessRuntime(ServiceDaemon):
             node = event.data.get("node", "")
             if node in self._node_up:
                 self._node_up[node] = True
+                if node in self._capacity:
+                    # Crash recovery wiped the node's processes, so its
+                    # free count is rebuilt from ground truth: capacity
+                    # minus whatever the registry still places there
+                    # (normally nothing; in-flight spawns settle their
+                    # own accounting when their RPC completes).
+                    placed = sum(
+                        self._tier_cpus(r.app, r.tier)
+                        for state in self.apps.values()
+                        for r in state.replicas
+                        if r.node == node
+                    )
+                    self._free[node] = self._capacity[node] - placed
+                self._retry_unplaced()
         elif event.type == ev.APP_FAILED:
             job_id = event.data.get("job_id", "")
             for state in self.apps.values():
                 for replica in state.replicas:
                     if replica.job_id == job_id and replica.healthy:
                         self._heal(state, replica, failed_node=replica.node)
+
+    def _retry_unplaced(self) -> None:
+        """Replicas that could not be placed anywhere get another chance
+        once capacity returns (called on NODE_RECOVERY)."""
+        for state in self.apps.values():
+            for replica in list(state.replicas):
+                if not replica.healthy and replica.node is None:
+                    self.sim.trace.count("bizrt.replace_retries")
+                    self._place(replica, self._tier_cpus(replica.app, replica.tier))
 
     def _heal(self, state: AppState, replica: Replica, failed_node: str | None) -> None:
         cpus = self._tier_cpus(replica.app, replica.tier)
@@ -404,6 +482,10 @@ class BusinessRuntime(ServiceDaemon):
         self._note_and_alert(state)
         self.sim.trace.count("bizrt.heals")
         self._place(replica, cpus, avoid=failed_node)
+        # Persist the down transition now: when placement fails (no
+        # capacity) no spawn completion will checkpoint for us, and a
+        # runtime restart mid-outage must reload the outage clock.
+        self._checkpoint()
 
     def _note_and_alert(self, state: AppState) -> None:
         """Track downtime and publish SLA events on serving transitions —
@@ -418,26 +500,29 @@ class BusinessRuntime(ServiceDaemon):
                 return  # initial deployment coming up: not an SLA recovery
             state.alerted_down = False
         event_type = SLA_VIOLATED if transition == "down" else SLA_RESTORED
+        self.sim.trace.count(f"bizrt.sla.{transition}")
         self.sim.trace.mark("bizrt.sla", app=state.spec.name, transition=transition)
+        self.publish_event(event_type, {
+            "app": state.spec.name,
+            "availability": state.availability(self.sim.now),
+        })
+
+    def publish_event(self, event_type: str, data: dict[str, Any]) -> None:
+        """Publish a runtime event (SLA, admission backpressure) through
+        this partition's event service."""
         es_node = self.kernel.placement.get(("es", self.partition_id))
         if es_node is not None:
-            self.send(
-                es_node, ports.ES, ports.ES_PUBLISH,
-                {
-                    "type": event_type,
-                    "data": {
-                        "app": state.spec.name,
-                        "availability": state.availability(self.sim.now),
-                    },
-                },
-            )
+            self.send(es_node, ports.ES, ports.ES_PUBLISH,
+                      {"type": event_type, "data": data})
 
     # -- load balancing --------------------------------------------------
-    def route(self, app: str, tier: str) -> str:
-        """Round-robin a request to a healthy replica; returns its node.
+    def route_replica(self, app: str, tier: str, span=None) -> Replica:
+        """Round-robin a request to a healthy replica.
 
         Raises :class:`UserEnvError` when the tier is entirely down —
-        callers count that as a failed request.
+        callers count that as a failed request.  When ``span`` is given
+        the routing decision is marked against it, so a request trace
+        decomposes into route → queue → service.
         """
         state = self.apps.get(app)
         if state is None:
@@ -449,7 +534,14 @@ class BusinessRuntime(ServiceDaemon):
         self._rr[key] = (self._rr.get(key, -1) + 1) % len(healthy)
         replica = healthy[self._rr[key]]
         self.sim.trace.count(f"bizrt.requests.{app}.{tier}")
-        return replica.node
+        if span is not None:
+            span.mark("bizrt.route", tier=tier, replica=replica.job_id,
+                      node=replica.node)
+        return replica
+
+    def route(self, app: str, tier: str, span=None) -> str:
+        """Route a request and return the chosen replica's node id."""
+        return self.route_replica(app, tier, span=span).node
 
     # -- status --------------------------------------------------------------
     def app_status(self, app: str) -> dict[str, Any]:
@@ -462,6 +554,62 @@ class BusinessRuntime(ServiceDaemon):
                 for t in state.spec.tiers
             },
         }
+
+    def capacity_audit(self) -> dict[str, Any]:
+        """Reconcile free-CPU accounting against ground-truth capacity.
+
+        For every up worker, ``capacity == free + placed`` must hold,
+        where *placed* counts replicas currently assigned to the node
+        (healthy or spawn-in-flight).  ``drift`` sums the absolute
+        discrepancies — zero means no capacity was leaked or
+        double-refunded across the kill / heal / failed-spawn paths.
+        """
+        placed: dict[str, int] = {}
+        for state in self.apps.values():
+            for replica in state.replicas:
+                if replica.node is not None:
+                    placed[replica.node] = (
+                        placed.get(replica.node, 0)
+                        + self._tier_cpus(replica.app, replica.tier))
+        nodes: dict[str, dict[str, int]] = {}
+        drift = 0
+        for node in sorted(self._capacity):
+            if not self._node_up.get(node):
+                continue
+            entry = {
+                "capacity": self._capacity[node],
+                "free": self._free.get(node, 0),
+                "placed": placed.get(node, 0),
+            }
+            entry["drift"] = entry["capacity"] - entry["free"] - entry["placed"]
+            drift += abs(entry["drift"])
+            nodes[node] = entry
+        return {"nodes": nodes, "drift": drift}
+
+    # -- kernel health -------------------------------------------------------
+    def attach_traffic(self, generator) -> None:
+        """Surface a TrafficGenerator's admission state through this
+        daemon's ``kernel.health`` row (what the autoscaler consumes)."""
+        self._traffic = generator
+
+    def health_snapshot(self) -> dict[str, Any]:
+        row = super().health_snapshot()
+        for name, h in self.sim.trace.histograms("bizreq.latency.").items():
+            if h.count:
+                row["hist"][name] = h.summary()
+        row["apps"] = {
+            name: {
+                "serving": state.serving(),
+                "tiers": {
+                    t.name: sum(1 for r in state.tier_replicas(t.name) if r.healthy)
+                    for t in state.spec.tiers
+                },
+            }
+            for name, state in sorted(self.apps.items())
+        }
+        if self._traffic is not None:
+            row["serving_queues"] = self._traffic.admission_snapshot()
+        return row
 
 
 def install_business_runtime(kernel, worker_nodes: list[str] | None = None,

@@ -1,0 +1,405 @@
+"""Open-loop traffic generation for the business serving tier.
+
+The paper's §business-hosting evaluation promises 7x24 availability and
+load balancing, but never drives the hosting environment with realistic
+load.  This module supplies that missing half: an *open-loop* generator
+(arrivals do not wait for completions, so overload actually queues) with
+
+- request classes with distinct per-tier service-time distributions and
+  per-class p99 SLOs (``bizreq.latency.<class>`` histograms),
+- arrival profiles — Poisson (constant rate), bursty (square wave) and
+  diurnal (sinusoidal) — all thinned from the same exponential
+  inter-arrival core so runs stay deterministic per seed,
+- admission control: a bounded queue per tier whose concurrency limit
+  tracks the *current* healthy replica set (kill/heal/scale churn
+  included) and whose watermark crossings publish backpressure events
+  through ES.
+
+Each admitted request walks the app's tiers in order: admission queue →
+:meth:`BusinessRuntime.route_replica` → service time on the chosen
+replica.  A sampled fraction of requests opens a ``bizreq.request`` span
+that decomposes into ``bizreq.queue`` / ``bizreq.service`` children, so
+individual slow requests stay explainable without paying per-request
+record cost at millions of requests.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import UserEnvError
+from repro.sim.process import Signal
+from repro.userenv.business.runtime import BusinessRuntime
+
+#: ES event types published on admission-queue watermark crossings.
+BACKPRESSURE_ON = "bizrt.backpressure_on"
+BACKPRESSURE_OFF = "bizrt.backpressure_off"
+
+
+@dataclass(frozen=True)
+class RequestClass:
+    """A class of business requests (e.g. browse / checkout / report).
+
+    ``service_times`` maps tier name → mean service time (seconds).
+    ``heavy_tail_sigma`` > 0 draws lognormal service times around those
+    means; ``slo_p99`` is the class's latency objective (None = best
+    effort).
+    """
+
+    name: str
+    service_times: dict[str, float]
+    weight: float = 1.0
+    heavy_tail_sigma: float = 0.0
+    slo_p99: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise UserEnvError("request class needs a name")
+        if self.weight <= 0:
+            raise UserEnvError(f"class {self.name}: weight must be positive")
+        if not self.service_times or any(v <= 0 for v in self.service_times.values()):
+            raise UserEnvError(f"class {self.name}: service times must be positive")
+
+
+@dataclass(frozen=True)
+class ArrivalProfile:
+    """Time-varying arrival rate ``rate_at(t)`` (requests / second).
+
+    ``poisson`` holds ``rate`` constant; ``bursty`` alternates between
+    ``rate`` and ``rate * burst_factor`` (square wave, ``duty`` fraction
+    of each ``period`` spent bursting); ``diurnal`` modulates ``rate``
+    sinusoidally by ``amplitude`` over ``period``.
+    """
+
+    kind: str = "poisson"
+    rate: float = 100.0
+    period: float = 60.0
+    burst_factor: float = 3.0
+    duty: float = 0.2
+    amplitude: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("poisson", "bursty", "diurnal"):
+            raise UserEnvError(f"unknown arrival profile {self.kind!r}")
+        if self.rate <= 0 or self.period <= 0:
+            raise UserEnvError("rate and period must be positive")
+        if not 0 < self.duty < 1 or self.burst_factor < 1 or not 0 <= self.amplitude < 1:
+            raise UserEnvError("bursty/diurnal shape parameters out of range")
+
+    def rate_at(self, t: float) -> float:
+        if self.kind == "poisson":
+            return self.rate
+        if self.kind == "bursty":
+            phase = (t % self.period) / self.period
+            return self.rate * (self.burst_factor if phase < self.duty else 1.0)
+        return self.rate * (1.0 + self.amplitude * math.sin(2 * math.pi * t / self.period))
+
+    def mean_rate(self) -> float:
+        """Long-run average rate (used to size campaign durations)."""
+        if self.kind == "bursty":
+            return self.rate * (1.0 + self.duty * (self.burst_factor - 1.0))
+        return self.rate
+
+
+class AdmissionQueue:
+    """Bounded FIFO admission gate in front of one tier.
+
+    ``limit()`` is re-evaluated on every grant, so the tier's effective
+    concurrency follows replica churn without any re-wiring.  The wait
+    queue is hard-capped at ``queue_cap``: arrivals beyond it are
+    rejected immediately (counted, never parked), which is what bounds
+    both memory and queueing latency under overload.  Watermark
+    crossings invoke ``on_backpressure(engaged, depth)``.
+    """
+
+    def __init__(
+        self,
+        sim,
+        tier: str,
+        limit: Callable[[], int],
+        queue_cap: int,
+        on_backpressure: Callable[[bool, int], None] | None = None,
+        high_watermark: float = 0.75,
+        low_watermark: float = 0.25,
+    ) -> None:
+        if queue_cap <= 0:
+            raise UserEnvError(f"tier {tier}: queue_cap must be positive")
+        if not 0 <= low_watermark < high_watermark <= 1:
+            raise UserEnvError(f"tier {tier}: watermarks out of range")
+        self.sim = sim
+        self.tier = tier
+        self.limit = limit
+        self.queue_cap = queue_cap
+        self.on_backpressure = on_backpressure
+        self.high = max(1, int(queue_cap * high_watermark))
+        self.low = int(queue_cap * low_watermark)
+        self.busy = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.backpressure = False
+        self._waiters: deque[Signal] = deque()
+
+    @property
+    def depth(self) -> int:
+        return len(self._waiters)
+
+    def try_enter(self) -> Signal | None:
+        """Request admission.  Returns a Signal that fires when a slot is
+        granted, or None when the queue is full (rejected)."""
+        self._grant()  # the limit may have risen since the last release
+        signal = Signal(self.sim, name=f"admit.{self.tier}")
+        if not self._waiters and self.busy < self.limit():
+            self.busy += 1
+            self.admitted += 1
+            signal.fire(True)
+            return signal
+        if len(self._waiters) >= self.queue_cap:
+            self.rejected += 1
+            self.sim.trace.count(f"bizreq.rejected.tier.{self.tier}")
+            return None
+        self._waiters.append(signal)
+        self._note_watermark()
+        return signal
+
+    def leave(self) -> None:
+        """Release a granted slot (always call once per granted Signal)."""
+        self.busy -= 1
+        self._grant()
+
+    def _grant(self) -> None:
+        granted = False
+        while self._waiters and self.busy < self.limit():
+            self.busy += 1
+            self.admitted += 1
+            self._waiters.popleft().fire(True)
+            granted = True
+        if granted:
+            self._note_watermark()
+
+    def _note_watermark(self) -> None:
+        depth = len(self._waiters)
+        if not self.backpressure and depth >= self.high:
+            self.backpressure = True
+            self.sim.trace.count("bizrt.backpressure_transitions")
+            self.sim.trace.mark("bizrt.backpressure", tier=self.tier,
+                                engaged=True, depth=depth)
+            if self.on_backpressure is not None:
+                self.on_backpressure(True, depth)
+        elif self.backpressure and depth <= self.low:
+            self.backpressure = False
+            self.sim.trace.mark("bizrt.backpressure", tier=self.tier,
+                                engaged=False, depth=depth)
+            if self.on_backpressure is not None:
+                self.on_backpressure(False, depth)
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "depth": self.depth, "busy": self.busy, "limit": self.limit(),
+            "admitted": self.admitted, "rejected": self.rejected,
+            "backpressure": int(self.backpressure),
+        }
+
+
+@dataclass
+class ClassStats:
+    generated: int = 0
+    completed: int = 0
+    rejected: int = 0
+    failed: int = 0
+
+
+class TrafficGenerator:
+    """Open-loop request load against one hosted application."""
+
+    def __init__(
+        self,
+        runtime: BusinessRuntime,
+        app: str,
+        classes: list[RequestClass],
+        profile: ArrivalProfile | None = None,
+        queue_cap: int = 64,
+        slots_per_replica: int = 8,
+        span_sample: int = 0,
+        rng_name: str = "biztraffic",
+    ) -> None:
+        state = runtime.apps.get(app)
+        if state is None:
+            raise UserEnvError(f"unknown application {app!r}")
+        if not classes:
+            raise UserEnvError("need at least one request class")
+        tier_names = {t.name for t in state.spec.tiers}
+        for cls in classes:
+            missing = tier_names - set(cls.service_times)
+            if missing:
+                raise UserEnvError(
+                    f"class {cls.name}: no service time for tiers {sorted(missing)}")
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self.app = app
+        self.classes = list(classes)
+        self.profile = profile or ArrivalProfile()
+        self.span_sample = span_sample
+        self.slots_per_replica = slots_per_replica
+        self.stats: dict[str, ClassStats] = {c.name: ClassStats() for c in classes}
+        self.generated = 0
+        self.inflight = 0
+        self.done = False
+        self._rng = self.sim.rngs.stream(rng_name)
+        total = sum(c.weight for c in classes)
+        self._cdf = []
+        acc = 0.0
+        for cls in classes:
+            acc += cls.weight / total
+            self._cdf.append((acc, cls))
+        self.queues: dict[str, AdmissionQueue] = {
+            t.name: AdmissionQueue(
+                self.sim, t.name,
+                limit=self._tier_limit(t.name),
+                queue_cap=queue_cap,
+                on_backpressure=self._publish_backpressure(t.name),
+            )
+            for t in state.spec.tiers
+        }
+        runtime.attach_traffic(self)
+
+    # -- wiring ----------------------------------------------------------
+    def _tier_limit(self, tier: str) -> Callable[[], int]:
+        def limit() -> int:
+            state = self.runtime.apps.get(self.app)
+            if state is None:
+                return 0
+            healthy = sum(1 for r in state.tier_replicas(tier) if r.healthy)
+            return healthy * self.slots_per_replica
+        return limit
+
+    def _publish_backpressure(self, tier: str) -> Callable[[bool, int], None]:
+        def publish(engaged: bool, depth: int) -> None:
+            self.runtime.publish_event(
+                BACKPRESSURE_ON if engaged else BACKPRESSURE_OFF,
+                {"app": self.app, "tier": tier, "depth": depth},
+            )
+        return publish
+
+    def admission_snapshot(self) -> dict[str, dict[str, int]]:
+        """Per-tier admission state, embedded in kernel.health rows."""
+        return {tier: q.snapshot() for tier, q in sorted(self.queues.items())}
+
+    # -- load generation -------------------------------------------------
+    def start(self, duration: float | None = None,
+              max_requests: int | None = None):
+        """Spawn the open-loop arrival process; returns its Proc."""
+        if duration is None and max_requests is None:
+            raise UserEnvError("need a duration or a request budget")
+        return self.sim.spawn(
+            self._arrivals(duration, max_requests),
+            name=f"biztraffic.{self.app}",
+        )
+
+    def _arrivals(self, duration: float | None, max_requests: int | None):
+        t0 = self.sim.now
+        end = None if duration is None else t0 + duration
+        while True:
+            if max_requests is not None and self.generated >= max_requests:
+                break
+            rate = self.profile.rate_at(self.sim.now - t0)
+            yield float(self._rng.exponential(1.0 / rate))
+            if end is not None and self.sim.now >= end:
+                break
+            pick = float(self._rng.random())
+            cls = next(c for edge, c in self._cdf if pick <= edge)
+            self.generated += 1
+            self.stats[cls.name].generated += 1
+            self.sim.spawn(self._request(cls, self.generated), name="bizreq")
+        self.done = True
+
+    def _service_time(self, cls: RequestClass, tier: str) -> float:
+        mean = cls.service_times[tier]
+        if cls.heavy_tail_sigma <= 0:
+            return float(self._rng.exponential(mean))
+        sigma = cls.heavy_tail_sigma
+        mu = math.log(mean) - 0.5 * sigma * sigma  # lognormal with given mean
+        return float(self._rng.lognormal(mu, sigma))
+
+    def _request(self, cls: RequestClass, seq: int):
+        sim = self.sim
+        started = sim.now
+        span = None
+        if self.span_sample and seq % self.span_sample == 0:
+            span = sim.trace.span("bizreq.request", cls=cls.name)
+        self.inflight += 1
+        try:
+            state = self.runtime.apps.get(self.app)
+            tiers = state.spec.tiers if state is not None else ()
+            for tier in tiers:
+                queue = self.queues[tier.name]
+                signal = queue.try_enter()
+                if signal is None:
+                    self.stats[cls.name].rejected += 1
+                    sim.trace.count(f"bizreq.rejected.{cls.name}")
+                    if span is not None:
+                        span.end(outcome="rejected", tier=tier.name)
+                    return
+                queue_span = (span.child("bizreq.queue", tier=tier.name)
+                              if span is not None else None)
+                if not signal.fired:
+                    yield signal
+                if queue_span is not None:
+                    queue_span.end()
+                try:
+                    try:
+                        replica = self.runtime.route_replica(
+                            self.app, tier.name, span=span)
+                    except UserEnvError:
+                        self.stats[cls.name].failed += 1
+                        sim.trace.count(f"bizreq.failed.{cls.name}")
+                        if span is not None:
+                            span.end(outcome="failed", tier=tier.name)
+                        return
+                    service_span = (span.child("bizreq.service", tier=tier.name,
+                                               node=replica.node)
+                                    if span is not None else None)
+                    yield self._service_time(cls, tier.name)
+                    if service_span is not None:
+                        service_span.end()
+                    if not replica.healthy:
+                        # The replica died under us: the request is lost.
+                        self.stats[cls.name].failed += 1
+                        sim.trace.count(f"bizreq.failed.{cls.name}")
+                        if span is not None:
+                            span.end(outcome="failed", tier=tier.name)
+                        return
+                finally:
+                    queue.leave()
+            latency = sim.now - started
+            self.stats[cls.name].completed += 1
+            sim.trace.count("bizreq.completed")
+            sim.trace.observe(f"bizreq.latency.{cls.name}", latency)
+            if span is not None:
+                span.end(outcome="ok")
+        finally:
+            self.inflight -= 1
+
+    # -- results ---------------------------------------------------------
+    def class_summary(self) -> dict[str, dict[str, Any]]:
+        """Per-class outcome counts plus latency percentiles and SLO verdict."""
+        out: dict[str, dict[str, Any]] = {}
+        for cls in self.classes:
+            stats = self.stats[cls.name]
+            hist = self.sim.trace.histogram(f"bizreq.latency.{cls.name}")
+            entry: dict[str, Any] = {
+                "generated": stats.generated,
+                "completed": stats.completed,
+                "rejected": stats.rejected,
+                "failed": stats.failed,
+                "slo_p99": cls.slo_p99,
+            }
+            if hist is not None and hist.count:
+                entry["p50"] = hist.percentile(50)
+                entry["p99"] = hist.percentile(99)
+                if cls.slo_p99 is not None:
+                    entry["slo_ok"] = entry["p99"] <= cls.slo_p99
+            out[cls.name] = entry
+        return out

@@ -291,15 +291,20 @@ DEFAULT_P99_LIMITS = {
 #: distributions fed when ``KernelTimings.es_deliver_slo`` is set.
 CONSUMER_SLO_PREFIX = "es.deliver.to."
 
+#: Histogram-name prefix of the per-class business-request latency
+#: distributions fed by the serving tier's traffic generator.
+REQUEST_SLO_PREFIX = "bizreq.latency."
+
 
 def alerts(
     report: dict[str, Any],
     p99_limits: dict[str, float] | None = None,
     consumer_slo: float | None = None,
+    class_slos: dict[str, float] | None = None,
 ) -> list[Alert]:
     """Evaluate alert rules over a :func:`health_report` dict.
 
-    Three rule families:
+    Four rule families:
 
     * ``health.stale`` (critical) — a daemon's last ``kernel.health``
       self-report is older than the report's staleness threshold (its
@@ -310,7 +315,10 @@ def alerts(
       (``es.deliver.to.<consumer_id>``, fed when
       ``KernelTimings.es_deliver_slo`` is set) has a p99 past
       ``consumer_slo`` (default: the aggregate ``es.deliver`` ceiling), so
-      one slow subscription pages even when the aggregate looks healthy.
+      one slow subscription pages even when the aggregate looks healthy;
+    * ``bizreq.slo`` (warning) — a per-request-class latency histogram
+      (``bizreq.latency.<class>``, fed by the serving tier) has a p99
+      past that class's objective in ``class_slos``.
 
     Also works over a latency-only report (e.g. built from an exported
     trace), where ``services``/``stale`` are simply absent.
@@ -360,6 +368,24 @@ def alerts(
                     message=(
                         f"consumer {consumer} delivery p99 {p99 * 1e3:.1f}ms "
                         f"exceeds SLO {slo * 1e3:.0f}ms"
+                    ),
+                )
+            )
+    for cls, cls_slo in sorted((class_slos or {}).items()):
+        summary = report.get("latency", {}).get(f"{REQUEST_SLO_PREFIX}{cls}")
+        if not summary:
+            continue
+        p99 = float(summary.get("p99", 0.0))
+        if p99 > cls_slo:
+            fired.append(
+                Alert(
+                    severity="warning",
+                    rule="bizreq.slo",
+                    subject=cls,
+                    value=p99,
+                    message=(
+                        f"request class {cls} p99 {p99 * 1e3:.1f}ms "
+                        f"exceeds SLO {cls_slo * 1e3:.0f}ms"
                     ),
                 )
             )

@@ -69,6 +69,12 @@ class PWSServer(ServiceDaemon):
         self.policy = AccessPolicy()
         self._job_seq = 0
         self._ready = False
+        #: Open causal spans per job: the ``pws.job`` root plus the
+        #: current ``pws.queue`` wait child.  Not checkpointed — a job
+        #: adopted after a scheduler restart simply has no open span and
+        #: its partial trace still renders.
+        self._job_spans: dict[str, Any] = {}
+        self._queue_spans: dict[str, Any] = {}
 
     # -- lifecycle -----------------------------------------------------------
     def on_start(self) -> None:
@@ -214,6 +220,12 @@ class PWSServer(ServiceDaemon):
         if spec.job_id in self.jobs and self.jobs[spec.job_id].active:
             return {"ok": False, "error": f"job {spec.job_id} already active"}
         self.jobs[spec.job_id] = JobRecord(spec=spec, submitted_at=self.sim.now)
+        # A job decomposes causally: pws.job (submit → terminal state)
+        # with pws.queue (schedule wait) and pws.dispatch (PPM spawn
+        # fan-out) children, so slow submissions are attributable.
+        root = self.sim.trace.span("pws.job", job=spec.job_id, pool=spec.pool)
+        self._job_spans[spec.job_id] = root
+        self._queue_spans[spec.job_id] = root.child("pws.queue")
         self.sim.trace.count("pws.submits")
         self._checkpoint()
         self._schedule()
@@ -232,6 +244,7 @@ class PWSServer(ServiceDaemon):
             self._release_job(job)
         job.state = JobState.CANCELLED
         job.finished_at = self.sim.now
+        self._close_job_span(job, "cancelled")
         self._checkpoint()
         self._schedule()
         return {"ok": True}
@@ -364,6 +377,9 @@ class PWSServer(ServiceDaemon):
         job.assigned_nodes = assigned
         job.outstanding = set(assigned)
         job.launches += 1
+        queue_span = self._queue_spans.pop(spec.job_id, None)
+        if queue_span is not None:
+            queue_span.end(nodes=len(assigned), launch=job.launches)
         self.sim.trace.count("pws.dispatches")
         self.spawn(self._dispatch_job(job), name=f"{self.node_id}/pws.dispatch")
         if spec.walltime is not None:
@@ -393,12 +409,16 @@ class PWSServer(ServiceDaemon):
         job.state = JobState.FAILED
         job.finished_at = self.sim.now
         self.pm.return_leases(job.spec.job_id)
+        self._close_job_span(job, "walltime")
         self._checkpoint()
         self._schedule()
 
     def _dispatch_job(self, job: JobRecord):
         """Load the job's tasks through a PPM parallel command."""
         spec = job.spec
+        root = self._job_spans.get(spec.job_id)
+        dispatch_span = (root.child("pws.dispatch", nodes=len(job.assigned_nodes))
+                         if root is not None else None)
         reply = yield self.rpc(
             self.node_id, ports.PPM, ports.PPM_PCMD,
             {
@@ -410,7 +430,10 @@ class PWSServer(ServiceDaemon):
                 "targets": list(job.assigned_nodes),
             },
             timeout=10.0,
+            span=dispatch_span,
         )
+        if dispatch_span is not None:
+            dispatch_span.end(ok=reply is not None)
         if job.state is not JobState.RUNNING:
             return  # cancelled while dispatching
         results = (reply or {}).get("results", {})
@@ -428,6 +451,12 @@ class PWSServer(ServiceDaemon):
                 break  # _task_failed tears down the whole job
 
     # -- task completion / failure --------------------------------------
+    def _close_job_span(self, job: JobRecord, outcome: str) -> None:
+        self._queue_spans.pop(job.spec.job_id, None)
+        root = self._job_spans.pop(job.spec.job_id, None)
+        if root is not None:
+            root.end(outcome=outcome, launches=job.launches, retries=job.retries)
+
     def _task_done(self, job: JobRecord, node: str) -> None:
         if node in job.outstanding:
             job.outstanding.discard(node)
@@ -437,6 +466,7 @@ class PWSServer(ServiceDaemon):
             job.finished_at = self.sim.now
             self.pm.return_leases(job.spec.job_id)
             self.sim.trace.count("pws.completions")
+            self._close_job_span(job, "done")
             self._checkpoint()
 
     def _task_failed(self, job: JobRecord, failed_node: str) -> None:
@@ -450,10 +480,15 @@ class PWSServer(ServiceDaemon):
             job.assigned_nodes = []
             job.outstanding = set()
             self.sim.trace.count("pws.requeues")
+            root = self._job_spans.get(job.spec.job_id)
+            if root is not None and job.spec.job_id not in self._queue_spans:
+                self._queue_spans[job.spec.job_id] = root.child(
+                    "pws.queue", retry=job.retries)
         else:
             job.state = JobState.FAILED
             job.finished_at = self.sim.now
             self.sim.trace.count("pws.failures")
+            self._close_job_span(job, "failed")
         self.pm.return_leases(job.spec.job_id)
         self._checkpoint()
 

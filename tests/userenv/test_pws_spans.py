@@ -1,0 +1,62 @@
+"""PWS job spans: schedule -> spawn -> complete as one causal tree."""
+
+from repro.userenv.pws.server import CANCEL, SUBMIT
+from tests.userenv.conftest import pws_rpc
+
+
+def _tree(sim, job_id):
+    root = next(r for r in sim.trace.records("pws.job") if r["job"] == job_id)
+    children = [r for r in sim.trace.records("pws.")
+                if r.fields.get("parent_id") == root["span_id"]]
+    return root, children
+
+
+def test_job_span_decomposes_queue_and_dispatch(kernel, sim, pws):
+    reply = pws_rpc(kernel, sim, SUBMIT,
+                    {"user": "alice", "nodes": 2, "cpus_per_node": 2,
+                     "duration": 10.0, "pool": "batch"})
+    assert reply["ok"]
+    job_id = reply["job_id"]
+    sim.run(until=sim.now + 20.0)
+
+    root, children = _tree(sim, job_id)
+    assert root["outcome"] == "done"
+    assert root["launches"] == 1 and root["retries"] == 0
+    by_cat = {}
+    for rec in children:
+        by_cat.setdefault(rec.category, []).append(rec)
+    # Exactly one queue wait (placement found) and one dispatch fan-out.
+    (queue,) = by_cat["pws.queue"]
+    (dispatch,) = by_cat["pws.dispatch"]
+    assert queue["nodes"] == 2 and dispatch["nodes"] == 2
+    assert dispatch["ok"] is True
+    # Causal ordering: queued before dispatched before the root closed.
+    assert queue["start"] <= dispatch["start"]
+    assert dispatch["start"] + dispatch["duration"] <= root["start"] + root["duration"]
+    # The parallel-command RPC parents onto the dispatch span, extending
+    # the tree into the kernel's transport layer.
+    rpcs = [r for r in sim.trace.records("rpc.call")
+            if r.fields.get("parent_id") == dispatch["span_id"]]
+    assert len(rpcs) == 1 and rpcs[0]["mtype"] == "ppm.pcmd"
+
+
+def test_cancelled_job_span_closes_with_outcome(kernel, sim, pws):
+    reply = pws_rpc(kernel, sim, SUBMIT,
+                    {"user": "bob", "nodes": 1, "cpus_per_node": 4,
+                     "duration": 500.0, "pool": "batch"})
+    job_id = reply["job_id"]
+    sim.run(until=sim.now + 2.0)
+    assert pws_rpc(kernel, sim, CANCEL, {"job_id": job_id})["ok"]
+    sim.run(until=sim.now + 2.0)
+    root, _children = _tree(sim, job_id)
+    assert root["outcome"] == "cancelled"
+
+
+def test_no_span_leak_after_jobs_settle(kernel, sim, pws):
+    for i in range(3):
+        pws_rpc(kernel, sim, SUBMIT,
+                {"user": "c", "nodes": 1, "cpus_per_node": 1,
+                 "duration": 5.0, "pool": "batch"})
+    sim.run(until=sim.now + 30.0)
+    assert pws._job_spans == {}
+    assert pws._queue_spans == {}

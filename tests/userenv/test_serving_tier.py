@@ -1,0 +1,286 @@
+"""Serving tier: admission control, routing fairness, traffic + spans,
+backpressure events, and the SLO autoscaler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec
+from repro.errors import UserEnvError
+from repro.kernel import KernelTimings
+from repro.sim import Simulator
+from repro.userenv.business import (
+    AdmissionQueue,
+    ArrivalProfile,
+    Autoscaler,
+    AutoscalePolicy,
+    BizAppSpec,
+    RequestClass,
+    TierPolicy,
+    TierSpec,
+    TrafficGenerator,
+    install_business_runtime,
+)
+from repro.userenv.business.runtime import BusinessRuntime, Replica
+from repro.userenv.business.traffic import BACKPRESSURE_ON
+from repro.userenv.construction import ConstructionTool
+from tests.kernel.test_events import subscribe_collector
+
+
+# -- admission queue: boundedness property --------------------------------
+
+OPS = st.lists(
+    st.one_of(
+        st.just(("arrive",)),
+        st.just(("finish",)),
+        st.tuples(st.just("limit"), st.integers(min_value=0, max_value=8)),
+    ),
+    max_size=120,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=OPS, cap=st.integers(min_value=1, max_value=12))
+def test_admission_queue_is_bounded(ops, cap):
+    """Under any arrival/finish/limit-change interleaving: the wait queue
+    never exceeds its cap, overflow is rejected-and-counted (never
+    silently dropped), and every admission is accounted for."""
+    sim = Simulator(seed=0, trace_capacity=0)
+    limit_box = [2]
+    queue = AdmissionQueue(sim, "web", limit=lambda: limit_box[0], queue_cap=cap)
+    arrivals = rejected = fired = finished = 0
+    parked: list = []
+    granted: list = []
+
+    for op in ops:
+        if op[0] == "arrive":
+            arrivals += 1
+            signal = queue.try_enter()
+            if signal is None:
+                rejected += 1
+            elif signal.fired:
+                granted.append(signal)
+            else:
+                parked.append(signal)
+        elif op[0] == "finish":
+            if granted:
+                granted.pop()
+                finished += 1
+                queue.leave()
+        else:
+            limit_box[0] = op[1]
+        # Parked arrivals promoted by leave()/try_enter() regrants.
+        for signal in [s for s in parked if s.fired]:
+            parked.remove(signal)
+            granted.append(signal)
+        fired = len(granted) + finished
+        assert queue.depth == len(parked) <= cap
+        assert queue.rejected == rejected
+        assert queue.admitted == fired
+        assert queue.busy == fired - finished
+        # Conservation: every arrival is granted, parked, or rejected.
+        assert fired + len(parked) + rejected == arrivals
+    # Once the limit is positive again and slots drain, the queue empties.
+    limit_box[0] = max(limit_box[0], 1)
+    queue._grant()
+    while queue.busy:
+        queue.leave()
+    assert queue.depth == 0
+
+
+def test_admission_queue_rejects_when_full():
+    sim = Simulator(seed=0)
+    queue = AdmissionQueue(sim, "web", limit=lambda: 1, queue_cap=2)
+    first = queue.try_enter()
+    assert first is not None and first.fired
+    parked = [queue.try_enter() for _ in range(2)]
+    assert all(s is not None and not s.fired for s in parked)
+    assert queue.try_enter() is None  # full -> rejected
+    assert queue.rejected == 1
+    queue.leave()
+    assert parked[0].fired  # FIFO handoff
+    assert queue.depth == 1
+
+
+# -- routing fairness property --------------------------------------------
+
+def _stub_runtime(sim, healthy_mask):
+    """A BusinessRuntime with just enough state to exercise routing."""
+    rt = BusinessRuntime.__new__(BusinessRuntime)
+    rt.sim = sim
+    rt._rr = {}
+    replicas = [
+        Replica(app="shop", tier="web", index=i, node=f"n{i}", healthy=up)
+        for i, up in enumerate(healthy_mask)
+    ]
+    state = BizAppSpec(name="shop", tiers=(TierSpec("web", len(replicas)),))
+    rt.apps = {"shop": _AppStateStub(state, replicas)}
+    return rt
+
+
+class _AppStateStub:
+    def __init__(self, spec, replicas):
+        self.spec = spec
+        self.replicas = replicas
+
+    def tier_replicas(self, tier):
+        return [r for r in self.replicas if r.tier == tier]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    masks=st.lists(
+        st.lists(st.booleans(), min_size=1, max_size=6).filter(any),
+        min_size=1, max_size=4,
+    ),
+    rounds=st.integers(min_value=1, max_value=4),
+)
+def test_route_round_robin_fairness_under_churn(masks, rounds):
+    """Between churn events, a window of k*len(healthy) consecutive
+    requests lands exactly k times on every healthy replica — the
+    paper's load-balancing promise, kill/heal churn included."""
+    sim = Simulator(seed=0, trace_capacity=0)
+    rt = _stub_runtime(sim, masks[0])
+    state = rt.apps["shop"]
+    for mask in masks:
+        # Churn: reshape the healthy set (indices persist, health flips).
+        while len(state.replicas) < len(mask):
+            state.replicas.append(Replica(
+                app="shop", tier="web", index=len(state.replicas),
+                node=f"n{len(state.replicas)}", healthy=False))
+        for i, replica in enumerate(state.replicas):
+            replica.healthy = mask[i] if i < len(mask) else False
+        healthy = [r for r in state.replicas if r.healthy]
+        hits = {r.job_id: 0 for r in healthy}
+        for _ in range(rounds * len(healthy)):
+            hits[rt.route_replica("shop", "web").job_id] += 1
+        assert set(hits.values()) == {rounds}
+
+
+def test_route_raises_when_tier_down():
+    sim = Simulator(seed=0, trace_capacity=0)
+    rt = _stub_runtime(sim, [False, False])
+    with pytest.raises(UserEnvError):
+        rt.route_replica("shop", "web")
+    with pytest.raises(UserEnvError):
+        rt.route_replica("nosuch", "web")
+
+
+# -- integration: generator, spans, backpressure, autoscaler ---------------
+
+@pytest.fixture()
+def serving(kernel, sim):
+    workers = [n for n in kernel.cluster.compute_nodes() if n.startswith("p0")]
+    rt = install_business_runtime(kernel, worker_nodes=workers, partition_id="p0")
+    sim.run(until=sim.now + 2.0)
+    rt.deploy(BizAppSpec(name="shop", tiers=(
+        TierSpec("web", 2, cpus=1), TierSpec("db", 1, cpus=1))))
+    sim.run(until=sim.now + 2.0)
+    return rt
+
+
+CLASSES = [
+    RequestClass(name="browse", service_times={"web": 0.01, "db": 0.005},
+                 weight=0.8, slo_p99=0.5),
+    RequestClass(name="report", service_times={"web": 0.01, "db": 0.05},
+                 weight=0.2, heavy_tail_sigma=0.8),
+]
+
+
+def test_traffic_generator_serves_and_observes(kernel, sim, serving):
+    gen = TrafficGenerator(serving, "shop", CLASSES,
+                           profile=ArrivalProfile("poisson", rate=50.0))
+    gen.start(max_requests=300)
+    while not gen.done or gen.inflight:
+        sim.run(until=sim.now + 5.0)
+    summary = gen.class_summary()
+    assert gen.generated == 300
+    assert sum(e["completed"] for e in summary.values()) > 250
+    for name, entry in summary.items():
+        assert entry["completed"] > 0
+        assert entry["p99"] > entry["p50"] > 0.0
+        hist = sim.trace.histogram(f"bizreq.latency.{name}")
+        assert hist is not None and hist.count == entry["completed"]
+    # Admission state surfaces through the daemon health row.
+    row = serving.health_snapshot()
+    assert set(row["serving_queues"]) == {"web", "db"}
+    assert row["apps"]["shop"]["serving"]
+
+
+def test_request_span_decomposes_route_queue_service(kernel, sim, serving):
+    gen = TrafficGenerator(serving, "shop", CLASSES,
+                           profile=ArrivalProfile("poisson", rate=50.0),
+                           span_sample=1)
+    gen.start(max_requests=20)
+    while not gen.done or gen.inflight:
+        sim.run(until=sim.now + 5.0)
+    roots = [r for r in sim.trace.records("bizreq.request")
+             if r["outcome"] == "ok"]
+    assert roots
+    root = roots[0]
+    children = [r for r in sim.trace.records("bizreq.")
+                if r.fields.get("parent_id") == root["span_id"]]
+    by_cat = {}
+    for rec in children:
+        by_cat.setdefault(rec.category, []).append(rec)
+    # One queue wait and one service stretch per tier walked.
+    assert {r["tier"] for r in by_cat["bizreq.queue"]} == {"web", "db"}
+    assert {r["tier"] for r in by_cat["bizreq.service"]} == {"web", "db"}
+    for rec in by_cat["bizreq.service"]:
+        assert rec["node"] is not None
+    # The routing decisions are marked against the same span.
+    routes = [r for r in sim.trace.records("bizrt.route")
+              if r.fields.get("span_id") == root["span_id"]]
+    assert {r["tier"] for r in routes} == {"web", "db"}
+
+
+def test_overload_engages_backpressure_and_bounds_queue(kernel, sim, serving):
+    inbox = subscribe_collector(kernel, sim, "p1c0", "bpwatch",
+                                types=(BACKPRESSURE_ON,), partition="p0")
+    slow = [RequestClass(name="slow", service_times={"web": 0.5, "db": 0.5})]
+    gen = TrafficGenerator(serving, "shop", slow,
+                           profile=ArrivalProfile("poisson", rate=100.0),
+                           queue_cap=8, slots_per_replica=2)
+    gen.start(max_requests=400)
+    while not gen.done:
+        sim.run(until=sim.now + 5.0)
+    sim.run(until=sim.now + 10.0)
+    # The queue saturated: backpressure engaged and was published via ES,
+    # and the overflow was rejected rather than queued without bound.
+    assert sim.trace.counter("bizrt.backpressure_transitions") >= 1
+    assert any(e.data["app"] == "shop" for e in inbox)
+    assert gen.stats["slow"].rejected > 0
+    assert all(q.depth <= 8 for q in gen.queues.values())
+
+
+def test_autoscaler_grows_tier_under_pressure():
+    sim = Simulator(seed=5)
+    tool = ConstructionTool(sim)
+    kernel = tool.build(
+        ClusterSpec.build(partitions=2, computes=4),
+        timings=KernelTimings(heartbeat_interval=5.0,
+                              health_report_interval=1.0),
+    )
+    sim.run(until=6.0)
+    workers = [n for n in kernel.cluster.compute_nodes() if n.startswith("p0")]
+    rt = install_business_runtime(kernel, worker_nodes=workers, partition_id="p0")
+    sim.run(until=sim.now + 2.0)
+    rt.deploy(BizAppSpec(name="shop", tiers=(TierSpec("web", 1, cpus=1),)))
+    sim.run(until=sim.now + 2.0)
+
+    slow = [RequestClass(name="slow", service_times={"web": 0.2})]
+    gen = TrafficGenerator(rt, "shop", slow,
+                           profile=ArrivalProfile("poisson", rate=40.0),
+                           queue_cap=64, slots_per_replica=4)
+    scaler = Autoscaler(
+        rt, "shop", {"web": TierPolicy(min_replicas=1, max_replicas=4)},
+        policy=AutoscalePolicy(interval=2.0, cooldown=4.0, queue_high=4),
+    )
+    scaler.start()
+    gen.start(duration=40.0)
+    sim.run(until=sim.now + 50.0)
+
+    assert sim.trace.counter("bizrt.autoscale.up") >= 1
+    assert len(rt.apps["shop"].tier_replicas("web")) > 1
+    assert any(a["direction"] == "up" for a in scaler.actions)
+    assert rt.capacity_audit()["drift"] == 0
