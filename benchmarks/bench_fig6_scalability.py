@@ -11,13 +11,25 @@ the 640-node point.
 import pytest
 
 from benchmarks.conftest import once
-from repro.experiments.scalability import render_sweep, run_sweep
+from repro.experiments.scalability import render_sweep, run_point, run_sweep
 from repro.userenv.monitoring import render_snapshot
 
 #: The paper's machine is the 640-node point; 1024–4096 substantiate §1's
 #: "easily extends to increasing system scale" (the engine's timer-wheel
 #: fast path is what makes the 4096 point affordable in CI).
 SWEEP = (64, 128, 256, 640, 1024, 2048, 4096)
+
+#: Quiescence fast-forward extension point — 25.6x the paper's machine.
+#: Exact execution at this scale would blow the CI budget; fast-forward
+#: (DESIGN.md §13) batch-accounts the healthy heartbeat/export cascades
+#: while keeping every counter, histogram, and record identical (the
+#: differential harness in tests/sim/test_fast_forward_equivalence.py
+#: enforces that bit-for-bit).
+FF_NODES = 16384
+
+#: Result keys that legitimately differ between engines (execution-shape
+#: telemetry and non-scalar payloads); everything else must be identical.
+_ENGINE_SHAPE_KEYS = ("ff_skipped", "events_executed", "snapshot")
 
 
 @pytest.mark.benchmark(group="fig6")
@@ -59,3 +71,48 @@ def test_fig6_scalability_sweep(benchmark, save_artifact):
     assert 15.0 < snapshot.avg_mem_pct < 23.0  # paper: 18.6%
     assert snapshot.avg_swap_pct < 2.0  # paper: 0.72%
     save_artifact("fig6_statusboard", render_snapshot(snapshot, columns=10))
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_extended_fast_forward_point(benchmark, save_artifact):
+    """The ≥16384-node extension of Figure 6, affordable only with
+    quiescence fast-forward.  The 64-node point runs on both engines as
+    an in-bench differential gate: every measured quantity must be
+    bit-identical before the FF 16384 point is trusted."""
+
+    def work():
+        small = run_point(64)
+        small_ff = run_point(64, fast_forward=True)
+        big = run_point(FF_NODES, fast_forward=True)
+        return small, small_ff, big
+
+    small, small_ff, big = once(benchmark, work)
+
+    # Twin-engine gate: identical measurements, different execution shape.
+    for key, value in small.items():
+        if key not in _ENGINE_SHAPE_KEYS:
+            assert small_ff[key] == value, f"engine divergence on {key!r}"
+    assert small_ff["ff_skipped"] > 0
+    assert small_ff["events_executed"] < small["events_executed"]
+
+    # The 25.6x-scale point behaves like the paper's machine.
+    assert big["rows_per_refresh"] == FF_NODES
+    assert big["partitions"] == FF_NODES // 16
+    assert big["msgs_per_node_per_s"] == pytest.approx(small["msgs_per_node_per_s"], rel=0.25)
+    assert big["refresh_latency_ms"] < 5 * small["refresh_latency_ms"]
+    # Fast-forward did the heavy lifting: hundreds of thousands of
+    # healthy cascades batch-accounted instead of executed.
+    assert big["ff_skipped"] > 100_000
+
+    benchmark.extra_info["ff_16384"] = {
+        "latency_ms": big["refresh_latency_ms"],
+        "msgs_per_node_per_s": big["msgs_per_node_per_s"],
+        "access_point_msgs_per_refresh": big["access_point_msgs_per_refresh"],
+        "ff_skipped": big["ff_skipped"],
+    }
+    save_artifact(
+        "fig6_ff_extension",
+        render_sweep([small, big])
+        + f"\n(16384-node point fast-forwarded: {big['ff_skipped']} cascades "
+        f"batch-accounted, {big['events_executed']} events executed)\n",
+    )

@@ -36,7 +36,22 @@ class DetectorDaemon(ServiceDaemon):
         self.samples_exported = 0
 
     def on_start(self) -> None:
-        self.spawn(self._export_loop(), name=f"{self.node_id}/detector.loop")
+        if self.sim.fast_forward and "detector.export" in self.timings.quiesce_skippable:
+            # Fast-forward wiring: contracted PeriodicTask twin of the
+            # export loop (see WatchDaemon.on_start for the ordering
+            # argument; exports with tracked apps fall back to exact
+            # execution via the contract's can_skip).
+            from repro.kernel.quiesce import DetectorExportContract
+
+            task = self.sim.periodic(
+                self.timings.detector_interval,
+                self._export_once,
+                first_delay=0.0,
+                contract=DetectorExportContract(self),
+            )
+            self.hp.on_kill(task.cancel)
+        else:
+            self.spawn(self._export_loop(), name=f"{self.node_id}/detector.loop")
 
     # -- periodic export ---------------------------------------------------
     def _export_loop(self):

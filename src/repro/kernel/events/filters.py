@@ -97,6 +97,35 @@ def _equality_value(condition: Any) -> Any:
     return condition
 
 
+_RANGE_OPS = ("<", "<=", ">", ">=")
+
+
+def _range_constraint(condition: Any) -> tuple[str, float] | None:
+    """``(op, bound)`` when a condition is a numeric range constraint the
+    index can prune on, else ``None``.  Only numeric bounds qualify: for
+    them the query layer's outcome is fully predictable from the event
+    value (numeric comparison, or ``False`` on a missing field / cross-
+    type ``TypeError``), so pruning is provably equivalent."""
+    if (
+        isinstance(condition, dict)
+        and set(condition) == {"op", "value"}
+        and condition["op"] in _RANGE_OPS
+        and isinstance(condition["value"], (int, float))
+    ):
+        return (condition["op"], condition["value"])
+    return None
+
+
+def _range_admits(op: str, bound: float, value: float) -> bool:
+    if op == "<":
+        return value < bound
+    if op == "<=":
+        return value <= bound
+    if op == ">":
+        return value > bound
+    return value >= bound
+
+
 class SubscriptionIndex:
     """Type-prefix + where-key index over a subscription registry.
 
@@ -105,12 +134,13 @@ class SubscriptionIndex:
     types via one dict hit, family wildcards (``"node.*"``) via the dotted
     prefixes of the event type, plus the catch-all set (empty ``types``).
 
-    Hot equality ``where`` keys (``indexed_keys``, by default ``node`` —
-    the key every per-node monitor filters on) are indexed too: a
-    candidate whose clause pins an indexed key to a value the event's
-    data provably doesn't carry is skipped without running its clause.
-    ``where`` clauses still run per surviving candidate, so the index is
-    exactly equivalent to scanning everything with
+    Hot ``where`` keys (``indexed_keys``, by default ``node`` — the key
+    every per-node monitor filters on) are indexed too: a candidate whose
+    clause pins an indexed key to a different equality value, or whose
+    numeric range constraint (``<``/``<=``/``>``/``>=`` with an int/float
+    bound) the event's value provably fails, is skipped without running
+    its clause.  ``where`` clauses still run per surviving candidate, so
+    the index is exactly equivalent to scanning everything with
     :meth:`Subscription.matches`.
 
     Candidates come back in registration order (re-registering an existing
@@ -135,6 +165,10 @@ class SubscriptionIndex:
         self._eq: dict[str, dict[Any, set[str]]] = {k: {} for k in self._where_keys}
         #: key -> all consumers with an indexable equality constraint on it.
         self._eq_constrained: dict[str, set[str]] = {k: set() for k in self._where_keys}
+        #: key -> consumer -> (op, bound) numeric range constraint.
+        self._range: dict[str, dict[str, tuple[str, float]]] = {
+            k: {} for k in self._where_keys
+        }
 
     def __len__(self) -> int:
         return len(self._subs)
@@ -172,6 +206,10 @@ class SubscriptionIndex:
                 if value is not _NO_EQ:
                     self._eq[key].setdefault(value, set()).add(sub.consumer_id)
                     self._eq_constrained[key].add(sub.consumer_id)
+                else:
+                    ranged = _range_constraint(sub.where[key])
+                    if ranged is not None:
+                        self._range[key][sub.consumer_id] = ranged
 
     def remove(self, consumer_id: str) -> Subscription | None:
         """Drop a consumer; returns its subscription or ``None``."""
@@ -197,6 +235,7 @@ class SubscriptionIndex:
                     bucket.discard(consumer_id)
                     if not bucket:
                         del self._eq[key][value]
+            self._range[key].pop(consumer_id, None)
         return sub
 
     def candidates(
@@ -209,7 +248,12 @@ class SubscriptionIndex:
         With ``data``, candidates whose clause pins an indexed where key
         to a different equality value are pruned via one bucket probe per
         key — e.g. per-node monitors with ``where={"node": ...}`` stop
-        being visited for every other node's events.
+        being visited for every other node's events.  Numeric range
+        constraints on indexed keys prune the same way: a threshold
+        alarm with ``where={"cpu_pct": {"op": ">", "value": 90}}`` is
+        only visited by events whose value clears the bound (missing
+        fields and cross-type comparisons never match range operators,
+        so those prune too).
         """
         ids: set[str] = set(self._all_types)
         exact = self._exact.get(event_type)
@@ -225,18 +269,33 @@ class SubscriptionIndex:
         if data is not None:
             for key in self._where_keys:
                 constrained = self._eq_constrained[key]
-                if not constrained:
-                    continue
-                # A missing field never satisfies an equality constraint,
-                # so _NO_EQ (never a bucket key) prunes every pinned sub.
                 value = data.get(key, _NO_EQ)
-                try:
-                    matching = self._eq[key].get(value, ()) if value is not _NO_EQ else ()
-                except TypeError:
-                    # Unhashable event value: it cannot equal any of the
-                    # (hashable) pinned values, so no pinned sub matches.
-                    matching = ()
-                ids = {cid for cid in ids if cid not in constrained or cid in matching}
+                if constrained:
+                    try:
+                        matching = (
+                            self._eq[key].get(value, ()) if value is not _NO_EQ else ()
+                        )
+                    except TypeError:
+                        # Unhashable event value: it cannot equal any of the
+                        # (hashable) pinned values, so no pinned sub matches.
+                        matching = ()
+                    # A missing field never satisfies an equality constraint,
+                    # so _NO_EQ (never a bucket key) prunes every pinned sub.
+                    ids = {cid for cid in ids if cid not in constrained or cid in matching}
+                ranged = self._range[key]
+                if ranged:
+                    if value is _NO_EQ:
+                        # Missing field: range operators never match it.
+                        ids = {cid for cid in ids if cid not in ranged}
+                    elif isinstance(value, (int, float)):
+                        ids = {
+                            cid
+                            for cid in ids
+                            if cid not in ranged or _range_admits(*ranged[cid], value)
+                        }
+                    # Non-numeric event values stay unpruned: exotic types
+                    # (Decimal, strings vs numeric bounds) are left to the
+                    # full per-candidate clause.
         return [self._subs[cid] for cid in sorted(ids, key=self._order.__getitem__)]
 
 

@@ -36,16 +36,40 @@ class WatchDaemon(ServiceDaemon):
 
     def on_start(self) -> None:
         self.bind(ports.WD, self._dispatch)
-        self.spawn(self._beat_loop(), name=f"{self.node_id}/wd.beat")
+        if (
+            self.sim.fast_forward
+            and not self.timings.stagger_heartbeats
+            and "wd.beat" in self.timings.quiesce_skippable
+        ):
+            # Fast-forward wiring: the beat loop becomes a contracted
+            # engine-level PeriodicTask so healthy firings can be
+            # batch-accounted.  first_delay=0 plus callback-then-re-arm
+            # replicates the Proc formulation's seq-allocation instants,
+            # so ordering is observably identical (staggered phases keep
+            # the exact Proc: the stagger draw has no analytic twin).
+            from repro.kernel.quiesce import WdBeatContract
+
+            task = self.sim.periodic(
+                self.timings.heartbeat_interval,
+                self._beat_tick,
+                first_delay=0.0,
+                contract=WdBeatContract(self),
+            )
+            self.hp.on_kill(task.cancel)
+        else:
+            self.spawn(self._beat_loop(), name=f"{self.node_id}/wd.beat")
 
     def _beat_loop(self):
         if self.timings.stagger_heartbeats:
             rng = self.sim.rngs.stream(f"wd.stagger.{self.node_id}")
             yield float(rng.uniform(0.0, self.timings.heartbeat_interval))
         while True:
-            self._send_beat()
-            self._check_local_services()
+            self._beat_tick()
             yield self.timings.heartbeat_interval
+
+    def _beat_tick(self) -> None:
+        self._send_beat()
+        self._check_local_services()
 
     def _check_local_services(self) -> None:
         hostos = self.cluster.hostos(self.node_id)

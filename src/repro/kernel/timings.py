@@ -168,6 +168,15 @@ class KernelTimings:
     #: the cost of the paper's beat-aligned measurement methodology.
     stagger_heartbeats: bool = False
 
+    #: Periodic firing classes the engine may skip analytically when the
+    #: simulator runs with ``fast_forward=True`` (see
+    #: :mod:`repro.kernel.quiesce`).  Each named class registers its loop
+    #: as a contracted :class:`~repro.sim.PeriodicTask` whose healthy
+    #: steady-state firing is batch-accounted instead of executed.  Has no
+    #: effect on an exact (default) simulator.  Empty disables opt-in
+    #: entirely.  Known classes: ``"wd.beat"``, ``"detector.export"``.
+    quiesce_skippable: tuple[str, ...] = ("wd.beat", "detector.export")
+
     extra: dict = field(default_factory=dict, hash=False)
 
     def __post_init__(self) -> None:
@@ -210,6 +219,8 @@ class KernelTimings:
             raise KernelError("es_indexed_where_keys must be non-empty strings")
         if self.health_report_interval is not None and self.health_report_interval <= 0:
             raise KernelError("health_report_interval must be positive (or None)")
+        if any(not cls or not isinstance(cls, str) for cls in self.quiesce_skippable):
+            raise KernelError("quiesce_skippable entries must be non-empty strings")
 
     @property
     def service_check_period(self) -> float:

@@ -3,6 +3,9 @@ subscription checkpoint."""
 
 import random
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.kernel import ports
 from repro.kernel.events import types as ev
 from repro.kernel.events.filters import Subscription, SubscriptionIndex
@@ -133,15 +136,129 @@ def test_where_key_operator_equality_is_indexed_like_plain_value():
     assert index.candidates("t.a", {"node": "n2"}) == []
 
 
-def test_where_key_non_equality_conditions_are_never_pruned():
-    """Only equality constraints may be pruned by the bucket probe; every
-    other operator must fall through to the per-candidate check."""
+def test_where_key_unindexable_conditions_are_never_pruned():
+    """Only equality buckets and numeric range constraints may prune;
+    ``!=``/``in``/``contains``, unhashable equality values, and range
+    operators with *non-numeric* bounds (where cross-type comparison can
+    legitimately succeed) must fall through to the per-candidate check."""
     index = SubscriptionIndex()
     index.add(sub("ne", "t.a", where={"node": {"op": "!=", "value": "n1"}}))
     index.add(sub("inop", "t.a", where={"node": {"op": "in", "value": ["n1", "n2"]}}))
     index.add(sub("unhashable", "t.a", where={"node": ["n1"]}))  # eq to a list
+    index.add(sub("strbound", "t.a", where={"node": {"op": "<", "value": "zz"}}))
     got = [s.consumer_id for s in index.candidates("t.a", {"node": "n9"})]
-    assert got == ["ne", "inop", "unhashable"]
+    assert got == ["ne", "inop", "unhashable", "strbound"]
+
+
+# -- where-key numeric range pruning -----------------------------------------
+
+
+def test_where_key_numeric_range_pruning():
+    index = SubscriptionIndex(indexed_keys=("cpu_pct",))
+    index.add(sub("high", "m.*", where={"cpu_pct": {"op": ">", "value": 90}}))
+    index.add(sub("low", "m.*", where={"cpu_pct": {"op": "<=", "value": 50.0}}))
+    index.add(sub("any", "m.*"))
+
+    def got(data):
+        return [s.consumer_id for s in index.candidates("m.tick", data)]
+
+    assert got({"cpu_pct": 95}) == ["high", "any"]
+    assert got({"cpu_pct": 50}) == ["low", "any"]
+    assert got({"cpu_pct": 90}) == ["any"]  # >90 strict, <=50 fails too
+    assert got({"cpu_pct": 70.5}) == ["any"]
+    # Missing field: range operators never match it, both subs prune.
+    assert got({"other": 1}) == ["any"]
+    # Without data the index cannot prune at all.
+    assert len(index.candidates("m.tick")) == 3
+
+
+def test_where_key_range_boundary_semantics_match_operators():
+    index = SubscriptionIndex(indexed_keys=("v",))
+    index.add(sub("lt", "t.a", where={"v": {"op": "<", "value": 10}}))
+    index.add(sub("le", "t.a", where={"v": {"op": "<=", "value": 10}}))
+    index.add(sub("gt", "t.a", where={"v": {"op": ">", "value": 10}}))
+    index.add(sub("ge", "t.a", where={"v": {"op": ">=", "value": 10}}))
+    assert [s.consumer_id for s in index.candidates("t.a", {"v": 10})] == ["le", "ge"]
+    assert [s.consumer_id for s in index.candidates("t.a", {"v": 9})] == ["lt", "le"]
+    assert [s.consumer_id for s in index.candidates("t.a", {"v": 11})] == ["gt", "ge"]
+
+
+def test_where_key_non_numeric_event_value_is_not_range_pruned():
+    """A non-numeric event value is left to the full clause: the index
+    must not guess the outcome of exotic cross-type comparisons."""
+    index = SubscriptionIndex(indexed_keys=("v",))
+    index.add(sub("gt", "t.a", where={"v": {"op": ">", "value": 5}}))
+    got = [s.consumer_id for s in index.candidates("t.a", {"v": "hot"})]
+    assert got == ["gt"]
+    # ...and the clause itself rejects it (TypeError -> no match).
+    event = Event(
+        event_id="e", type="t.a", source="s", partition="p0", time=0.0,
+        data={"v": "hot"},
+    )
+    assert not got or not index.get("gt").matches(event)
+
+
+def test_where_key_range_tables_cleaned_on_remove_and_readd():
+    index = SubscriptionIndex(indexed_keys=("v",))
+    index.add(sub("c", "t.a", where={"v": {"op": ">", "value": 5}}))
+    index.add(sub("c", "t.a", where={"v": {"op": "<", "value": 5}}))  # re-add flips
+    assert [s.consumer_id for s in index.candidates("t.a", {"v": 3})] == ["c"]
+    assert index.candidates("t.a", {"v": 7}) == []
+    index.remove("c")
+    assert index._range["v"] == {}
+    assert index.candidates("t.a", {"v": 3}) == []
+
+
+_BOUNDS = st.one_of(
+    st.integers(min_value=-5, max_value=105),
+    st.floats(min_value=-5.0, max_value=105.0, allow_nan=False),
+    st.sampled_from([float("inf"), float("-inf"), float("nan")]),
+)
+
+_CLAUSES = st.one_of(
+    st.none(),
+    st.tuples(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]), _BOUNDS),
+    st.tuples(st.just("<"), st.just("zz")),  # non-numeric bound: unprunable
+)
+
+_EVENT_VALUES = st.one_of(
+    st.none(),  # field absent
+    st.integers(min_value=-10, max_value=110),
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=2),
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    clauses=st.lists(_CLAUSES, min_size=1, max_size=8),
+    values=st.lists(_EVENT_VALUES, min_size=1, max_size=12),
+)
+def test_range_pruning_exactly_equivalent_to_scan(clauses, values):
+    """Hypothesis: for any mix of range/equality clauses on an indexed
+    numeric key and any stream of event values (numeric, missing, NaN,
+    infinite, non-numeric), pruning never changes the delivered set or
+    order relative to the naive full scan."""
+    linear: dict[str, Subscription] = {}
+    index = SubscriptionIndex(indexed_keys=("v",))
+    for i, clause in enumerate(clauses):
+        where = {} if clause is None else {"v": {"op": clause[0], "value": clause[1]}}
+        s = Subscription(f"c{i}", "n", "p", types=("ev.*",), where=where)
+        linear[f"c{i}"] = s
+        index.add(s)
+    for step, value in enumerate(values):
+        data = {} if value is None else {"v": value}
+        event = Event(
+            event_id=f"e{step}", type="ev.tick", source="s", partition="p0",
+            time=float(step), data=data,
+        )
+        via_scan = [s.consumer_id for s in linear.values() if s.matches(event)]
+        via_index = [
+            s.consumer_id
+            for s in index.candidates(event.type, event.data)
+            if s.matches(event)
+        ]
+        assert via_index == via_scan, f"divergence on {data!r}"
 
 
 def test_where_key_missing_field_prunes_every_pinned_sub():

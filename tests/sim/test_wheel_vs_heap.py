@@ -3,10 +3,12 @@ execute the *identical* event sequence as the heap-only reference engine.
 
 The property test drives both engines through random mixes of schedules
 (spanning sub-tick, level-0, level-1, and beyond-horizon delays, with and
-without priorities), handle cancels, timer restarts/cancels, and
-interleaved bounded runs — then asserts the firing logs, clocks, and
-pending counts never diverge.  The unit tests pin the individual routing
-and recycling behaviors the property test exercises in aggregate.
+without priorities), handle cancels, timer restarts/cancels, periodic
+tasks, and interleaved bounded runs — then asserts the firing logs,
+clocks, and pending counts never diverge.  The driver itself lives in
+:mod:`tests.sim.engine_equivalence` and is shared with the fast-forward
+differential harness.  The unit tests pin the individual routing and
+recycling behaviors the property test exercises in aggregate.
 """
 
 import math
@@ -18,11 +20,19 @@ from hypothesis import strategies as st
 from repro.sim import Simulator
 from repro.sim.core import FREELIST_MAX, WHEEL_TICK
 
+from tests.sim.engine_equivalence import drive_ops
+
 # Delays crossing every routing boundary: sub-tick (heap), level 0
 # (< 4 s), level 1 (< 1024 s), and past the coarsest horizon (heap).
 _DELAYS = st.one_of(
     st.floats(min_value=0.0, max_value=1200.0, allow_nan=False, allow_infinity=False),
     st.sampled_from([0.0, WHEEL_TICK / 2, WHEEL_TICK, 3.99, 4.0, 1023.0, 1024.0, 1100.0]),
+)
+
+# Periodic intervals must be strictly positive and finite.
+_INTERVALS = st.one_of(
+    st.floats(min_value=0.01, max_value=600.0, allow_nan=False, allow_infinity=False),
+    st.sampled_from([WHEEL_TICK, 4.0, 30.0, 1024.0]),
 )
 
 _OPS = st.lists(
@@ -32,52 +42,18 @@ _OPS = st.lists(
         st.tuples(st.just("timer"), _DELAYS),
         st.tuples(st.just("restart"), st.integers(0, 255), st.none() | _DELAYS),
         st.tuples(st.just("tcancel"), st.integers(0, 255)),
+        st.tuples(st.just("periodic"), _INTERVALS),
+        st.tuples(st.just("pcancel"), st.integers(0, 255)),
         st.tuples(st.just("run"), _DELAYS),
     ),
     max_size=60,
 )
 
 
-def _drive(ops, wheel: bool):
-    """Replay ``ops`` on one engine; return its observable history."""
-    sim = Simulator(seed=0, wheel=wheel)
-    log: list[tuple[int, float]] = []
-    handles: list = []
-    timers: list = []
-    tag = 0
-    for op in ops:
-        kind = op[0]
-        if kind == "sched":
-            _, delay, prio = op
-            t = tag
-            tag += 1
-            handles.append(
-                sim.schedule(delay, lambda t=t: log.append((t, sim.now)), priority=prio)
-            )
-        elif kind == "cancel":
-            if handles:
-                handles[op[1] % len(handles)].cancel()
-        elif kind == "timer":
-            t = tag
-            tag += 1
-            timers.append(sim.timer(op[1], lambda t=t: log.append((t, sim.now))))
-        elif kind == "restart":
-            if timers:
-                timers[op[1] % len(timers)].restart(op[2])
-        elif kind == "tcancel":
-            if timers:
-                timers[op[1] % len(timers)].cancel()
-        elif kind == "run":
-            sim.run(until=sim.now + op[1])
-    mid = (tuple(log), sim.pending_events, sim.events_executed, sim.now)
-    sim.run()  # drain whatever is left, unbounded
-    return mid, tuple(log), sim.events_executed, sim.now
-
-
 @settings(max_examples=80, deadline=None)
 @given(ops=_OPS)
 def test_wheel_vs_heap_equivalence(ops):
-    assert _drive(ops, wheel=True) == _drive(ops, wheel=False)
+    assert drive_ops(ops, wheel=True) == drive_ops(ops, wheel=False)
 
 
 # -- routing ---------------------------------------------------------------
