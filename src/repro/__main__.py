@@ -10,6 +10,7 @@ reproduce the paper without writing driver code:
     python -m repro ablations         # design-rationale ablations
     python -m repro report [--quick]  # full evaluation -> REPORT.md
     python -m repro serve [--check]   # serving-tier campaign (~1M requests)
+    python -m repro query [SQL]       # relational query / view / AS OF time travel
     python -m repro trace FILE        # span tree / histograms / critical path
     python -m repro demo              # boot + fault + recovery narration
 """
@@ -57,6 +58,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.serve_campaign import main as run
 
         run(rest)
+    elif command == "query":
+        from repro.experiments.query_cli import main as run
+
+        return run(rest)
     elif command == "trace":
         from repro.experiments.trace_view import main as run
 

@@ -53,6 +53,10 @@ class FaultInjector:
         self.sim = cluster.sim
         self.injected: list[InjectedFault] = []
         self.repaired: list[InjectedFault] = []
+        #: Optional open :class:`repro.sim.trace.Span`; while set, every
+        #: ``fault.injected`` / ``fault.repaired`` mark carries its span id
+        #: so harnesses can attribute faults to the scenario that drove them.
+        self.current_span = None
 
     # -- immediate faults ----------------------------------------------------
     def kill_process(self, node_id: str, process_name: str, case: str = "") -> InjectedFault:
@@ -216,9 +220,7 @@ class FaultInjector:
             extra=extra or {},
         )
         self.injected.append(fault)
-        self.sim.trace.mark(
-            "fault.injected", kind=kind, node=node_id, target=target, case=case, **fault.extra
-        )
+        self._mark("fault.injected", fault)
         return fault
 
     def _record_repair(
@@ -233,7 +235,16 @@ class FaultInjector:
             extra=extra or {},
         )
         self.repaired.append(fault)
-        self.sim.trace.mark(
-            "fault.repaired", kind=kind, node=node_id, target=target, case=case, **fault.extra
-        )
+        self._mark("fault.repaired", fault)
         return fault
+
+    def _mark(self, category: str, fault: InjectedFault) -> None:
+        fields = dict(
+            kind=fault.kind, node=fault.node_id, target=fault.target,
+            case=fault.case, **fault.extra,
+        )
+        span = self.current_span
+        if span is not None and not span.closed:
+            span.mark(category, **fields)
+        else:
+            self.sim.trace.mark(category, **fields)

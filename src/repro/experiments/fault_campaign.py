@@ -55,6 +55,9 @@ class CampaignResult:
     #: Closed ``gsd.failover`` root spans seen by the campaign — each one
     #: is a full causal tree (detect → diagnose → recover) in the trace.
     failover_spans: int = 0
+    #: Closed ``campaign.fault`` scenario spans — one per injection, with
+    #: the injector's fault.injected/fault.repaired marks correlated to it.
+    fault_spans: int = 0
 
     @property
     def coverage(self) -> float:
@@ -88,6 +91,13 @@ def run_campaign_class(
             continue
         t0 = sim.now
         detect_component = component
+        # Each injection is one causal scenario: the span parents the
+        # injector's fault.injected/fault.repaired marks via current_span.
+        span = sim.trace.span(
+            "campaign.fault", component=component, situation=situation,
+            case=f"c{i}", target=target,
+        )
+        injector.current_span = span
         if situation == "process":
             injector.kill_process(target, component, case=f"c{i}")
         elif situation == "node":
@@ -104,6 +114,8 @@ def run_campaign_class(
             if marks is not None:
                 break
         if marks is None:
+            span.end(recovered=False)
+            injector.current_span = None
             continue  # unrecovered: coverage < 1 will flag it
         detected, diagnosed, recovered = marks
         result.recovered += 1
@@ -113,9 +125,14 @@ def run_campaign_class(
 
         # Repair so the next injection starts from a healthy cluster.
         _repair(cluster, kernel, injector, component, situation, target)
+        span.end(recovered=True)
+        injector.current_span = None
         sim.run(until=sim.now + 2.0 * heartbeat_interval)
     result.failover_spans = sum(
         1 for r in sim.trace.iter_records("gsd.failover") if r.get("duration") is not None
+    )
+    result.fault_spans = sum(
+        1 for r in sim.trace.iter_records("campaign.fault") if r.get("duration") is not None
     )
     return result
 
@@ -287,6 +304,8 @@ def run_gray_class(
             target = _pick_target(cluster, kernel, "wd", rng)
             if target is None:
                 continue
+            span = sim.trace.span("campaign.fault", gray=kind, case=case, target=target)
+            injector.current_span = span
             drops0 = sum(sim.trace.counter(f"net.{n}.degraded_drops") for n in networks)
             for net in networks:
                 injector.degrade_link(target, net, loss=loss, direction="out", case=case)
@@ -297,6 +316,8 @@ def run_gray_class(
             drops = sum(sim.trace.counter(f"net.{n}.degraded_drops") for n in networks)
             if drops > drops0:
                 result.covered += 1
+            span.end(covered=drops > drops0)
+            injector.current_span = None
             sampler.run_until(sim.now + 2.0 * heartbeat_interval)
 
         elif kind == "link-flap":
@@ -305,11 +326,15 @@ def run_gray_class(
                 continue
             flaps = 3
             down_time = up_time = 1.5 * heartbeat_interval
+            span = sim.trace.span("campaign.fault", gray=kind, case=case, target=target)
+            injector.current_span = span
             injector.flap_link(
                 target, "data", flaps=flaps, down_time=down_time, up_time=up_time, case=case
             )
             result.injected += 1
             sampler.run_until(sim.now + flaps * (down_time + up_time) + 2.0 * heartbeat_interval)
+            span.end()
+            injector.current_span = None
             downs = [
                 r.time for r in sim.trace.iter_records(
                     "fault.injected", kind="flap", node=target, case=case)
@@ -336,12 +361,16 @@ def run_gray_class(
             if len(claims) != 1:
                 continue
             leader_node, leader_epoch = claims[0]
+            span = sim.trace.span("campaign.fault", gray=kind, case=case, target=leader_node)
+            injector.current_span = span
             for net in networks:
                 injector.degrade_link(leader_node, net, loss=1.0, direction="out", case=case)
             result.injected += 1
             sampler.run_until(sim.now + 8.0 * heartbeat_interval)
             for net in networks:
                 injector.restore_link(leader_node, net, case=case)
+            span.end()
+            injector.current_span = None
             sampler.run_until(sim.now + 6.0 * heartbeat_interval)
             takeovers = [
                 r for r in sim.trace.iter_records("leader.takeover") if r.time > t0

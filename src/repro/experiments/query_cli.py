@@ -1,0 +1,235 @@
+"""``python -m repro query`` — relational queries against a live bulletin.
+
+Boots a small paper testbed, lets detectors and GSDs populate the
+bulletin, then runs one SQL-ish query (see
+:func:`repro.kernel.bulletin.query.parse`) through the kernel's
+``DB_EXEC`` path and prints the rows::
+
+    python -m repro query "select state, count(*) as n from nodes group by state"
+    python -m repro query --view "select _key, cpu_pct from nodes order by cpu_pct desc limit 5"
+    python -m repro query --as-of -5 "select count(*) as n from jobs"
+
+``--view`` registers the query as a materialized view first and reads it
+back (exercising incremental maintenance instead of the full scan).
+Time-travel (``AS OF`` / ``--as-of``) answers from checkpointed base
+tables; checkpointing only runs while some view keeps delta maintenance
+on, so the CLI registers a bootstrap view over the queried table before
+asking about the past.  ``--check`` is the CI smoke: scan vs. view
+equivalence plus a time-travel round trip on a canned workload, exit
+nonzero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+from dataclasses import replace
+from typing import Any
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.experiments.report import format_table
+from repro.kernel import KernelTimings, PhoenixKernel
+from repro.kernel.bulletin.query import Query, parse
+from repro.sim import Simulator
+
+#: Default query when none is given on the command line.
+DEFAULT_QUERY = "select state, count(*) as n from nodes group by state"
+
+#: Name prefix for views the CLI registers on the user's behalf.
+CLI_VIEW = "cli.query"
+
+
+def boot_system(
+    partitions: int = 3, computes: int = 4, seed: int = 7, warm: float = 30.0
+):
+    """Boot a demo cluster and run it until the bulletin is populated.
+
+    Health reporting is enabled so the ``services`` / ``health`` logical
+    tables have rows; returns ``(sim, kernel, client)``.
+    """
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, ClusterSpec.build(partitions=partitions, computes=computes))
+    timings = KernelTimings(health_report_interval=2.5)
+    kernel = PhoenixKernel(cluster, timings=timings)
+    kernel.boot()
+    sim.run(until=warm)
+    client = kernel.client(cluster.partitions[0].server)
+    return sim, kernel, client
+
+
+def drive(sim, signal, max_time: float = 60.0):
+    """Advance the sim until ``signal`` fires (or ``max_time`` passes)."""
+    deadline = sim.now + max_time
+    while not signal.fired:
+        nxt = sim.peek()
+        if nxt is None or nxt > deadline:
+            break
+        sim.step()
+    return signal.value if signal.fired else None
+
+
+def columns_for(query: Query, rows: list[dict[str, Any]]) -> list[str]:
+    """Column order for display: group keys, aggregates, then the rest."""
+    cols: list[str] = []
+    if query.group_by:
+        cols.extend(query.group_by)
+    cols.extend(agg.name for agg in query.aggs)
+    if query.select:
+        cols.extend(c for c in query.select if c not in cols)
+    seen = set(cols)
+    extras = sorted({k for row in rows for k in row} - seen)
+    for lead in ("_partition", "_key"):
+        if lead in extras:
+            extras.remove(lead)
+            extras.insert(0, lead)
+    return cols + extras
+
+
+def render_rows(query: Query, rows: list[dict[str, Any]], title: str = "") -> str:
+    """Rows as an aligned text table (floats shortened for humans)."""
+
+    def fmt(v: Any) -> str:
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return "" if v is None else str(v)
+
+    cols = columns_for(query, rows)
+    return format_table(cols, [[fmt(row.get(c)) for c in cols] for row in rows], title=title)
+
+
+def rows_close(a: list[dict[str, Any]], b: list[dict[str, Any]]) -> bool:
+    """Row-list equality with float tolerance (accumulator drift)."""
+    if len(a) != len(b):
+        return False
+    for ra, rb in zip(a, b):
+        if set(ra) != set(rb):
+            return False
+        for k, va in ra.items():
+            vb = rb[k]
+            if isinstance(va, float) and isinstance(vb, float):
+                if not math.isclose(va, vb, rel_tol=1e-9, abs_tol=1e-9):
+                    return False
+            elif va != vb:
+                return False
+    return True
+
+
+def run_query(
+    text: str,
+    *,
+    view: bool = False,
+    as_of: float | None = None,
+    partitions: int = 3,
+    computes: int = 4,
+    seed: int = 7,
+    warm: float = 30.0,
+) -> tuple[Query, list[dict[str, Any]]]:
+    """Boot, optionally register a view, execute, return (query, rows)."""
+    query = parse(text)
+    sim, kernel, client = boot_system(
+        partitions=partitions, computes=computes, seed=seed, warm=warm
+    )
+    if as_of is not None:
+        # Relative offsets ("--as-of -5") anchor to current virtual time.
+        query = replace(query, as_of=sim.now + as_of if as_of <= 0 else as_of)
+    if view:
+        live = replace(query, as_of=None)
+        reply = drive(sim, client.register_view(CLI_VIEW, live))
+        if not (reply and reply.get("ok")):
+            raise RuntimeError(f"view registration failed: {reply!r}")
+        sim.run(until=sim.now + 5.0)
+        reply = drive(sim, client.read_view(CLI_VIEW))
+        return query, (reply or {}).get("rows", [])
+    if query.as_of is not None:
+        # Past answers come from checkpointed base tables; checkpointing
+        # runs only while a view keeps delta maintenance on — bootstrap one.
+        drive(sim, client.register_view(f"{CLI_VIEW}.asof", Query(table=query.table)))
+        sim.run(until=sim.now + 5.0)
+        query = replace(query, as_of=min(query.as_of, sim.now))
+    reply = drive(sim, client.exec_query(query))
+    if reply is None:
+        raise RuntimeError("query timed out")
+    return query, reply.get("rows", [])
+
+
+def run_check(seed: int = 7) -> list[str]:
+    """CI smoke: scan/view equivalence + time travel; returns problems."""
+    problems: list[str] = []
+    sim, kernel, client = boot_system(seed=seed)
+    query = parse(DEFAULT_QUERY)
+
+    scan = drive(sim, client.exec_query(query))
+    if not scan or not scan.get("rows"):
+        return ["exec returned no rows"]
+    total = sum(row["n"] for row in scan["rows"])
+    if total != kernel.cluster.size:
+        problems.append(f"nodes scan covered {total}/{kernel.cluster.size} nodes")
+
+    reply = drive(sim, client.register_view(CLI_VIEW, query))
+    if not (reply and reply.get("ok")):
+        return problems + [f"view registration failed: {reply!r}"]
+    sim.run(until=sim.now + 10.0)
+    view = drive(sim, client.read_view(CLI_VIEW))
+    fresh = drive(sim, client.exec_query(query))
+    if view is None or fresh is None:
+        return problems + ["view/scan read timed out"]
+    if not rows_close(view.get("rows", []), fresh.get("rows", [])):
+        problems.append(
+            f"view != fresh scan: {view.get('rows')!r} vs {fresh.get('rows')!r}"
+        )
+
+    past = replace(query, as_of=sim.now - 2.0)
+    old = drive(sim, client.exec_query(past))
+    if not old or not old.get("rows"):
+        problems.append("time-travel query returned no rows")
+    elif sum(row["n"] for row in old["rows"]) != kernel.cluster.size:
+        problems.append(f"time-travel rows incomplete: {old['rows']!r}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; see the module docstring for usage."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro query",
+        description="Run a relational query against a freshly booted bulletin",
+    )
+    parser.add_argument("sql", nargs="*", help=f"query text (default: {DEFAULT_QUERY!r})")
+    parser.add_argument(
+        "--view", action="store_true",
+        help="register the query as a materialized view and read it back",
+    )
+    parser.add_argument(
+        "--as-of", type=float, default=None, dest="as_of",
+        help="time-travel: absolute sim time, or <= 0 for seconds before now",
+    )
+    parser.add_argument("--partitions", type=int, default=3)
+    parser.add_argument("--computes", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--warm", type=float, default=30.0,
+                        help="virtual seconds to run before querying")
+    parser.add_argument("--check", action="store_true",
+                        help="CI smoke: equivalence + time travel, exit nonzero on failure")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        problems = run_check(seed=args.seed)
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        if problems:
+            return 1
+        print("query smoke: OK")
+        return 0
+
+    text = " ".join(args.sql) if args.sql else DEFAULT_QUERY
+    query, rows = run_query(
+        text, view=args.view, as_of=args.as_of,
+        partitions=args.partitions, computes=args.computes,
+        seed=args.seed, warm=args.warm,
+    )
+    source = "view" if args.view else ("as-of" if query.as_of is not None else "scan")
+    print(render_rows(query, rows, title=f"{text}  [{source}, {len(rows)} rows]"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -68,6 +68,16 @@ class PhoenixKernel:
         #: User-environment services supervised by a partition's GSD
         #: (service name -> partition id).  See :meth:`register_user_service`.
         self.user_services: dict[str, str] = {}
+        #: Relational-layer bookkeeping (host-side, like ``placement``):
+        #: materialized-view name -> owner partition id.
+        self.view_owners: dict[str, str] = {}
+        #: Latched True by the first view registration; a restarted
+        #: bulletin only probes its checkpoints for maintenance config
+        #: when set, so runs that never register a view stay untouched.
+        self.view_maintenance = False
+        #: Monotone bulletin incarnation counters per partition, stamped
+        #: into delta/read watermarks for failover fencing.
+        self._db_epochs: dict[str, int] = {}
         self.booted = False
         self._register_default_factories()
 
@@ -235,6 +245,12 @@ class PhoenixKernel:
             if ("db", p.partition_id) in self.placement
         }
 
+    def next_db_epoch(self, partition_id: str) -> int:
+        """Next bulletin incarnation number for ``partition_id``."""
+        epoch = self._db_epochs.get(partition_id, 0) + 1
+        self._db_epochs[partition_id] = epoch
+        return epoch
+
     # -- client API ----------------------------------------------------------
     def client(self, node_id: str) -> "KernelClient":
         """Documented user-environment interface, bound to one node."""
@@ -293,6 +309,71 @@ class KernelClient:
             self.node_id, db_node, ports.DB, ports.DB_QUERY, payload, timeout=timeout,
             attempts=t.rpc_retry_attempts, backoff=t.rpc_retry_backoff,
             jitter=t.rpc_retry_jitter,
+        )
+
+    # -- relational layer (typed queries + materialized views) -----------
+    def _db_node(self, partition: str | None) -> str:
+        part = partition or self._own_partition()
+        db_node = self.kernel.placement.get(("db", part))
+        if db_node is None:
+            raise ServiceUnavailable(f"no bulletin placed for partition {part}")
+        return db_node
+
+    def exec_query(self, query, partition: str | None = None, timeout: float = 15.0) -> Signal:
+        """Run a typed relational query
+        (:class:`repro.kernel.bulletin.query.Query`) through any bulletin
+        instance — the full-scan reference path, or a read of checkpoint
+        history when the query is ``AS OF`` a past time."""
+        db_node = self._db_node(partition)
+        t = self.kernel.timings
+        return self._transport.rpc_retry(
+            self.node_id, db_node, ports.DB, ports.DB_EXEC,
+            {"query": query.to_payload()}, timeout=timeout,
+            attempts=t.rpc_retry_attempts, backoff=t.rpc_retry_backoff,
+            jitter=t.rpc_retry_jitter,
+        )
+
+    def register_view(
+        self, name: str, query, partition: str | None = None, timeout: float = 30.0
+    ) -> Signal:
+        """Register a materialized view on a bulletin instance (default:
+        this node's partition); fires once the initial build completes."""
+        db_node = self._db_node(partition)
+        return self._transport.rpc(
+            self.node_id, db_node, ports.DB, ports.DB_VIEW_REGISTER,
+            {"name": name, "query": query.to_payload()}, timeout=timeout,
+        )
+
+    def read_view(self, name: str, partition: str | None = None, timeout: float = 5.0) -> Signal:
+        """Read a registered view from its owner — one RPC, O(result) bytes."""
+        part = partition or self.kernel.view_owners.get(name)
+        if part is None:
+            raise ServiceUnavailable(f"view {name!r} has no registered owner")
+        db_node = self._db_node(part)
+        t = self.kernel.timings
+        return self._transport.rpc_retry(
+            self.node_id, db_node, ports.DB, ports.DB_VIEW_READ,
+            {"name": name}, timeout=timeout,
+            attempts=t.rpc_retry_attempts, backoff=t.rpc_retry_backoff,
+            jitter=t.rpc_retry_jitter,
+        )
+
+    def drop_view(self, name: str, timeout: float = 5.0) -> Signal:
+        """Unregister a view at its owner (delta publishing stays on)."""
+        part = self.kernel.view_owners.get(name)
+        if part is None:
+            raise ServiceUnavailable(f"view {name!r} has no registered owner")
+        db_node = self._db_node(part)
+        return self._transport.rpc(
+            self.node_id, db_node, ports.DB, ports.DB_VIEW_DROP,
+            {"name": name}, timeout=timeout,
+        )
+
+    def list_views(self, partition: str | None = None, timeout: float = 5.0) -> Signal:
+        """Owned view definitions + maintenance counters of one instance."""
+        db_node = self._db_node(partition)
+        return self._transport.rpc(
+            self.node_id, db_node, ports.DB, ports.DB_VIEW_LIST, {}, timeout=timeout,
         )
 
     # -- event service ---------------------------------------------------

@@ -10,6 +10,18 @@ instances form a federation shaped like a complete graph (Figure 5): a
 the rows, and reports which partitions could not answer — so users see a
 single access point, and one failed instance only hides one partition's
 state until the GSD restarts it.
+
+On top of the key-value board sits a small relational layer
+(:mod:`repro.kernel.bulletin.query`): typed AST queries over logical
+tables (``DB_EXEC``, the full-scan reference path, also serving ``AS OF``
+time-travel from checkpoint history) and incrementally maintained
+materialized views (:mod:`repro.kernel.bulletin.views`).  While any view
+is registered, every instance publishes a ``db.delta`` change feed
+through its partition's event service; the owning instance folds those
+deltas into its views instead of rescanning, and checkpoints its base
+tables so a restarted owner can rebuild without waiting a full detector
+cycle.  With no view registered the layer is inert: no deltas, no
+subscriptions, no checkpoints.
 """
 
 from __future__ import annotations
@@ -18,8 +30,11 @@ from typing import Any
 
 from repro.cluster.message import Message
 from repro.kernel import ports
+from repro.kernel.bulletin import query as rel
 from repro.kernel.bulletin.store import BulletinStore
+from repro.kernel.bulletin.views import MaterializedView, ViewEngine
 from repro.kernel.daemon import ServiceDaemon
+from repro.kernel.events.types import DB_DELTA
 from repro.kernel.query import aggregate_rows, merge_aggregates, validate_where
 
 #: Well-known bulletin tables.
@@ -27,6 +42,9 @@ TABLE_NODE_METRICS = "node_metrics"
 TABLE_NODE_STATE = "node_state"
 TABLE_NET_STATE = "net_state"
 TABLE_APPS = "apps"
+
+#: Port where a view-owning instance receives its ``db.delta`` feed.
+VIEW_EVENTS_PORT = "db.view_events"
 
 
 #: Tables whose rows go stale when their producer stops exporting
@@ -46,10 +64,37 @@ class BulletinDaemon(ServiceDaemon):
     def __init__(self, kernel, node_id: str) -> None:
         super().__init__(kernel, node_id)
         self.store = BulletinStore()
+        self.store.on_mutation = self._on_store_mutation
+        #: Incarnation number, assigned at start from a kernel-side
+        #: monotone counter: readers use it to detect that two replies
+        #: straddled a failover, view owners use it to fence stale deltas.
+        self.epoch = 0
+        #: Total store mutations this incarnation (read watermarks).
+        self._seq = 0
+        #: Per-table ``db.delta`` sequence numbers (gap detection is per
+        #: (partition, table), so owners maintaining a table subset never
+        #: see false gaps from tables they ignore).
+        self._delta_seqs: dict[str, int] = {}
+        #: Tables whose mutations are published as ``db.delta`` events
+        #: (empty until a view registration's DB_MAINT broadcast arrives).
+        self._publish_tables: set[str] = set()
+        self.engine: ViewEngine | None = None
+        self._tables_ckpt_timer = None
 
     def on_start(self) -> None:
+        self.epoch = self.kernel.next_db_epoch(self.partition_id)
         self.bind(ports.DB, self._dispatch)
+        self.bind(VIEW_EVENTS_PORT, self._on_view_event)
         self.spawn(self._housekeeping(), name=f"{self.node_id}/db.housekeeping")
+        if self.kernel.view_maintenance:
+            # A prior incarnation somewhere enabled the relational layer:
+            # recover our maintenance config (and owned views) from the
+            # checkpoint service.  Gating on the kernel-wide latch keeps
+            # runs that never register a view byte-identical.
+            self.spawn(self._recover_maintenance(), name=f"{self.node_id}/db.view_recovery")
+
+    def delta_seq(self, table: str) -> int:
+        return self._delta_seqs.get(table, 0)
 
     def _housekeeping(self):
         """Evict rows whose producers stopped exporting (e.g. a crashed
@@ -62,6 +107,102 @@ class BulletinDaemon(ServiceDaemon):
                 expired = self.store.expire(table, max_age=multiple * interval, now=self.sim.now)
                 if expired:
                     self.sim.trace.count("db.expired", expired)
+            if self.engine is not None and self.engine.ready:
+                # Collect failover leftovers: checkpoint-seeded mirror rows
+                # whose producer never re-exported into the live store.
+                self.engine.reconcile_own(self.sim.now, grace=2.0 * interval)
+                # Re-assert maintenance config (best-effort, idempotent):
+                # heals a peer that restarted before ever persisting it.
+                self._rebroadcast_maint()
+                # Re-assert the delta-feed subscriptions (replace-in-place):
+                # heals a subscribe that raced an ES failover, or an ES
+                # whose restored registry still points at our predecessor.
+                self.spawn(
+                    self._subscribe_view_feed(self.engine.tables()),
+                    name=f"{self.node_id}/db.view_resub",
+                )
+
+    # -- change feed (materialized-view maintenance) -----------------------
+    def _on_store_mutation(self, table: str, key: str, op: str, row) -> None:
+        self._seq += 1
+        if table not in self._publish_tables:
+            return
+        seq = self._delta_seqs.get(table, 0) + 1
+        self._delta_seqs[table] = seq
+        delta: dict[str, Any] = {
+            "table": table,
+            "key": key,
+            "op": op,
+            "partition": self.partition_id,
+            "epoch": self.epoch,
+            "seq": seq,
+            "t": self.sim.now,
+        }
+        if row is not None:
+            delta["row"] = row
+        es_node = self.kernel.es_locations().get(self.partition_id)
+        if es_node is not None:
+            # Plain send: the feed is lossy by design — a dropped delta
+            # shows up as a seq gap at the owner, which rescans the slice.
+            self.send(es_node, ports.ES, ports.ES_PUBLISH, {"type": DB_DELTA, "data": delta})
+        self.sim.trace.count("db.deltas_published")
+        self._arm_tables_ckpt()
+
+    def _arm_tables_ckpt(self) -> None:
+        """Debounced checkpoint of the maintained base tables: a detector
+        export burst coalesces into one write (cf. the ES registry)."""
+        if self._tables_ckpt_timer is not None and self._tables_ckpt_timer.active:
+            return
+        delay = self.timings.db_ckpt_debounce
+        if self._tables_ckpt_timer is None:
+            self._tables_ckpt_timer = self.sim.timer(delay, self._flush_tables_ckpt)
+        else:
+            self._tables_ckpt_timer.restart(delay)
+
+    def _flush_tables_ckpt(self) -> None:
+        if not self.alive or not self._publish_tables:
+            return
+        self.spawn(self._save_tables_ckpt(), name=f"{self.node_id}/db.tables_ckpt")
+
+    def _save_tables_ckpt(self):
+        ckpt_node = self.kernel.placement.get(("ckpt", self.partition_id))
+        if ckpt_node is None:
+            return
+        data = {
+            "tables": {
+                table: {row["_key"]: row for row in self.store.query(table)}
+                for table in sorted(self._publish_tables)
+            },
+            "epoch": self.epoch,
+            "delta_seqs": dict(self._delta_seqs),
+            "t": self.sim.now,
+        }
+        yield self.rpc_retry(
+            ckpt_node, ports.CKPT, ports.CKPT_SAVE,
+            {"key": f"db.tables.{self.partition_id}", "data": data},
+            call_class="ckpt.save",
+        )
+
+    def _save_maint_ckpt(self):
+        """Persist the maintenance config (published tables + owned view
+        definitions) so a restarted instance can resume both roles."""
+        ckpt_node = self.kernel.placement.get(("ckpt", self.partition_id))
+        if ckpt_node is None:
+            return
+        data = {
+            "tables": sorted(self._publish_tables),
+            "views": [
+                {"name": view.name, "query": view.query.to_payload()}
+                for _, view in sorted(self.engine.views.items())
+            ]
+            if self.engine is not None
+            else [],
+        }
+        yield self.rpc_retry(
+            ckpt_node, ports.CKPT, ports.CKPT_SAVE,
+            {"key": f"db.views.{self.partition_id}", "data": data},
+            call_class="ckpt.save",
+        )
 
     # -- dispatch ----------------------------------------------------------
     def _dispatch(self, msg: Message) -> dict[str, Any] | None:
@@ -82,6 +223,18 @@ class BulletinDaemon(ServiceDaemon):
             return {"ok": ok} if msg.rpc_id else None
         if msg.mtype == ports.DB_QUERY:
             return self._on_query(msg)
+        if msg.mtype == ports.DB_EXEC:
+            return self._on_exec(msg)
+        if msg.mtype == ports.DB_VIEW_REGISTER:
+            return self._on_view_register(msg)
+        if msg.mtype == ports.DB_VIEW_DROP:
+            return self._on_view_drop(msg)
+        if msg.mtype == ports.DB_VIEW_READ:
+            return self._on_view_read(msg)
+        if msg.mtype == ports.DB_VIEW_LIST:
+            return self._on_view_list(msg)
+        if msg.mtype == ports.DB_MAINT:
+            return self._on_maint(msg)
         self.sim.trace.mark("db.unknown_mtype", mtype=msg.mtype)
         return None
 
@@ -97,14 +250,20 @@ class BulletinDaemon(ServiceDaemon):
         self.sim.trace.count("db.queries")
         local_rows = self.store.query(table, where)
         if scope == "local":
+            watermark = {
+                "epoch": self.epoch,
+                "seq": self._seq,
+                "delta_seq": self.delta_seq(table),
+            }
             if aggregate:
                 # Push-down: ship mergeable partials, not rows.
                 return {
                     "aggregate": aggregate_rows(local_rows, aggregate),
                     "row_count": len(local_rows),
                     "partitions_missing": [],
+                    "watermark": watermark,
                 }
-            return {"rows": local_rows, "partitions_missing": []}
+            return {"rows": local_rows, "partitions_missing": [], "watermark": watermark}
         # Global scope: fan out to peers asynchronously, then answer the RPC
         # ourselves (the handler returns None so the transport does not
         # auto-reply).
@@ -139,11 +298,19 @@ class BulletinDaemon(ServiceDaemon):
         partials = [aggregate_rows(local_rows, aggregate)] if aggregate else []
         row_count = len(local_rows)
         missing: list[str] = []
+        #: Per-partition incarnation numbers: a console comparing two
+        #: replies can tell whether a bulletin failed over between them
+        #: (the torn-read guard in GridView).
+        watermarks: dict[str, int] = {self.partition_id: self.epoch}
         for part_id, signal in signals.items():
             reply = yield signal
             if reply is None:
                 missing.append(part_id)
-            elif aggregate:
+                continue
+            wm = reply.get("watermark")
+            if wm is not None:
+                watermarks[part_id] = int(wm["epoch"])
+            if aggregate:
                 partials.append(reply.get("aggregate", {}))
                 row_count += int(reply.get("row_count", 0))
             else:
@@ -154,9 +321,330 @@ class BulletinDaemon(ServiceDaemon):
                     "aggregate": merge_aggregates(partials),
                     "row_count": row_count,
                     "partitions_missing": sorted(missing),
+                    "watermarks": watermarks,
                 }
             else:
                 rows.sort(key=lambda r: (r.get("_partition", ""), r.get("_key", "")))
-                payload = {"rows": rows, "partitions_missing": sorted(missing)}
+                payload = {
+                    "rows": rows,
+                    "partitions_missing": sorted(missing),
+                    "watermarks": watermarks,
+                }
             self.send(msg.src_node, f"_rpc.{msg.rpc_id}", f"{ports.DB_QUERY}.reply", payload)
         span.end(rows=row_count if aggregate else len(rows), missing=len(missing))
+
+    # -- relational queries (DB_EXEC) --------------------------------------
+    def _on_exec(self, msg: Message) -> dict[str, Any] | None:
+        try:
+            q = rel.Query.from_payload(msg.payload["query"])
+            q.validate()
+        except Exception as exc:
+            return {"error": str(exc), "rows": [], "partitions_missing": []}
+        self.sim.trace.count("db.execs")
+        span = self.sim.trace.span(
+            "db.exec", parent=msg.payload.get("_span", ""), node=self.node_id, table=q.table
+        )
+        self.spawn(self._exec_flow(msg, q, span), name=f"{self.node_id}/db.exec")
+        return None
+
+    def _exec_flow(self, msg: Message, q: "rel.Query", span):
+        if q.as_of is not None:
+            yield from self._exec_as_of(msg, q, span)
+            return
+        # The deliberately naive reference path the IVM layer is measured
+        # against: every base table of the logical table is fully scanned
+        # across the federation — O(nodes) rows over the wire per query.
+        tables = rel.base_tables(q.table)
+        rows_by_table: dict[str, list[dict[str, Any]]] = {
+            table: self.store.query(table) for table in tables
+        }
+        peers = {
+            part_id: node
+            for part_id, node in self.kernel.db_locations().items()
+            if part_id != self.partition_id
+        }
+        signals = {
+            (part_id, table): self.rpc_retry(
+                node, ports.DB, ports.DB_QUERY, {"table": table, "scope": "local"},
+                span=span, call_class="bulletin.fanout",
+            )
+            for part_id, node in sorted(peers.items())
+            for table in tables
+        }
+        missing: set[str] = set()
+        watermarks: dict[str, int] = {self.partition_id: self.epoch}
+        for (part_id, table), signal in signals.items():
+            reply = yield signal
+            if reply is None:
+                missing.add(part_id)
+                continue
+            rows_by_table[table].extend(reply.get("rows", []))
+            wm = reply.get("watermark")
+            if wm is not None:
+                watermarks[part_id] = int(wm["epoch"])
+
+        def get_rows(table: str) -> list[dict[str, Any]]:
+            return sorted(
+                rows_by_table.get(table, []),
+                key=lambda r: (r.get("_partition", ""), r.get("_key", "")),
+            )
+
+        result = rel.execute_on(q, get_rows)
+        self.reply(msg, {
+            "rows": result,
+            "partitions_missing": sorted(missing),
+            "watermarks": watermarks,
+        })
+        span.end(rows=len(result), missing=len(missing))
+
+    def _exec_as_of(self, msg: Message, q: "rel.Query", span):
+        """Time-travel: answer from checkpointed base tables instead of
+        live stores — "what did the cluster look like at t" (§time-travel
+        in DESIGN.md §14).  Requires view maintenance to have been on
+        around ``t`` (that is what checkpoints the base tables)."""
+        partitions = sorted(p.partition_id for p in self.kernel.cluster.partitions)
+        signals = {}
+        for part_id in partitions:
+            ckpt_node = self.kernel.placement.get(("ckpt", part_id))
+            if ckpt_node is None:
+                continue
+            signals[part_id] = self.rpc_retry(
+                ckpt_node, ports.CKPT, ports.CKPT_LOAD,
+                {"key": f"db.tables.{part_id}", "at_time": q.as_of},
+                span=span, call_class="ckpt.pull",
+            )
+        missing = [p for p in partitions if p not in signals]
+        rows_by_table: dict[str, list[dict[str, Any]]] = {}
+        versions: dict[str, dict[str, Any]] = {}
+        for part_id, signal in signals.items():
+            reply = yield signal
+            if reply is None or not reply.get("found"):
+                missing.append(part_id)
+                continue
+            data = reply.get("data") or {}
+            versions[part_id] = {"version": reply.get("version"), "t": data.get("t")}
+            for table, rows in (data.get("tables") or {}).items():
+                rows_by_table.setdefault(table, []).extend(rows.values())
+
+        def get_rows(table: str) -> list[dict[str, Any]]:
+            return sorted(
+                rows_by_table.get(table, []),
+                key=lambda r: (r.get("_partition", ""), r.get("_key", "")),
+            )
+
+        result = rel.execute_on(q, get_rows)
+        self.reply(msg, {
+            "rows": result,
+            "partitions_missing": sorted(missing),
+            "as_of": q.as_of,
+            "versions": versions,
+        })
+        span.end(rows=len(result), missing=len(missing), as_of=q.as_of)
+
+    # -- materialized views -------------------------------------------------
+    def _on_view_register(self, msg: Message) -> dict[str, Any] | None:
+        try:
+            q = rel.Query.from_payload(msg.payload["query"])
+            view = MaterializedView(msg.payload["name"], q)
+        except Exception as exc:
+            return {"ok": False, "error": str(exc)}
+        if self.engine is None:
+            self.engine = ViewEngine(self)
+        self.engine.views[view.name] = view
+        self.kernel.view_owners[view.name] = self.partition_id
+        self.kernel.view_maintenance = True
+        self._publish_tables |= set(rel.LOGICAL_TABLES[q.table].bases)
+        self.sim.trace.count("db.view_registers")
+        self.spawn(self._register_flow(msg, view), name=f"{self.node_id}/db.view_register")
+        return None
+
+    def _register_flow(self, msg: Message, view: MaterializedView):
+        engine = self.engine
+        yield from self._subscribe_view_feed(engine.tables())
+        yield from self._broadcast_maint()
+        yield from self._save_maint_ckpt()
+        self._arm_tables_ckpt()
+        if not engine.ready and not engine.building:
+            yield from engine.build()
+        else:
+            while not engine.ready:
+                yield 0.05  # a concurrent registration's build is in flight
+            for table in sorted(rel.LOGICAL_TABLES[view.query.table].bases):
+                yield from engine.build_table(table)
+            view.rebuild(rel.LOGICAL_TABLES[view.query.table].derive(engine._get_rows))
+        self.sim.trace.mark("db.view_ready", view=view.name, node=self.node_id)
+        self.reply(msg, {
+            "ok": True,
+            "view": view.name,
+            "owner": self.partition_id,
+            "rows": len(view.rows()),
+        })
+
+    def _subscribe_view_feed(self, tables):
+        """One ES subscription per maintained base table — equality on
+        ``table`` so the SubscriptionIndex can hash-prune the feed when
+        ``table`` is in ``es_indexed_where_keys``.  Re-subscribing with
+        the same consumer id replaces in place."""
+        es_node = self.kernel.es_locations().get(self.partition_id)
+        if es_node is None:
+            return
+        for table in sorted(tables):
+            yield self.rpc_retry(
+                es_node, ports.ES, ports.ES_SUBSCRIBE,
+                {
+                    "consumer_id": f"db.views.{self.partition_id}.{table}",
+                    "node": self.node_id,
+                    "port": VIEW_EVENTS_PORT,
+                    "types": [DB_DELTA],
+                    "where": {"table": table},
+                    "replay": 0,
+                },
+            )
+
+    def _broadcast_maint(self):
+        payload = self._maint_payload()
+        peers = {
+            part_id: node
+            for part_id, node in self.kernel.db_locations().items()
+            if part_id != self.partition_id
+        }
+        signals = {
+            part_id: self.rpc_retry(
+                node, ports.DB, ports.DB_MAINT, dict(payload),
+                call_class="bulletin.fanout",
+            )
+            for part_id, node in sorted(peers.items())
+        }
+        for signal in signals.values():
+            yield signal  # best-effort: housekeeping re-broadcasts heal stragglers
+
+    def _rebroadcast_maint(self) -> None:
+        payload = self._maint_payload()
+        for part_id, node in sorted(self.kernel.db_locations().items()):
+            if part_id != self.partition_id:
+                self.send(node, ports.DB, ports.DB_MAINT, dict(payload))
+
+    def _maint_payload(self) -> dict[str, Any]:
+        return {
+            "tables": sorted(self._publish_tables),
+            "views": {
+                name: self.partition_id
+                for name in (self.engine.views if self.engine is not None else ())
+            },
+        }
+
+    def _on_maint(self, msg: Message) -> dict[str, Any] | None:
+        self.kernel.view_maintenance = True
+        for name, part_id in (msg.payload.get("views") or {}).items():
+            self.kernel.view_owners[name] = part_id
+        new = set(msg.payload.get("tables", ())) - self._publish_tables
+        if new:
+            self._publish_tables |= new
+            self._arm_tables_ckpt()
+            self.spawn(self._save_maint_ckpt(), name=f"{self.node_id}/db.maint_ckpt")
+        return {"ok": True, "epoch": self.epoch, "tables": sorted(self._publish_tables)}
+
+    def _on_view_drop(self, msg: Message) -> dict[str, Any]:
+        name = msg.payload.get("name", "")
+        if self.engine is None or name not in self.engine.views:
+            return {"ok": False, "error": f"view {name!r} is not registered here"}
+        del self.engine.views[name]
+        self.kernel.view_owners.pop(name, None)
+        keep = self.engine.tables()
+        for table in [t for t in self.engine.mirror if t not in keep]:
+            del self.engine.mirror[table]
+            for source in [s for s in self.engine.sources if s[1] == table]:
+                del self.engine.sources[source]
+        self.spawn(self._save_maint_ckpt(), name=f"{self.node_id}/db.maint_ckpt")
+        return {"ok": True, "view": name}
+
+    def _on_view_read(self, msg: Message) -> dict[str, Any]:
+        name = msg.payload.get("name", "")
+        engine = self.engine
+        if engine is None or name not in engine.views:
+            return {"error": f"view {name!r} is not registered here", "rows": []}
+        view = engine.views[name]
+        self.sim.trace.count("db.view_reads")
+        return {
+            "rows": engine.read(name),
+            "ready": engine.ready,
+            "watermark": {"epoch": self.epoch, "seq": self._seq},
+            "watermarks": {
+                part_id: epoch
+                for (part_id, _table), (epoch, _seq) in sorted(engine.sources.items())
+            },
+            "staleness": view.last_lag,
+        }
+
+    def _on_view_list(self, msg: Message) -> dict[str, Any]:
+        engine = self.engine
+        return {
+            "partition": self.partition_id,
+            "views": [
+                {"name": view.name, "query": view.query.to_payload(),
+                 "stats": view.stats(self.sim.now)}
+                for _, view in sorted(engine.views.items())
+            ]
+            if engine is not None
+            else [],
+            "engine": engine.stats(self.sim.now) if engine is not None else None,
+        }
+
+    def _on_view_event(self, msg: Message) -> None:
+        if self.engine is None:
+            return
+        event = msg.payload.get("event") or {}
+        delta = event.get("data") or {}
+        if delta.get("table"):
+            self.engine.on_delta(delta, self.sim.now)
+
+    def _recover_maintenance(self):
+        """Failover path: restore maintenance config — and, when this
+        partition owned views, rebuild them from the checkpointed base
+        tables + live peer scans (DESIGN.md §14)."""
+        reply = None
+        while reply is None:
+            # The checkpoint primary may be failing over alongside us —
+            # keep probing until one answers (this coroutine dies with
+            # the daemon, so the loop cannot outlive an obsolete instance).
+            ckpt_node = self.kernel.placement.get(("ckpt", self.partition_id))
+            if ckpt_node is not None:
+                reply = yield self.rpc_retry(
+                    ckpt_node, ports.CKPT, ports.CKPT_LOAD,
+                    {"key": f"db.views.{self.partition_id}"}, call_class="ckpt.pull",
+                )
+            if reply is None:
+                yield self.timings.detector_interval
+        if not reply.get("found"):
+            return
+        config = reply.get("data") or {}
+        self._publish_tables |= set(config.get("tables", ()))
+        view_defs = config.get("views") or []
+        if not view_defs:
+            return
+        self.engine = ViewEngine(self)
+        for entry in view_defs:
+            try:
+                view = MaterializedView(entry["name"], rel.Query.from_payload(entry["query"]))
+            except Exception:
+                continue  # a config checkpoint predating a schema change
+            self.engine.views[view.name] = view
+            self.kernel.view_owners[view.name] = self.partition_id
+        if not self.engine.views:
+            self.engine = None
+            return
+        seed_reply = yield self.rpc_retry(
+            ckpt_node, ports.CKPT, ports.CKPT_LOAD,
+            {"key": f"db.tables.{self.partition_id}"}, call_class="ckpt.pull",
+        )
+        seed = (
+            seed_reply.get("data")
+            if seed_reply is not None and seed_reply.get("found")
+            else None
+        )
+        yield from self._subscribe_view_feed(self.engine.tables())
+        yield from self.engine.build(seed)
+        self.sim.trace.mark(
+            "db.views_rebuilt", node=self.node_id, views=len(self.engine.views)
+        )
+        yield from self._broadcast_maint()

@@ -20,6 +20,11 @@ class BulletinStore:
 
     def __init__(self) -> None:
         self._tables: dict[str, dict[str, dict[str, Any]]] = {}
+        #: Optional change hook ``(table, key, op, stored_row_or_None)``
+        #: fired after every put / delete / per-row expiry; the bulletin
+        #: daemon installs it to drive the ``db.delta`` feed for
+        #: materialized-view maintenance.
+        self.on_mutation = None
 
     def put(self, table: str, key: str, row: dict[str, Any], now: float, partition: str) -> None:
         if not table or not key:
@@ -29,12 +34,17 @@ class BulletinStore:
         stored["_partition"] = partition
         stored["_updated_at"] = now
         self._tables.setdefault(table, {})[key] = stored
+        if self.on_mutation is not None:
+            self.on_mutation(table, key, "put", stored)
 
     def delete(self, table: str, key: str) -> bool:
         rows = self._tables.get(table)
         if rows is None:
             return False
-        return rows.pop(key, None) is not None
+        removed = rows.pop(key, None) is not None
+        if removed and self.on_mutation is not None:
+            self.on_mutation(table, key, "delete", None)
+        return removed
 
     def query(self, table: str, where: dict[str, Any] | None = None) -> list[dict[str, Any]]:
         """Rows of ``table`` matching the ``where`` clause (plain values
@@ -67,4 +77,6 @@ class BulletinStore:
         stale = [k for k, row in rows.items() if now - row["_updated_at"] > max_age]
         for key in stale:
             del rows[key]
+            if self.on_mutation is not None:
+                self.on_mutation(table, key, "delete", None)
         return len(stale)

@@ -63,13 +63,18 @@ class CheckpointDaemon(ServiceDaemon):
                 self.spawn(self._drain_saves(msg.payload["key"]), name=f"{self.node_id}/ckpt.save")
             return None
         if msg.mtype == ports.CKPT_LOAD:
-            entry = self.store.load(msg.payload["key"], version=msg.payload.get("version"))
+            entry = self.store.load(
+                msg.payload["key"],
+                version=msg.payload.get("version"),
+                at_time=msg.payload.get("at_time"),
+            )
             if entry is None:
                 return {"found": False}
             return {
                 "found": True,
                 "data": entry.data,
                 "version": entry.version,
+                "saved_at": entry.saved_at,
                 "versions": self.store.versions(msg.payload["key"]),
             }
         if msg.mtype == ports.CKPT_DELETE:
@@ -83,6 +88,16 @@ class CheckpointDaemon(ServiceDaemon):
             return {"ok": ok}
         if msg.mtype == ports.CKPT_PULL:
             return {"dump": self.store.dump()}
+        if msg.mtype == ports.CKPT_RESEED:
+            # A fresh (relocated) replica starts empty; push the full store
+            # so it can cover us from day one, not only for future saves.
+            replica_node = self.kernel.placement.get(("ckpt.replica", self.partition_id))
+            if replica_node is not None and replica_node != self.node_id:
+                self.send(
+                    replica_node, ports.CKPT_REPLICA, ports.CKPT_ABSORB,
+                    {"dump": self.store.dump()},
+                )
+            return {"ok": True, "keys": len(self.store)}
         self.sim.trace.mark("ckpt.unknown_mtype", mtype=msg.mtype)
         return None
 
@@ -138,6 +153,10 @@ class CheckpointReplicaDaemon(ServiceDaemon):
             return None
         if msg.mtype == ports.CKPT_PULL:
             return {"dump": self.store.dump()}
+        if msg.mtype == ports.CKPT_ABSORB:
+            absorbed = self.store.absorb(msg.payload.get("dump", {}), self.sim.now)
+            self.sim.trace.mark("ckpt.replica_seeded", node=self.node_id, keys=absorbed)
+            return None
         if msg.mtype == ports.CKPT_DELETE:
             self.store.delete(msg.payload["key"])
             return None

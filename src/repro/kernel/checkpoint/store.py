@@ -65,12 +65,26 @@ class CheckpointStore:
             versions.append(entry)
         return version
 
-    def load(self, key: str, version: int | None = None) -> CheckpointEntry | None:
-        """Latest (or a specific retained) version of ``key``; None if gone."""
+    def load(
+        self, key: str, version: int | None = None, at_time: float | None = None
+    ) -> CheckpointEntry | None:
+        """Latest (or a specific retained) version of ``key``; None if gone.
+
+        With ``at_time``, the newest retained version saved at or before
+        that instant — the time-travel read behind ``AS OF`` queries.
+        History is bounded (the retention deque), so an ``at_time`` older
+        than the oldest retained save finds nothing.
+        """
         versions = self._entries.get(key)
         if not versions:
             return None
-        if version is None:
+        if at_time is not None:
+            entry = next(
+                (e for e in reversed(versions) if e.saved_at <= at_time), None
+            )
+            if entry is None:
+                return None
+        elif version is None:
             entry = versions[-1]
         else:
             entry = next((e for e in versions if e.version == version), None)

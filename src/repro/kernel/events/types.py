@@ -24,6 +24,9 @@ APP_STARTED = "app.started"
 APP_EXITED = "app.exited"
 APP_FAILED = "app.failed"
 CONFIG_CHANGED = "config.changed"
+#: Base-table change feed published by bulletin instances while any
+#: materialized view is registered (see :mod:`repro.kernel.bulletin.views`).
+DB_DELTA = "db.delta"
 
 ALL_TYPES = (
     NODE_FAILURE,

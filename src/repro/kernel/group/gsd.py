@@ -23,7 +23,14 @@ from repro.kernel.daemon import ServiceDaemon
 from repro.kernel.events import types as ev
 from repro.kernel.group.metagroup import MetaGroup
 from repro.kernel.group.monitor import HeartbeatMonitor
-from repro.kernel.group.recovery import ALIVE, NODE, PROCESS, diagnose, restart_service_remote
+from repro.kernel.group.recovery import (
+    ALIVE,
+    NODE,
+    PROCESS,
+    diagnose,
+    pick_migration_target,
+    restart_service_remote,
+)
 from repro.sim import Span
 
 
@@ -74,6 +81,7 @@ class GSDDaemon(ServiceDaemon):
         # 1. Make sure the partition's service group exists (after a
         #    migration this is where ES/DB/CKPT come back on the backup node).
         yield from self._ensure_services()
+        yield from self._ensure_ckpt_replica()
         # 2. Reload persisted partition state from the checkpoint service.
         yield from self._load_state()
         # 3. Watch the partition's nodes.
@@ -106,6 +114,42 @@ class GSDDaemon(ServiceDaemon):
                     ev.SERVICE_RECOVERY,
                     {"service": svc, "node": self.node_id, "migrated_from": old_node},
                 )
+
+    def _ensure_ckpt_replica(self):
+        """Keep the checkpoint replica alive and *off* the primary's node.
+
+        A migration pulls the whole service group onto one node (usually
+        the backup node — where the replica already lives), and a dead
+        backup node takes the replica with it: either way one further
+        node loss would erase every checkpoint in the partition.  Restore
+        the primary/replica separation whenever it degrades, then have
+        the primary reseed the fresh replica with its full store.
+        """
+        pid = self.partition_id
+        primary = self.kernel.placement.get(("ckpt", pid))
+        replica = self.kernel.placement.get(("ckpt.replica", pid))
+        old_daemon = self.kernel.live_daemon("ckpt.replica", replica)
+        replica_ok = (
+            old_daemon is not None and old_daemon.alive and replica != primary
+        )
+        if primary is None or replica_ok:
+            return
+        target = pick_migration_target(self, pid, exclude={primary})
+        if target is None:
+            return  # one survivor: colocation beats no replica at all
+        yield self.timings.spawn_time("ckpt.replica")
+        if self.kernel.placement.get(("ckpt.replica", pid)) not in (replica, primary):
+            return  # someone else (a newer GSD incarnation) fixed it meanwhile
+        self.kernel.start_service("ckpt.replica", target)
+        if old_daemon is not None and old_daemon.alive:
+            old_daemon.stop()  # colocated copy: the primary holds its data
+        self.sim.trace.mark(
+            "failure.recovered", component="ckpt.replica", kind="placement",
+            node=replica, dst=target,
+        )
+        yield self.rpc_retry(
+            primary, ports.CKPT, ports.CKPT_RESEED, {}, call_class="ckpt.save"
+        )
 
     def _load_state(self):
         ckpt_node = self.kernel.placement.get(("ckpt", self.partition_id))
@@ -240,6 +284,11 @@ class GSDDaemon(ServiceDaemon):
         )
         root.mark("failure.recovered", component="wd", kind="node", node=subject)
         root.end(kind=kind, ok=True)
+        if self.kernel.placement.get(("ckpt.replica", self.partition_id)) == subject:
+            # The dead node hosted the checkpoint replica — the one service
+            # deliberately kept off the GSD's node, so no migration path
+            # re-places it. Restore separation before the next failure.
+            self.spawn(self._ensure_ckpt_replica(), name=f"{self.node_id}/gsd.ckptreplica")
 
     def _on_wd_return(self, subject: str) -> None:
         if not self.alive:

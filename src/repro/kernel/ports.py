@@ -50,6 +50,13 @@ DB_PUT = "db.put"
 DB_DELETE = "db.delete"
 DB_QUERY = "db.query"
 DB_PEERS = "db.peers"
+# relational layer (typed AST queries + materialized views)
+DB_EXEC = "db.exec"  # ad-hoc relational query (full-scan reference path)
+DB_VIEW_REGISTER = "db.view_register"  # register a materialized view here
+DB_VIEW_DROP = "db.view_drop"
+DB_VIEW_READ = "db.view_read"  # read a registered view (O(result) bytes)
+DB_VIEW_LIST = "db.view_list"  # owned views + maintenance counters
+DB_MAINT = "db.maint"  # peer broadcast: enable delta publishing for tables
 
 # checkpoint
 CKPT_SAVE = "ckpt.save"
@@ -57,6 +64,8 @@ CKPT_LOAD = "ckpt.load"
 CKPT_DELETE = "ckpt.delete"
 CKPT_REPLICATE = "ckpt.replicate"
 CKPT_PULL = "ckpt.pull"
+CKPT_RESEED = "ckpt.reseed"  # primary -> push full store to the replica
+CKPT_ABSORB = "ckpt.absorb"  # replica <- bulk store dump from the primary
 
 # parallel process management
 PPM_START_SERVICE = "ppm.start_service"

@@ -124,6 +124,11 @@ class KernelTimings:
     #: instead of one save per change.
     es_ckpt_debounce: float = 0.05
 
+    #: Debounce window for bulletin base-table checkpoints while any
+    #: materialized view is registered: a detector export burst coalesces
+    #: into one ``db.tables.<partition>`` save per window.
+    db_ckpt_debounce: float = 0.05
+
     #: Flush window for batched ES federation forwards: events published
     #: within one window coalesce into a single ``es.forward_batch``
     #: datagram per remote partition instead of one forward per event —
@@ -207,6 +212,8 @@ class KernelTimings:
             raise KernelError("suspicion_decay must be >= 0")
         if self.es_ckpt_debounce < 0:
             raise KernelError("es_ckpt_debounce must be >= 0")
+        if self.db_ckpt_debounce < 0:
+            raise KernelError("db_ckpt_debounce must be >= 0")
         if self.es_forward_flush < 0:
             raise KernelError("es_forward_flush must be >= 0")
         if self.es_forward_batch_max < 1:

@@ -42,14 +42,26 @@ class ConstructionTool:
         self.cluster: Cluster | None = None
         self.kernel: PhoenixKernel | None = None
         self.report: BuildReport | None = None
+        #: Root ``construct.build`` span: opened by the first phase, closed
+        #: at the end of :meth:`boot`.  Each phase runs inside a child span
+        #: so the boot sequence is one causal tree in the trace.
+        self.build_span = None
 
     # -- configure → deploy → boot -----------------------------------------
+    def _root_span(self):
+        """Open (once) the root span covering the whole build sequence."""
+        if self.build_span is None:
+            self.build_span = self.sim.trace.span("construct.build")
+        return self.build_span
+
     def configure(self, spec: ClusterSpec, load_profile: LoadProfile | None = None) -> Cluster:
         """Phase 1: instantiate the hardware model from the specification."""
         if self.cluster is not None:
             raise UserEnvError("already configured")
+        phase = self._root_span().child("construct.configure", nodes=spec.node_count)
         self.cluster = Cluster(self.sim, spec, load_profile=load_profile)
-        self.sim.trace.mark("construct.configured", nodes=spec.node_count)
+        phase.mark("construct.configured", nodes=spec.node_count)
+        phase.end()
         return self.cluster
 
     def deploy(self, timings: KernelTimings | None = None, secret: bytes | None = None) -> PhoenixKernel:
@@ -61,14 +73,17 @@ class ConstructionTool:
         kwargs: dict[str, Any] = {"timings": timings}
         if secret is not None:
             kwargs["secret"] = secret
+        phase = self._root_span().child("construct.deploy")
         self.kernel = PhoenixKernel(self.cluster, **kwargs)
-        self.sim.trace.mark("construct.deployed")
+        phase.mark("construct.deployed")
+        phase.end()
         return self.kernel
 
     def boot(self) -> BuildReport:
         """Phase 3: boot the kernel and report what came up."""
         if self.kernel is None:
             raise UserEnvError("deploy() first")
+        phase = self._root_span().child("construct.boot")
         self.kernel.boot()
         spec = self.cluster.spec
         services = (
@@ -83,7 +98,9 @@ class ConstructionTool:
             services_started=services,
             phases=["configured", "deployed", "booted"],
         )
-        self.sim.trace.mark("construct.booted", services=services)
+        phase.mark("construct.booted", services=services)
+        phase.end(services=services)
+        self.build_span.end(nodes=spec.node_count, services=services)
         return self.report
 
     def build(self, spec: ClusterSpec, timings: KernelTimings | None = None) -> PhoenixKernel:
@@ -103,6 +120,7 @@ class ConstructionTool:
         """
         if self.kernel is None:
             raise UserEnvError("no booted system")
+        span = self.sim.trace.span("construct.recover", node=node_id)
         node = self.kernel.cluster.node(node_id)
         if not node.up:
             node.boot()
@@ -110,7 +128,8 @@ class ConstructionTool:
         for svc in NODE_SERVICES:
             if not hostos.process_alive(svc):
                 self.kernel.start_service(svc, node_id)
-        self.sim.trace.mark("construct.node_recovered", node=node_id)
+        span.mark("construct.node_recovered", node=node_id)
+        span.end()
 
     def rolling_kernel_restart(
         self, services: tuple[str, ...] = ("es", "db", "ckpt"), settle: float = 2.0

@@ -1,28 +1,42 @@
 """GridView monitoring user environment."""
 
 from repro.userenv.monitoring.analysis import (
+    HEALTH_VIEW_NAME,
     Alert,
     Trend,
     alerts,
     critical_path,
     fault_analysis,
     health_report,
+    health_view_query,
     messaging_report,
     performance_report,
     span_tree,
+    view_report,
 )
 from repro.userenv.monitoring.display import render_events, render_performance, render_snapshot
-from repro.userenv.monitoring.gridview import ClusterSnapshot, GridView, install_gridview
+from repro.userenv.monitoring.gridview import (
+    CLUSTER_VIEW,
+    ClusterSnapshot,
+    GridView,
+    cluster_view_query,
+    install_gridview,
+    torn_partitions,
+)
 
 __all__ = [
+    "CLUSTER_VIEW",
+    "HEALTH_VIEW_NAME",
     "Alert",
     "ClusterSnapshot",
     "GridView",
     "Trend",
     "alerts",
+    "cluster_view_query",
     "critical_path",
     "fault_analysis",
     "health_report",
+    "health_view_query",
     "install_gridview",
     "messaging_report",
     "performance_report",
@@ -30,4 +44,6 @@ __all__ = [
     "render_performance",
     "render_snapshot",
     "span_tree",
+    "torn_partitions",
+    "view_report",
 ]

@@ -15,10 +15,13 @@ adds the two analysis functions over GridView's retained data:
 * :func:`span_tree` / :func:`critical_path` — causal decomposition of a
   traced operation (e.g. a GSD failover) from its span records;
 * :func:`health_report` — the cluster health view over the daemons'
-  ``kernel.health`` self-reports published to the data bulletin;
+  ``kernel.health`` self-reports; feed it rows from the registered
+  ``health`` view (:func:`health_view_query`) instead of a bespoke scan;
+* :func:`view_report` — per-view maintenance counters and staleness over
+  ``DB_VIEW_LIST`` replies (re-exported from the bulletin's view layer);
 * :func:`alerts` — threshold rules over a health report (daemon report
-  staleness, spine latency p99 ceilings), the piece an administrator
-  pages on.
+  staleness, spine latency p99 ceilings, materialized-view staleness),
+  the piece an administrator pages on.
 """
 
 from __future__ import annotations
@@ -26,10 +29,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.kernel.bulletin.views import view_report
 from repro.kernel.events.types import Event
 from repro.sim.trace import Trace, TraceRecord
 from repro.userenv.monitoring.gridview import ClusterSnapshot
 from repro.util import summarize
+
+#: Canonical name of the monitoring environment's health view.
+HEALTH_VIEW_NAME = "monitoring.health"
+
+
+def health_view_query():
+    """The query behind :data:`HEALTH_VIEW_NAME`: the full ``health``
+    logical table, whose rows are exactly the ``kernel_health``
+    self-reports :func:`health_report` consumes — register it once
+    (``client.register_view(HEALTH_VIEW_NAME, health_view_query())``) and
+    every report read is one O(daemons) RPC to the owner instead of a
+    federation scan."""
+    from repro.kernel.bulletin.query import Query
+
+    return Query(table="health")
 
 
 @dataclass(frozen=True)
@@ -296,15 +315,22 @@ CONSUMER_SLO_PREFIX = "es.deliver.to."
 REQUEST_SLO_PREFIX = "bizreq.latency."
 
 
+#: Default ceiling (seconds) on a materialized view's event-time lag —
+#: how far the owner's last applied delta trailed its base-table change.
+DEFAULT_VIEW_STALENESS_LIMIT = 1.0
+
+
 def alerts(
     report: dict[str, Any],
     p99_limits: dict[str, float] | None = None,
     consumer_slo: float | None = None,
     class_slos: dict[str, float] | None = None,
+    view_stats: dict[str, dict[str, Any]] | None = None,
+    view_staleness_limit: float | None = None,
 ) -> list[Alert]:
     """Evaluate alert rules over a :func:`health_report` dict.
 
-    Four rule families:
+    Five rule families:
 
     * ``health.stale`` (critical) — a daemon's last ``kernel.health``
       self-report is older than the report's staleness threshold (its
@@ -318,7 +344,11 @@ def alerts(
       one slow subscription pages even when the aggregate looks healthy;
     * ``bizreq.slo`` (warning) — a per-request-class latency histogram
       (``bizreq.latency.<class>``, fed by the serving tier) has a p99
-      past that class's objective in ``class_slos``.
+      past that class's objective in ``class_slos``;
+    * ``view.staleness`` (warning) — a materialized view's event-time lag
+      (``view_stats``, the ``views`` map of a :func:`view_report`) exceeds
+      ``view_staleness_limit`` — the owner is falling behind its delta
+      feed, so console reads show the past.
 
     Also works over a latency-only report (e.g. built from an exported
     trace), where ``services``/``stale`` are simply absent.
@@ -386,6 +416,26 @@ def alerts(
                     message=(
                         f"request class {cls} p99 {p99 * 1e3:.1f}ms "
                         f"exceeds SLO {cls_slo * 1e3:.0f}ms"
+                    ),
+                )
+            )
+    lag_limit = (
+        DEFAULT_VIEW_STALENESS_LIMIT
+        if view_staleness_limit is None
+        else view_staleness_limit
+    )
+    for view_name, stats in sorted((view_stats or {}).items()):
+        lag = float(stats.get("staleness", 0.0) or 0.0)
+        if lag > lag_limit:
+            fired.append(
+                Alert(
+                    severity="warning",
+                    rule="view.staleness",
+                    subject=view_name,
+                    value=lag,
+                    message=(
+                        f"materialized view {view_name} lags its base tables "
+                        f"by {lag:.2f}s (limit {lag_limit:.2f}s)"
                     ),
                 )
             )

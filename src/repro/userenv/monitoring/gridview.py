@@ -30,6 +30,41 @@ from repro.kernel.events.types import Event
 PORT = "gridview"
 EVENT_PORT = "gridview.events"
 
+#: Name of the materialized view the console registers in view mode:
+#: ``nodes`` grouped by state with subtractable sums/counts, from which
+#: every banner figure is recovered exactly (see :meth:`GridView._refresh_view`).
+CLUSTER_VIEW = "gridview.cluster"
+
+
+def cluster_view_query():
+    """The console's one registered view: per-state node counts plus the
+    mergeable sums/counts behind the banner averages."""
+    from repro.kernel.bulletin.query import Agg, Query
+
+    return Query(
+        table="nodes",
+        group_by=("state",),
+        aggs=(
+            Agg("count", "*", "n"),
+            Agg("sum", "reporting", "reporting"),
+            Agg("sum", "cpu_pct", "cpu_sum"),
+            Agg("count", "cpu_pct", "cpu_n"),
+            Agg("sum", "mem_pct", "mem_sum"),
+            Agg("count", "mem_pct", "mem_n"),
+            Agg("sum", "swap_pct", "swap_sum"),
+            Agg("count", "swap_pct", "swap_n"),
+        ),
+    )
+
+
+def torn_partitions(a: dict[str, int] | None, b: dict[str, int] | None) -> list[str]:
+    """Partitions whose bulletin incarnation differs between two reply
+    watermark maps — evidence the two reads straddled a failover, so rows
+    from the two replies must not be joined into one snapshot."""
+    if not a or not b:
+        return []
+    return sorted(p for p in a.keys() & b.keys() if a[p] != b[p])
+
 
 @dataclass
 class ClusterSnapshot:
@@ -53,7 +88,7 @@ class GridView(ServiceDaemon):
 
     def __init__(self, kernel, node_id: str, refresh_interval: float = 10.0,
                  keep_snapshots: int = 16, event_log_size: int = 200,
-                 aggregate_mode: bool = False) -> None:
+                 aggregate_mode: bool = False, view_mode: bool = False) -> None:
         super().__init__(kernel, node_id)
         self.refresh_interval = refresh_interval
         self.snapshots: deque[ClusterSnapshot] = deque(maxlen=keep_snapshots)
@@ -64,6 +99,13 @@ class GridView(ServiceDaemon):
         #: bytes per refresh instead of O(nodes), at the cost of losing
         #: the per-node grid.
         self.aggregate_mode = aggregate_mode
+        #: With view_mode, the console registers one materialized view
+        #: (:data:`CLUSTER_VIEW`) at startup and each refresh is a single
+        #: O(groups) read of it — no fan-out, no torn reads by
+        #: construction, and maintenance cost amortized into the event
+        #: path instead of the refresh path.
+        self.view_mode = view_mode
+        self.torn_reads = 0
 
     # -- lifecycle -----------------------------------------------------------
     def on_start(self) -> None:
@@ -87,6 +129,14 @@ class GridView(ServiceDaemon):
                     "where": {},
                 },
             )
+        if self.view_mode and CLUSTER_VIEW not in self.kernel.view_owners:
+            db_node = self.kernel.placement.get(("db", self.partition_id))
+            if db_node is not None:
+                yield self.rpc(
+                    db_node, ports.DB, ports.DB_VIEW_REGISTER,
+                    {"name": CLUSTER_VIEW, "query": cluster_view_query().to_payload()},
+                    timeout=30.0,
+                )
         yield from self._refresh_loop()
 
     def _on_event(self, msg: Message) -> None:
@@ -105,19 +155,39 @@ class GridView(ServiceDaemon):
         db_node = self.kernel.placement.get(("db", self.partition_id))
         if db_node is None:
             return
+        if self.view_mode:
+            yield from self._refresh_view(started)
+            return
         if self.aggregate_mode:
             yield from self._refresh_aggregate(started, db_node)
             return
-        metrics_reply = yield self.rpc(
-            db_node, ports.DB, ports.DB_QUERY,
-            {"table": TABLE_NODE_METRICS, "where": None, "scope": "global"},
-            timeout=30.0,
-        )
-        state_reply = yield self.rpc(
-            db_node, ports.DB, ports.DB_QUERY,
-            {"table": TABLE_NODE_STATE, "where": None, "scope": "global"},
-            timeout=30.0,
-        )
+        metrics_reply = state_reply = None
+        for attempt in range(3):
+            metrics_reply = yield self.rpc(
+                db_node, ports.DB, ports.DB_QUERY,
+                {"table": TABLE_NODE_METRICS, "where": None, "scope": "global"},
+                timeout=30.0,
+            )
+            state_reply = yield self.rpc(
+                db_node, ports.DB, ports.DB_QUERY,
+                {"table": TABLE_NODE_STATE, "where": None, "scope": "global"},
+                timeout=30.0,
+            )
+            if metrics_reply is None:
+                break
+            # A bulletin that failed over between the two reads answers
+            # them from different incarnations; joining those rows would
+            # fabricate a cluster state that never existed.
+            torn = torn_partitions(
+                metrics_reply.get("watermarks"), (state_reply or {}).get("watermarks")
+            )
+            if not torn:
+                break
+            self.torn_reads += 1
+            self.sim.trace.mark(
+                "gridview.torn_read", partitions=len(torn), attempt=attempt + 1
+            )
+            metrics_reply = None
         if metrics_reply is None:
             self.sim.trace.mark("gridview.refresh_failed", node=self.node_id)
             return
@@ -145,6 +215,58 @@ class GridView(ServiceDaemon):
             latency=self.sim.now - started,
             rows=len(rows),
             missing=len(snapshot.partitions_missing),
+        )
+
+    def _refresh_view(self, started: float):
+        """One O(groups) read of the registered cluster view: the owner
+        already folded every detector export into per-state sums, so the
+        refresh ships a handful of rows no matter the node count — and a
+        single RPC cannot tear across a failover."""
+        owner = self.kernel.view_owners.get(CLUSTER_VIEW)
+        db_node = self.kernel.placement.get(("db", owner)) if owner else None
+        if db_node is None:
+            self.sim.trace.mark("gridview.refresh_failed", node=self.node_id)
+            return
+        reply = yield self.rpc(
+            db_node, ports.DB, ports.DB_VIEW_READ, {"name": CLUSTER_VIEW}, timeout=30.0,
+        )
+        if reply is None or "rows" not in reply or reply.get("error"):
+            self.sim.trace.mark("gridview.refresh_failed", node=self.node_id)
+            return
+        groups = reply["rows"]
+        down = sum(g["n"] for g in groups if g.get("state") == "down")
+        live = [g for g in groups if g.get("state") != "down"]
+        reporting = int(sum(g["reporting"] or 0 for g in live))
+
+        def mean(sum_name: str, count_name: str) -> float:
+            total = sum(g[sum_name] or 0.0 for g in live)
+            count = sum(g[count_name] or 0 for g in live)
+            return total / count if count else 0.0
+
+        watermarks = reply.get("watermarks") or {}
+        missing = [
+            p.partition_id
+            for p in self.cluster.partitions
+            if p.partition_id not in watermarks
+        ]
+        snapshot = ClusterSnapshot(
+            time=self.sim.now,
+            node_count=self.cluster.size,
+            nodes_reporting=reporting,
+            nodes_down=int(down),
+            avg_cpu_pct=mean("cpu_sum", "cpu_n"),
+            avg_mem_pct=mean("mem_sum", "mem_n"),
+            avg_swap_pct=mean("swap_sum", "swap_n"),
+            partitions_missing=missing,
+        )
+        self.snapshots.append(snapshot)
+        self.refreshes += 1
+        self.sim.trace.mark(
+            "gridview.refresh",
+            latency=self.sim.now - started,
+            rows=len(groups),
+            missing=len(missing),
+            view=True,
         )
 
     def _refresh_aggregate(self, started: float, db_node: str):
@@ -198,14 +320,14 @@ class GridView(ServiceDaemon):
 
 
 def install_gridview(kernel, node_id: str | None = None, refresh_interval: float = 10.0,
-                     aggregate_mode: bool = False) -> GridView:
+                     aggregate_mode: bool = False, view_mode: bool = False) -> GridView:
     """Start GridView on ``node_id`` (default: first partition's backup node,
     a stand-in for the operator console)."""
     target = node_id or kernel.cluster.partitions[0].backups[0]
 
     def factory(k, node):
         return GridView(k, node, refresh_interval=refresh_interval,
-                        aggregate_mode=aggregate_mode)
+                        aggregate_mode=aggregate_mode, view_mode=view_mode)
 
     kernel.registry.register("gridview", factory)
     return kernel.start_service("gridview", target)

@@ -57,3 +57,35 @@ def test_render_handles_empty_class():
 def test_classes_table_sane():
     assert ("wd", "node") in CLASSES
     assert all(len(c) == 2 for c in CLASSES)
+
+
+def test_campaign_injections_are_spanned(wd_process_campaign):
+    """Every injected fault runs inside one closed ``campaign.fault`` span."""
+    # The fixture result object has no trace handle; re-run a tiny class.
+    import repro.experiments.fault_campaign as fc
+    from repro.cluster import Cluster, ClusterSpec, FaultInjector
+    from repro.kernel import KernelTimings, PhoenixKernel
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=4, trace_capacity=None)
+    cluster = Cluster(sim, ClusterSpec.build(partitions=4, computes=6))
+    kernel = PhoenixKernel(cluster, timings=KernelTimings(heartbeat_interval=10.0))
+    kernel.boot()
+    injector = FaultInjector(cluster)
+    rng = sim.rngs.stream("campaign.wd.process")
+    sim.run(until=20.0)
+    span = sim.trace.span("campaign.fault", component="wd", situation="process", case="c0")
+    injector.current_span = span
+    target = fc._pick_target(cluster, kernel, "wd", rng)
+    injector.kill_process(target, "wd", case="c0")
+    span.end(recovered=True)
+    injector.current_span = None
+    [mark] = sim.trace.records("fault.injected")
+    assert mark.get("span_id") == span.span_id
+    [closed] = [r for r in sim.trace.records("campaign.fault")
+                if r.get("duration") is not None]
+    assert closed.get("case") == "c0" and closed.get("recovered") is True
+
+
+def test_campaign_spans_one_per_injection(wd_process_campaign):
+    assert wd_process_campaign.fault_spans == wd_process_campaign.injected

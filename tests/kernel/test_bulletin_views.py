@@ -1,0 +1,155 @@
+"""Materialized views: subtractable accumulators, rows(), view_report (pure)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.bulletin.query import Agg, Query, execute
+from repro.kernel.bulletin.views import MaterializedView, view_report
+
+GROUPED = Query(
+    table="nodes",
+    group_by=("state",),
+    aggs=(
+        Agg("count", "*", "n"),
+        Agg("count", "cpu", "n_cpu"),
+        Agg("sum", "cpu", "s"),
+        Agg("avg", "cpu", "a"),
+        Agg("min", "cpu", "lo"),
+        Agg("max", "cpu", "hi"),
+    ),
+    order_by=(("n", True),),
+)
+
+
+def _close(a, b):
+    if isinstance(a, float) and isinstance(b, float):
+        return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+    return a == b
+
+
+def rows_close(got, want):
+    """Row-list equality with float tolerance for accumulator drift."""
+    if len(got) != len(want):
+        return False
+    return all(
+        set(ra) == set(rb) and all(_close(ra[k], rb[k]) for k in ra)
+        for ra, rb in zip(got, want)
+    )
+
+
+def test_incremental_matches_rebuild_on_simple_sequence():
+    view = MaterializedView("v", GROUPED)
+    current = {}
+    ops = [
+        ("k1", {"state": "up", "cpu": 10.0}),
+        ("k2", {"state": "up", "cpu": 30.0}),
+        ("k3", {"state": "down", "cpu": None}),
+        ("k1", {"state": "up", "cpu": 20.0}),   # update in place
+        ("k2", {"state": "down", "cpu": 30.0}),  # group migration
+        ("k3", None),                            # delete
+    ]
+    for key, row in ops:
+        view.apply(key, current.get(key), row)
+        current[key] = row
+        if row is None:
+            del current[key]
+        assert rows_close(view.rows(), execute(GROUPED, list(current.values())))
+
+
+def test_extremum_removal_recomputes_from_members():
+    q = Query(table="nodes", aggs=(Agg("min", "cpu", "lo"), Agg("max", "cpu", "hi")))
+    view = MaterializedView("v", q)
+    view.apply("a", None, {"cpu": 1.0})
+    view.apply("b", None, {"cpu": 9.0})
+    view.apply("c", None, {"cpu": 5.0})
+    assert view.rows() == [{"lo": 1.0, "hi": 9.0}]
+    view.apply("b", {"cpu": 9.0}, None)  # remove current max
+    view.apply("a", {"cpu": 1.0}, None)  # remove current min
+    assert view.rows() == [{"lo": 5.0, "hi": 5.0}]
+    view.apply("c", {"cpu": 5.0}, None)
+    assert view.rows() == []
+
+
+def test_plain_select_view_mirrors_rows():
+    q = Query(table="nodes", where={"state": "up"}, select=("_key", "cpu"),
+              order_by=(("cpu", True),), limit=2)
+    view = MaterializedView("v", q)
+    rows = {
+        "a": {"_key": "a", "state": "up", "cpu": 3.0},
+        "b": {"_key": "b", "state": "down", "cpu": 9.0},
+        "c": {"_key": "c", "state": "up", "cpu": 7.0},
+    }
+    for key, row in rows.items():
+        view.apply(key, None, row)
+    assert view.rows() == execute(q, list(rows.values()))
+    assert view.rows() == [{"_key": "c", "cpu": 7.0}, {"_key": "a", "cpu": 3.0}]
+
+
+def test_apply_reports_visibility_and_rebuild_counts():
+    view = MaterializedView("v", GROUPED)
+    assert view.apply("a", None, {"state": "up", "cpu": 1.0})
+    # A transition no clause matches is invisible to the view.
+    filtered = MaterializedView("f", Query(table="nodes", where={"state": "up"},
+                                           select=("_key",)))
+    assert not filtered.apply("x", None, {"_key": "x", "state": "down"})
+    view.rebuild([{"_key": "a", "state": "up", "cpu": 1.0}])
+    assert view.rebuilds == 1
+    stats = view.stats(now=10.0)
+    assert set(stats) >= {"maintenance_events", "delta_applied", "rebuilds",
+                          "resyncs", "cached_rows", "staleness"}
+    assert stats["cached_rows"] == 1
+
+
+def test_view_report_shapes_and_totals():
+    listing = {
+        "p0": {
+            "partition": "p0",
+            "views": [{
+                "name": "v",
+                "query": {"table": "nodes"},
+                "stats": {"maintenance_events": 3, "delta_applied": 2,
+                          "rebuilds": 1, "resyncs": 0, "staleness": 0.5},
+            }],
+        },
+        "p1": None,  # unreachable instance is skipped, not fatal
+    }
+    report = view_report(listing)
+    assert report["views"]["v"]["owner"] == "p0"
+    assert report["views"]["v"]["staleness"] == 0.5
+    assert report["totals"]["maintenance_events"] == 3
+    assert report["totals"]["rebuilds"] == 1
+
+
+# -- property: incremental maintenance == from-scratch execution -------------
+_KEYS = ("k0", "k1", "k2", "k3", "k4")
+_STATES = ("up", "down", "draining")
+
+_op = st.tuples(
+    st.sampled_from(_KEYS),
+    st.one_of(
+        st.none(),  # delete
+        st.fixed_dictionaries({
+            "state": st.sampled_from(_STATES),
+            "cpu": st.one_of(st.none(), st.integers(-50, 50).map(float)),
+        }),
+    ),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_op, min_size=1, max_size=40))
+def test_property_view_equals_fresh_execution(ops):
+    view = MaterializedView("v", GROUPED)
+    current = {}
+    for key, row in ops:
+        old = current.get(key)
+        if row is None and old is None:
+            continue
+        view.apply(key, old, row)
+        if row is None:
+            del current[key]
+        else:
+            current[key] = row
+    assert rows_close(view.rows(), execute(GROUPED, list(current.values())))

@@ -1,0 +1,198 @@
+"""Materialized views end-to-end: equivalence, failover rebuild, time travel."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, FaultInjector
+from repro.errors import ServiceUnavailable
+from repro.kernel import KernelTimings, PhoenixKernel, ports
+from repro.kernel.bulletin.query import Agg, Query
+from repro.sim import Simulator
+from tests.kernel.conftest import drive
+from tests.kernel.test_bulletin_views import rows_close
+
+NODES_BY_STATE = Query(
+    table="nodes",
+    group_by=("state",),
+    aggs=(
+        Agg("count", "*", "n"),
+        Agg("sum", "cpu_pct", "cpu"),
+        Agg("count", "cpu_pct", "cpu_n"),
+        Agg("max", "cpu_pct", "cpu_max"),
+    ),
+)
+
+
+def _boot(seed=11, partitions=3, computes=2):
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, ClusterSpec.build(partitions=partitions, computes=computes))
+    timings = KernelTimings(heartbeat_interval=5.0, deadline_grace=0.1)
+    kernel = PhoenixKernel(cluster, timings=timings)
+    kernel.boot()
+    sim.run(until=10.0)
+    return sim, kernel, FaultInjector(cluster)
+
+
+def _client(kernel, partition_index=0):
+    return kernel.client(kernel.cluster.partitions[partition_index].server)
+
+
+def _register(sim, client, name, query, partition):
+    reply = drive(sim, client.register_view(name, query, partition=partition), max_time=60.0)
+    assert reply and reply.get("ok"), reply
+    return reply
+
+
+def _equivalent(sim, client, name, query, attempts=10):
+    """Assert the view matches a fresh scan in some stable window.
+
+    Base tables mutate continuously (detector exports), so a single
+    view-read/full-scan pair can straddle an in-flight delta; retry until
+    a comparison lands in a quiet window — deterministic under the sim.
+    """
+    view = fresh = None
+    for _ in range(attempts):
+        view = drive(sim, client.read_view(name))
+        fresh = drive(sim, client.exec_query(query))
+        assert view is not None and fresh is not None
+        if rows_close(view["rows"], fresh["rows"]):
+            return view
+        sim.run(until=sim.now + 0.5)
+    raise AssertionError(f"view never converged: {view['rows']!r} vs {fresh['rows']!r}")
+
+
+def test_view_equals_fresh_scan_and_stays_current():
+    sim, kernel, _ = _boot()
+    client = _client(kernel)
+    reply = _register(sim, client, "t.nodes", NODES_BY_STATE, "p1")
+    assert reply["owner"] == "p1" and kernel.view_owners["t.nodes"] == "p1"
+    for _ in range(3):
+        sim.run(until=sim.now + 7.0)
+        _equivalent(sim, client, "t.nodes", NODES_BY_STATE)
+
+
+def test_view_read_carries_watermarks_and_staleness():
+    sim, kernel, _ = _boot()
+    client = _client(kernel)
+    _register(sim, client, "t.nodes", NODES_BY_STATE, "p1")
+    sim.run(until=sim.now + 10.0)
+    view = drive(sim, client.read_view("t.nodes"))
+    assert view["ready"]
+    assert set(view["watermarks"]) == {"p0", "p1", "p2"}
+    assert view["watermark"]["epoch"] >= 1
+    assert 0.0 <= view["staleness"] < 5.0
+
+
+def test_second_view_on_same_owner_extends_tables():
+    sim, kernel, _ = _boot()
+    client = _client(kernel)
+    _register(sim, client, "t.nodes", NODES_BY_STATE, "p1")
+    jobs = Query(table="jobs", aggs=(Agg("count", "*", "n"),))
+    _register(sim, client, "t.jobs", jobs, "p1")
+    sim.run(until=sim.now + 5.0)
+    listing = drive(sim, client.list_views(partition="p1"))
+    assert {v["name"] for v in listing["views"]} == {"t.nodes", "t.jobs"}
+    _equivalent(sim, client, "t.jobs", jobs)
+
+
+def test_view_converges_after_node_churn():
+    sim, kernel, injector = _boot()
+    client = _client(kernel)
+    _register(sim, client, "t.nodes", NODES_BY_STATE, "p1")
+    victim = "p2c1"
+    injector.crash_node(victim)
+    sim.run(until=sim.now + 30.0)  # detect + state flip + metric expiry
+    view = _equivalent(sim, client, "t.nodes", NODES_BY_STATE)
+    down = [r for r in view["rows"] if r["state"] == "down"]
+    assert down and down[0]["n"] == 1
+    injector.boot_node(victim)
+    for svc in ("ppm", "detector", "wd"):
+        if not kernel.cluster.hostos(victim).process_alive(svc):
+            kernel.start_service(svc, victim)
+    sim.run(until=sim.now + 30.0)
+    view = _equivalent(sim, client, "t.nodes", NODES_BY_STATE)
+    assert not [r for r in view["rows"] if r["state"] == "down"]
+
+
+def test_view_survives_owner_bulletin_failover():
+    sim, kernel, injector = _boot()
+    client = _client(kernel)
+    _register(sim, client, "t.nodes", NODES_BY_STATE, "p1")
+    old_node = kernel.placement[("db", "p1")]
+    old_epoch = drive(sim, client.read_view("t.nodes"))["watermark"]["epoch"]
+    injector.crash_node(old_node)
+    sim.run(until=sim.now + 60.0)  # failover + view rebuild from checkpoints
+    assert kernel.placement[("db", "p1")] != old_node
+    assert kernel.view_owners["t.nodes"] == "p1"
+    view = _equivalent(sim, client, "t.nodes", NODES_BY_STATE)
+    assert view["watermark"]["epoch"] > old_epoch
+    listing = drive(sim, client.list_views(partition="p1"))
+    stats = listing["views"][0]["stats"]
+    assert stats["rebuilds"] >= 1
+    assert sim.trace.records("db.views_rebuilt")
+
+
+def test_view_survives_two_consecutive_failovers():
+    """Regression: a migration used to colocate the ckpt primary with its
+    replica, so a second failover erased every checkpoint in the partition
+    and the view (plus its definition) was gone for good. The GSD now
+    re-separates the replica and the primary reseeds it."""
+    sim, kernel, injector = _boot(seed=0)
+    client = _client(kernel)
+    _register(sim, client, "t.nodes", NODES_BY_STATE, "p1")
+    for _ in range(2):
+        injector.crash_node(kernel.placement[("db", "p1")])
+        sim.run(until=sim.now + 12.0)
+    sim.run(until=sim.now + 60.0)
+    assert kernel.view_owners.get("t.nodes") == "p1"
+    view = _equivalent(sim, client, "t.nodes", NODES_BY_STATE, attempts=20)
+    assert view["ready"]
+    # Separation restored: the replica must not share the primary's node.
+    assert (
+        kernel.placement[("ckpt.replica", "p1")] != kernel.placement[("ckpt", "p1")]
+    )
+
+
+def test_time_travel_round_trip():
+    sim, kernel, _ = _boot()
+    client = _client(kernel)
+    # Checkpointing of base tables runs only while some view keeps delta
+    # maintenance on — the jobs view doubles as the bootstrap.
+    _register(sim, client, "t.jobs", Query(table="jobs", aggs=(Agg("count", "*", "n"),)), "p0")
+    db_node = kernel.placement[("db", "p0")]
+
+    def put(key, row):
+        reply = drive(sim, client._transport.rpc(
+            client.node_id, db_node, ports.DB, ports.DB_PUT,
+            {"table": "apps", "key": key, "row": row}, timeout=5.0,
+        ))
+        assert reply == {"ok": True}
+
+    put("job1", {"app": "linpack", "phase": "running"})
+    sim.run(until=sim.now + 1.0)  # past the checkpoint debounce
+    t_between = sim.now
+    sim.run(until=sim.now + 0.2)
+    put("job1", {"app": "linpack", "phase": "done"})
+    sim.run(until=sim.now + 1.0)
+
+    probe = Query(table="jobs", where={"_key": "job1"})
+    live = drive(sim, client.exec_query(probe))
+    assert live["rows"][0]["phase"] == "done"
+    past = drive(sim, client.exec_query(Query(
+        table="jobs", where={"_key": "job1"}, as_of=t_between)))
+    assert past["rows"][0]["phase"] == "running"
+    assert past["as_of"] == t_between
+    assert "p0" in past["versions"]
+    # Past the bounded history: nothing retained that far back.
+    ancient = drive(sim, client.exec_query(Query(table="jobs", as_of=0.5)))
+    assert ancient["rows"] == []
+
+
+def test_drop_view_unregisters():
+    sim, kernel, _ = _boot()
+    client = _client(kernel)
+    _register(sim, client, "t.nodes", NODES_BY_STATE, "p1")
+    reply = drive(sim, client.drop_view("t.nodes"))
+    assert reply and reply.get("ok")
+    assert "t.nodes" not in kernel.view_owners
+    with pytest.raises(ServiceUnavailable):
+        client.read_view("t.nodes")

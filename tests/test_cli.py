@@ -99,3 +99,23 @@ def test_trace_command_surfaces_per_consumer_slo_alert(tmp_path, capsys):
     assert main(["trace", str(path)]) == 0
     out = capsys.readouterr().out
     assert "es.deliver.slo" in out and "slowpoke" in out
+
+
+def test_query_command_default(capsys):
+    assert main(["query", "--warm", "20", "--partitions", "2", "--computes", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "state" in out and "up" in out and "[scan" in out
+
+
+def test_query_command_text_view_and_order(capsys):
+    assert main([
+        "query", "--warm", "20", "--partitions", "2", "--computes", "2", "--view",
+        "select state, count(*) as n from nodes group by state",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "[view" in out and "n" in out
+
+
+def test_query_command_check_smoke(capsys):
+    assert main(["query", "--check"]) == 0
+    assert "query smoke: OK" in capsys.readouterr().out

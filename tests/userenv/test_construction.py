@@ -76,3 +76,28 @@ def test_health_report_requires_boot():
         tool.health_report()
     with pytest.raises(UserEnvError):
         tool.recover_node("x")
+
+
+def test_build_emits_causal_span_tree(sim):
+    tool = ConstructionTool(sim)
+    tool.build(ClusterSpec.build(partitions=2, computes=2))
+    [root] = sim.trace.records("construct.build")
+    assert root.get("duration") is not None and not root.get("parent_id")
+    children = [r for r in sim.trace._records if r.get("parent_id") == root.get("span_id")]
+    assert [c.category for c in children] == [
+        "construct.configure", "construct.deploy", "construct.boot",
+    ]
+    # Phase point-marks are correlated to their phase spans.
+    [mark] = sim.trace.records("construct.configured")
+    assert mark.get("span_id") == children[0].get("span_id")
+
+
+def test_recover_node_is_spanned(kernel, sim, injector):
+    tool = kernel.construction_tool
+    injector.crash_node("p1c1")
+    sim.run(until=sim.now + 15.0)
+    tool.recover_node("p1c1")
+    [span] = [r for r in sim.trace.records("construct.recover")
+              if r.get("duration") is not None]
+    [mark] = sim.trace.records("construct.node_recovered")
+    assert mark.get("span_id") == span.get("span_id")

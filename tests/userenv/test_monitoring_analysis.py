@@ -263,3 +263,62 @@ def test_consumer_slo_defaults_to_aggregate_ceiling():
     assert alerts(report) == []  # default aggregate ceiling is 0.5 s
     fired = alerts(report, p99_limits={"es.deliver": 0.25})
     assert [(a.rule, a.subject) for a in fired] == [("es.deliver.slo", "c1")]
+
+
+def test_alerts_view_staleness_rule():
+    """A lagging materialized view pages; a current one stays quiet."""
+    report = {"latency": {}}
+    stats = {
+        "gridview.cluster": {"staleness": 5.0, "owner": "p0"},
+        "monitoring.health": {"staleness": 0.01, "owner": "p1"},
+    }
+    fired = alerts(report, view_stats=stats)
+    assert [(a.severity, a.rule, a.subject) for a in fired] == [
+        ("warning", "view.staleness", "gridview.cluster"),
+    ]
+    assert fired[0].value == pytest.approx(5.0)
+    assert "lags its base tables" in fired[0].message
+    # Custom limit tightens / loosens the rule.
+    assert len(alerts(report, view_stats=stats, view_staleness_limit=0.001)) == 2
+    assert alerts(report, view_stats=stats, view_staleness_limit=10.0) == []
+
+
+def test_view_report_plugs_into_alerts():
+    from repro.userenv.monitoring import view_report
+
+    listing = {"p0": {"views": [{
+        "name": "v", "query": {"table": "nodes"},
+        "stats": {"maintenance_events": 7, "delta_applied": 7, "rebuilds": 0,
+                  "resyncs": 0, "staleness": 2.5},
+    }]}}
+    report = view_report(listing)
+    fired = alerts({"latency": {}}, view_stats=report["views"])
+    assert [a.subject for a in fired] == ["v"]
+
+
+def test_health_view_feeds_health_report():
+    """health_report over a HEALTH_VIEW read equals one over a fresh scan."""
+    from repro.cluster import Cluster, ClusterSpec
+    from repro.kernel import KernelTimings, PhoenixKernel
+    from repro.sim import Simulator
+    from repro.userenv.monitoring import HEALTH_VIEW_NAME, health_view_query
+    from tests.userenv.conftest import drive
+
+    sim = Simulator(seed=5)
+    cluster = Cluster(sim, ClusterSpec.build(partitions=3, computes=2))
+    timings = KernelTimings(heartbeat_interval=5.0, health_report_interval=2.5)
+    kernel = PhoenixKernel(cluster, timings=timings)
+    kernel.boot()
+    sim.run(until=10.0)
+    client = kernel.client(cluster.partitions[0].server)
+    reply = drive(sim, client.register_view(HEALTH_VIEW_NAME, health_view_query()),
+                  max_time=60.0)
+    assert reply and reply.get("ok")
+    sim.run(until=sim.now + 10.0)
+    view = drive(sim, client.read_view(HEALTH_VIEW_NAME))
+    report = health_report(view["rows"], now=sim.now, stale_after=30.0)
+    assert report["services"] and not report["stale"]
+    fresh = drive(sim, client.query_bulletin("kernel_health"))
+    assert set(report["services"]) == {
+        f"{r['service']}@{r['node']}" for r in fresh["rows"]
+    }
