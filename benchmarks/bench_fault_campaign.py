@@ -12,10 +12,13 @@ import pytest
 from benchmarks.conftest import once
 from repro.experiments.fault_campaign import (
     check_gray_campaign,
+    check_partition_campaign,
     render_campaign,
     render_gray_campaign,
+    render_partition_campaign,
     run_campaign,
     run_gray_campaign,
+    run_partition_campaign,
 )
 from repro.util import summarize
 
@@ -64,3 +67,36 @@ def test_gray_failure_campaign(benchmark, save_artifact):
     benchmark.extra_info["gray_suspected"] = loss.suspected + flap.suspected
     benchmark.extra_info["gray_stale_belief_s"] = split.stale_leader_time
     benchmark.extra_info["gray_takeover_mean_s"] = summarize(split.detect).mean
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_partition_campaign(benchmark, save_artifact):
+    """Split-brain torture: quorum-gated regroup (DESIGN.md §15).
+
+    The gates mirror `python -m repro campaign --partition --check`:
+    zero same-epoch dual-leader intervals, zero minority-accepted
+    placement/checkpoint writes, every park paired with an unpark, and
+    pure latency inflation ridden out with no parks or takeovers.
+    """
+    results = once(benchmark, lambda: run_partition_campaign(injections=2, seed=0))
+    save_artifact("partition_campaign", render_partition_campaign(results))
+    assert check_partition_campaign(results) == []
+    for kind, r in results.items():
+        assert r.coverage == 1.0, kind
+        assert r.dual_leader_intervals == 0, kind
+        assert r.minority_placement_writes == 0, kind
+        assert r.minority_ckpt_writes == 0, kind
+    even, clean, latency = (
+        results[k] for k in ("even-split", "clean-split", "fabric-latency")
+    )
+    assert even.takeovers == 0  # tie-break keeps the p0-side leader
+    assert even.parks == even.unparks == 4  # both minority partitions, twice
+    assert clean.takeovers == 2  # princess side takes over, once per injection
+    assert latency.parks == 0 and latency.takeovers == 0
+    parks_total = sum(r.parks for r in results.values())
+    park_detect = [d for r in results.values() for d in r.detect]
+    benchmark.extra_info["partition_parks"] = parks_total
+    benchmark.extra_info["partition_park_mean_s"] = summarize(park_detect).mean
+    benchmark.extra_info["partition_takeovers"] = sum(
+        r.takeovers for r in results.values()
+    )

@@ -10,7 +10,10 @@ reproduce the paper without writing driver code:
     python -m repro ablations         # design-rationale ablations
     python -m repro report [--quick]  # full evaluation -> REPORT.md
     python -m repro serve [--check]   # serving-tier campaign (~1M requests)
+    python -m repro campaign          # random-phase fault campaign
+      [--gray|--partition] [--check]  #   gray failures / split-brain torture
     python -m repro query [SQL]       # relational query / view / AS OF time travel
+    python -m repro query --repl      # long-lived interactive query session
     python -m repro trace FILE        # span tree / histograms / critical path
     python -m repro demo              # boot + fault + recovery narration
 """

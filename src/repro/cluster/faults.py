@@ -53,10 +53,26 @@ class FaultInjector:
         self.sim = cluster.sim
         self.injected: list[InjectedFault] = []
         self.repaired: list[InjectedFault] = []
-        #: Optional open :class:`repro.sim.trace.Span`; while set, every
-        #: ``fault.injected`` / ``fault.repaired`` mark carries its span id
-        #: so harnesses can attribute faults to the scenario that drove them.
-        self.current_span = None
+        self._current_span = None
+
+    @property
+    def current_span(self):
+        """Optional open :class:`repro.sim.trace.Span`; while set, every
+        ``fault.injected`` / ``fault.repaired`` mark carries its span id
+        so harnesses can attribute faults to the scenario that drove them.
+
+        Setting it also mirrors the span id into ``trace.scenario_id``,
+        the ambient correlation slot protocol layers parent their own
+        spans on (e.g. ``gsd.regroup`` under the ``campaign.fault`` that
+        caused the split)."""
+        return self._current_span
+
+    @current_span.setter
+    def current_span(self, span) -> None:
+        self._current_span = span
+        self.sim.trace.scenario_id = (
+            span.span_id if span is not None and not span.closed else ""
+        )
 
     # -- immediate faults ----------------------------------------------------
     def kill_process(self, node_id: str, process_name: str, case: str = "") -> InjectedFault:
@@ -154,6 +170,37 @@ class FaultInjector:
         return self._record_repair(
             "degrade", node_id, network, case, extra={"direction": direction}
         )
+
+    def degrade_fabric(
+        self,
+        network: str,
+        *,
+        loss: float = 0.0,
+        latency_mult: float = 1.0,
+        case: str = "",
+    ) -> InjectedFault:
+        """Correlated fabric-wide gray degradation — one bad "switch"
+        profile applied to every link of the fabric at once.
+
+        ``loss=0`` with ``latency_mult>1`` is the pure latency-inflation
+        campaign (congested but lossless switch); any per-link profiles
+        stack on top."""
+        net = self.cluster.networks.get(network)
+        if net is None:
+            raise ClusterError(f"unknown network {network!r}")
+        net.degrade_fabric_quality(loss=loss, latency_mult=latency_mult)
+        return self._record(
+            "degrade_fabric", "*", network, case,
+            extra={"loss": loss, "latency_mult": latency_mult},
+        )
+
+    def restore_fabric_quality(self, network: str, case: str = "") -> InjectedFault:
+        """Remove a fabric-wide gray profile (pairs ``degrade_fabric``)."""
+        net = self.cluster.networks.get(network)
+        if net is None:
+            raise ClusterError(f"unknown network {network!r}")
+        net.restore_fabric_quality()
+        return self._record_repair("degrade_fabric", "*", network, case)
 
     def flap_link(
         self,

@@ -82,6 +82,10 @@ class Network:
         self._split: dict[str, int] | None = None
         #: Gray degradation per (node, "out"|"in"); absent = clean link.
         self._degraded: dict[tuple[str, str], LinkDegradation] = {}
+        #: Correlated fabric-wide gray profile (a lossy/slow switch): one
+        #: profile applied to *every* message on the fabric, on top of any
+        #: per-link degradation.  None = healthy switch.
+        self._fabric_profile: LinkDegradation | None = None
         self._rng = sim.rngs.stream(f"net.{self.name}")
         #: Per-(src, dst) FIFO clock: latest scheduled arrival on the flow.
         self._flow_clock: dict[tuple[str, str], float] = {}
@@ -153,6 +157,26 @@ class Network:
         """The active profile for one direction of a node's link, if any."""
         return self._degraded.get((node_id, direction))
 
+    def degrade_fabric_quality(
+        self, *, loss: float = 0.0, latency_mult: float = 1.0
+    ) -> None:
+        """Apply one gray profile to **every** link of the fabric at once —
+        the correlated "bad switch" failure a per-link model cannot
+        express.  ``loss=0`` with ``latency_mult>1`` models pure latency
+        inflation (congestion) with no message loss at all.
+        Re-degrading replaces the previous profile."""
+        self._fabric_profile = LinkDegradation(loss=loss, latency_mult=latency_mult)
+
+    def restore_fabric_quality(self) -> bool:
+        """Remove the fabric-wide gray profile; returns True if one existed."""
+        removed = self._fabric_profile is not None
+        self._fabric_profile = None
+        return removed
+
+    def fabric_degradation(self) -> LinkDegradation | None:
+        """The active fabric-wide profile, if any."""
+        return self._fabric_profile
+
     # -- sender-visible health --------------------------------------------
     def usable_from(self, node_id: str) -> bool:
         """Can ``node_id`` transmit on this fabric right now?
@@ -211,13 +235,14 @@ class Network:
             trace.count(f"net.{self.name}.drops")
             trace.mark("net.loss", network=self.name, src=msg.src_node, dst=msg.dst_node, mtype=msg.mtype)
             return False
-        # Gray degradation: sender's outbound profile and receiver's inbound
-        # profile drop independently (a message crossing two degraded links
-        # survives only if both let it through).
+        # Gray degradation: the fabric-wide profile (bad switch), sender's
+        # outbound profile, and receiver's inbound profile drop
+        # independently (a message crossing two degraded links survives
+        # only if both let it through).
         out = self._degraded.get((msg.src_node, "out"))
         inbound = self._degraded.get((msg.dst_node, "in"))
         latency_mult = 1.0
-        for profile in (out, inbound):
+        for profile in (self._fabric_profile, out, inbound):
             if profile is None:
                 continue
             if profile.loss > 0 and self._rng.random() < profile.loss:

@@ -21,6 +21,26 @@ faults to the conditions real clusters lose leaders to:
   takeover must happen, and after the heal the stale leader must fence
   and stand down — the campaign samples leadership continuously and the
   count of *same-epoch* dual-leader intervals must be zero.
+
+The **partition campaign** (``--partition``) is the split-brain torture
+matrix for the quorum-gated regroup protocol (DESIGN.md §15).  Every
+class splits (or degrades) the cluster along partition boundaries,
+samples leadership *and write acceptance* continuously, and enforces the
+two protocol invariants on every seeded schedule:
+
+1. zero same-epoch dual-leader intervals, and
+2. zero minority-accepted leadership placement writes, plus zero
+   minority-accepted ``gsd.state`` checkpoint commits once the bounded
+   regroup window has elapsed.
+
+Classes: ``clean-split`` (the leader's partition isolated 1-vs-3 — the
+majority takes over, the old leader parks), ``even-split`` (2-vs-2 — the
+MCS tie-breaker keeps exactly the low-partition side alive),
+``asym-inbound`` (a deaf leader: inbound loss only — it must park with
+no takeover), ``fabric-gray`` (correlated fabric-wide loss on every
+fabric at once), ``fabric-latency`` (fabric-wide latency inflation with
+zero loss — nothing may be evicted), and ``flap-split`` (the partition
+flaps faster than diagnosis completes — suspicion must ride it out).
 """
 
 from __future__ import annotations
@@ -468,6 +488,424 @@ def check_gray_campaign(results: dict[str, GrayCampaignResult]) -> list[str]:
     return problems
 
 
+# -- partition (split-brain) campaign ---------------------------------------
+
+#: Split-brain torture classes (``partition/<kind>`` in reports).
+PARTITION_CLASSES = (
+    "clean-split",     # leader's partition isolated 1-vs-3
+    "even-split",      # 2-vs-2: only the MCS tie-break side may act
+    "asym-inbound",    # deaf leader: inbound loss=1.0, outbound clean
+    "fabric-gray",     # correlated loss on every fabric at once
+    "fabric-latency",  # fabric-wide latency inflation, zero loss
+    "flap-split",      # partition flaps faster than diagnosis
+)
+
+#: Classes whose fault is a *sustained* split with a well-defined
+#: minority side — the checkpoint-commit invariant is enforced there.
+_SUSTAINED_SPLITS = ("clean-split", "even-split", "asym-inbound")
+
+
+@dataclass
+class PartitionCampaignResult:
+    """Outcome of one partition fault class.
+
+    The two hard invariants are ``dual_leader_intervals`` (same-epoch,
+    sampled continuously — split brain) and the ``minority_*`` write
+    counters (a parked side acting on state it must not own).  Everything
+    else is observability: parks/unparks pair up, refusals show the
+    parked side actually hit its write gates, and
+    ``correlated_regroups`` counts ``gsd.regroup`` census spans whose
+    parent is the campaign's own ``campaign.fault`` scenario span.
+    """
+
+    kind: str = ""
+    injected: int = 0
+    covered: int = 0
+    dual_leader_intervals: int = 0
+    stale_leader_time: float = 0.0
+    minority_placement_writes: int = 0
+    minority_ckpt_writes: int = 0
+    parks: int = 0
+    unparks: int = 0
+    write_refusals: int = 0
+    takeovers: int = 0
+    correlated_regroups: int = 0
+    detect: list[float] = field(default_factory=list)  # time to first park
+
+    @property
+    def coverage(self) -> float:
+        return self.covered / self.injected if self.injected else 0.0
+
+
+class _WriteSpies:
+    """Record every *accepted* leadership placement write and every
+    ``gsd.state.*`` checkpoint save reaching a checkpoint primary, with
+    the node holding the write — the campaign classifies each record by
+    split side.  Instruments one kernel instance (placement) plus the
+    checkpoint dispatch path (class-level, restored on exit)."""
+
+    def __init__(self, sim, kernel) -> None:
+        self.sim = sim
+        self.kernel = kernel
+        self.placements: list[tuple[float, str]] = []
+        self.ckpt_saves: list[tuple[float, str]] = []
+        self._orig_note = None
+        self._orig_dispatch = None
+
+    def __enter__(self) -> "_WriteSpies":
+        from repro.kernel import ports
+        from repro.kernel.checkpoint.service import CheckpointDaemon
+
+        orig_note = self.kernel.note_placement
+        self._orig_note = orig_note
+        spies = self
+
+        def note_placement(service, scope, node_id, epoch=None):
+            ok = orig_note(service, scope, node_id, epoch=epoch)
+            if ok and (service, scope) == ("metagroup", "leader"):
+                spies.placements.append((spies.sim.now, node_id))
+            return ok
+
+        self.kernel.note_placement = note_placement
+
+        orig_dispatch = CheckpointDaemon._dispatch
+        self._orig_dispatch = orig_dispatch
+
+        def dispatch(daemon, msg):
+            if (
+                daemon.sim is spies.sim
+                and msg.mtype == ports.CKPT_SAVE
+                and str(msg.payload.get("key", "")).startswith("gsd.state.")
+            ):
+                spies.ckpt_saves.append((daemon.sim.now, daemon.node_id))
+            return orig_dispatch(daemon, msg)
+
+        CheckpointDaemon._dispatch = dispatch
+        return self
+
+    def __exit__(self, *exc) -> None:
+        from repro.kernel.checkpoint.service import CheckpointDaemon
+
+        self.kernel.note_placement = self._orig_note
+        CheckpointDaemon._dispatch = self._orig_dispatch
+
+    def writes_in(
+        self, records: list[tuple[float, str]], nodes: set[str], start: float, end: float
+    ) -> int:
+        return sum(1 for t, node in records if start <= t <= end and node in nodes)
+
+
+def _side_nodes(cluster, partition_ids) -> set[str]:
+    """All nodes (server, backups, computes) of the given partitions."""
+    wanted = set(partition_ids)
+    nodes: set[str] = set()
+    for part in cluster.partitions:
+        if part.partition_id in wanted:
+            nodes.update(part.all_nodes)
+    return nodes
+
+
+def _gsds(kernel) -> list:
+    return [d for (svc, _), d in kernel._live.items() if svc == "gsd" and d.alive]
+
+
+def _settled(kernel, members: int) -> bool:
+    """Post-heal convergence: one leader claim, one view key everywhere,
+    every view full-size, nobody parked."""
+    gsds = _gsds(kernel)
+    if len(_leader_claims(kernel)) != 1:
+        return False
+    views = {d.metagroup.view.key for d in gsds if d.metagroup.view is not None}
+    return (
+        len(views) == 1
+        and all(
+            d.metagroup.view is not None and len(d.metagroup.view.members) == members
+            for d in gsds
+        )
+        and not any(d.metagroup.parked for d in gsds)
+    )
+
+
+def _parks_since(sim, t0: float, node: str | None = None) -> list:
+    return [
+        r for r in sim.trace.iter_records("quorum.lost")
+        if r.time > t0 and (node is None or r.get("node") == node)
+    ]
+
+
+def run_partition_class(
+    kind: str,
+    injections: int = 2,
+    seed: int = 0,
+    heartbeat_interval: float = 10.0,
+    spec: ClusterSpec | None = None,
+) -> PartitionCampaignResult:
+    """Run one partition fault class; see module docstring for scenarios."""
+    if kind not in PARTITION_CLASSES:
+        raise ValueError(
+            f"unknown partition class {kind!r}; expected one of {PARTITION_CLASSES}"
+        )
+    hb = heartbeat_interval
+    sim = Simulator(seed=seed, trace_capacity=None)
+    cluster = Cluster(sim, spec or ClusterSpec.build(partitions=4, computes=2))
+    kernel = PhoenixKernel(cluster, timings=KernelTimings(heartbeat_interval=hb))
+    kernel.boot()
+    injector = FaultInjector(cluster)
+    rng = sim.rngs.stream(f"campaign.partition.{kind}")
+    networks = sorted(cluster.networks)
+    parts = [p.partition_id for p in cluster.partitions]
+    all_nodes = set(cluster.nodes)
+    result = PartitionCampaignResult(kind=kind)
+    sampler = _LeaderSampler(sim, kernel, result, slice_s=0.25 * hb)
+    #: A true minority needs detection (≈2 beats) + diagnosis + the report
+    #: watchdog + one census round to park; after this bound it must not
+    #: commit another checkpoint write until the heal.
+    park_grace = 5.0 * hb
+    fault_span_ids: set[str] = set()
+
+    with _WriteSpies(sim, kernel) as spies:
+        sim.run(until=2.0 * hb)
+        for i in range(injections):
+            sim.run(until=sim.now + float(rng.uniform(0.2, 1.2)) * hb)
+            case = f"s{i}"
+            t0 = sim.now
+            claims = _leader_claims(kernel)
+            if len(claims) != 1:
+                continue
+            leader_node, leader_epoch = claims[0]
+            leader_part = cluster.node(leader_node).partition_id
+            span = sim.trace.span("campaign.fault", partition=kind, case=case)
+            injector.current_span = span
+            fault_span_ids.add(span.span_id)
+            result.injected += 1
+            drops0 = sum(sim.trace.counter(f"net.{n}.degraded_drops") for n in networks)
+            covered = False
+
+            if kind in ("clean-split", "even-split"):
+                minority_parts = parts[2:] if kind == "even-split" else [leader_part]
+                minority = _side_nodes(cluster, minority_parts)
+                groups = [minority, all_nodes - minority]
+                for net in networks:
+                    injector.split_network(net, groups, case=case)
+                sampler.run_until(sim.now + 10.0 * hb)
+                heal_t = sim.now
+                for net in networks:
+                    injector.heal_network(net, case=case)
+                span.end()
+                injector.current_span = None
+                sampler.run_until(sim.now + 10.0 * hb)
+                parks = _parks_since(sim, t0)
+                takeovers = [
+                    r for r in sim.trace.iter_records("leader.takeover") if r.time > t0
+                ]
+                result.minority_placement_writes += spies.writes_in(
+                    spies.placements, minority, t0, heal_t
+                )
+                result.minority_ckpt_writes += spies.writes_in(
+                    spies.ckpt_saves, minority, t0 + park_grace, heal_t
+                )
+                if parks:
+                    result.detect.append(parks[0].time - t0)
+                if kind == "clean-split":
+                    # Majority takes over at epoch+1; the cut-off old
+                    # leader parks, then rejoins as a plain member.
+                    covered = (
+                        bool(_parks_since(sim, t0, node=leader_node))
+                        and len(takeovers) == 1
+                        and takeovers[0].get("epoch") == leader_epoch + 1
+                        and _settled(kernel, len(parts))
+                    )
+                else:
+                    # Tie-break: the low-partition side keeps the leader
+                    # it already had; the other side parks, no takeover.
+                    minority_parked = {
+                        r.get("node")
+                        for r in parks
+                        if cluster.node(r.get("node")).partition_id in minority_parts
+                    }
+                    final = _leader_claims(kernel)
+                    covered = (
+                        len(minority_parked) == len(minority_parts)
+                        and not takeovers
+                        and _settled(kernel, len(parts))
+                        and final and final[0][0] == leader_node
+                    )
+
+            elif kind == "asym-inbound":
+                # The leader goes deaf: everything it sends still lands,
+                # nothing it is sent arrives.  Peers keep hearing a live
+                # leader so nobody may take over; the leader's own census
+                # gets no acks, so it must park until the link heals.
+                minority = _side_nodes(cluster, [leader_part])
+                for net in networks:
+                    injector.degrade_link(
+                        leader_node, net, loss=1.0, direction="in", case=case
+                    )
+                sampler.run_until(sim.now + 10.0 * hb)
+                heal_t = sim.now
+                for net in networks:
+                    injector.restore_link(leader_node, net, direction="in", case=case)
+                span.end()
+                injector.current_span = None
+                sampler.run_until(sim.now + 10.0 * hb)
+                parks = _parks_since(sim, t0, node=leader_node)
+                takeovers = [
+                    r for r in sim.trace.iter_records("leader.takeover") if r.time > t0
+                ]
+                result.minority_placement_writes += spies.writes_in(
+                    spies.placements, minority, t0, heal_t
+                )
+                result.minority_ckpt_writes += spies.writes_in(
+                    spies.ckpt_saves, minority, t0 + park_grace, heal_t
+                )
+                if parks:
+                    result.detect.append(parks[0].time - t0)
+                final = _leader_claims(kernel)
+                covered = (
+                    bool(parks)
+                    and not takeovers
+                    and _settled(kernel, len(parts))
+                    and final and final[0][0] == leader_node
+                )
+
+            elif kind in ("fabric-gray", "fabric-latency"):
+                loss = 0.15 if kind == "fabric-gray" else 0.0
+                mult = 1.0 if kind == "fabric-gray" else 3.0
+                for net in networks:
+                    injector.degrade_fabric(
+                        net, loss=loss, latency_mult=mult, case=case
+                    )
+                sampler.run_until(sim.now + 8.0 * hb)
+                for net in networks:
+                    injector.restore_fabric_quality(net, case=case)
+                span.end()
+                injector.current_span = None
+                sampler.run_until(sim.now + 8.0 * hb)
+                drops = sum(
+                    sim.trace.counter(f"net.{n}.degraded_drops") for n in networks
+                )
+                takeovers = sum(
+                    1 for r in sim.trace.iter_records("leader.takeover") if r.time > t0
+                )
+                if kind == "fabric-gray":
+                    covered = drops > drops0 and _settled(kernel, len(parts))
+                else:
+                    # Pure latency inflation: nothing is lost, so nothing
+                    # may be detected, evicted, parked, or taken over.
+                    covered = (
+                        drops == drops0
+                        and not _parks_since(sim, t0)
+                        and takeovers == 0
+                        and _settled(kernel, len(parts))
+                    )
+
+            else:  # flap-split
+                minority = _side_nodes(cluster, parts[2:])
+                groups = [minority, all_nodes - minority]
+                for cycle in range(3):
+                    for net in networks:
+                        injector.split_network(net, groups, case=f"{case}.{cycle}")
+                    sampler.run_until(sim.now + 0.5 * hb)
+                    heal_t = sim.now
+                    for net in networks:
+                        injector.heal_network(net, case=f"{case}.{cycle}")
+                    sampler.run_until(sim.now + 1.5 * hb)
+                span.end()
+                injector.current_span = None
+                sampler.run_until(sim.now + 8.0 * hb)
+                result.minority_placement_writes += spies.writes_in(
+                    spies.placements, minority, t0, heal_t
+                )
+                covered = _settled(kernel, len(parts))
+
+            if covered:
+                result.covered += 1
+
+    result.parks = sum(1 for _ in sim.trace.iter_records("quorum.lost"))
+    result.unparks = sum(1 for _ in sim.trace.iter_records("quorum.regained"))
+    result.write_refusals = sum(
+        1 for _ in sim.trace.iter_records("regroup.write_refused")
+    )
+    result.takeovers = sum(1 for _ in sim.trace.iter_records("leader.takeover"))
+    result.correlated_regroups = sum(
+        1 for r in sim.trace.iter_records("gsd.regroup")
+        if r.get("duration") is not None and r.get("parent_id") in fault_span_ids
+    )
+    return result
+
+
+def run_partition_campaign(
+    injections: int = 2, seed: int = 0
+) -> dict[str, PartitionCampaignResult]:
+    """One PartitionCampaignResult per class in PARTITION_CLASSES."""
+    return {
+        kind: run_partition_class(kind, injections=injections, seed=seed)
+        for kind in PARTITION_CLASSES
+    }
+
+
+def render_partition_campaign(results: dict[str, PartitionCampaignResult]) -> str:
+    """Aggregate table: invariants + regroup observability per class."""
+    rows = []
+    for kind, r in sorted(results.items()):
+        park = "-"
+        if r.detect:
+            d = summarize(r.detect)
+            park = f"{fmt_time(d.mean)} (max {fmt_time(d.max)})"
+        rows.append([
+            f"partition/{kind}",
+            r.injected,
+            f"{100 * r.coverage:.0f}%",
+            r.dual_leader_intervals,
+            r.minority_placement_writes + r.minority_ckpt_writes,
+            f"{r.parks}/{r.unparks}",
+            r.write_refusals,
+            r.correlated_regroups,
+            park,
+        ])
+    return format_table(
+        ["partition class", "injected", "coverage", "dual-leader", "minority-writes",
+         "park/unpark", "refused", "regroups", "park mean (max)"],
+        rows,
+        title="Partition campaign — quorum-gated regroup torture (10 s heartbeat)",
+    )
+
+
+def check_partition_campaign(results: dict[str, PartitionCampaignResult]) -> list[str]:
+    """Acceptance gates for CI: returns a list of violations (empty = pass)."""
+    problems = []
+    for kind, r in sorted(results.items()):
+        if r.dual_leader_intervals:
+            problems.append(
+                f"partition/{kind}: {r.dual_leader_intervals} same-epoch "
+                f"dual-leader intervals"
+            )
+        if r.minority_placement_writes:
+            problems.append(
+                f"partition/{kind}: {r.minority_placement_writes} minority-accepted "
+                f"leadership placement writes"
+            )
+        if r.minority_ckpt_writes:
+            problems.append(
+                f"partition/{kind}: {r.minority_ckpt_writes} minority-accepted "
+                f"gsd.state checkpoint writes after the regroup window"
+            )
+        if r.coverage < 1.0:
+            problems.append(f"partition/{kind}: coverage {100 * r.coverage:.0f}% < 100%")
+        if kind in _SUSTAINED_SPLITS and not r.parks:
+            problems.append(f"partition/{kind}: no quorum.lost park observed")
+        if kind in _SUSTAINED_SPLITS and r.parks != r.unparks:
+            problems.append(
+                f"partition/{kind}: {r.parks} parks vs {r.unparks} unparks (leak)"
+            )
+        if kind == "fabric-latency" and (r.parks or r.takeovers):
+            problems.append(
+                f"partition/{kind}: lossless latency inflation caused "
+                f"{r.parks} parks / {r.takeovers} takeovers"
+            )
+    return problems
+
+
 def run_campaign(injections: int = 8, seed: int = 0) -> dict[tuple[str, str], CampaignResult]:
     """One CampaignResult per fault class in CLASSES."""
     return {
@@ -506,20 +944,45 @@ def render_campaign(results: dict[tuple[str, str], CampaignResult]) -> str:
 def main(argv: list[str] | None = None) -> None:
     """CLI: run the campaign and print the table."""
     parser = argparse.ArgumentParser(description="Random-phase fault campaign")
-    parser.add_argument("--injections", type=int, default=8)
+    parser.add_argument("--injections", type=int, default=None,
+                        help="injections per class (default: 8 fail-stop, "
+                             "4 gray, 2 partition)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--gray", action="store_true",
         help="run the gray-failure classes (loss/flap/asym-split) instead of fail-stop",
     )
     parser.add_argument(
+        "--partition", action="store_true",
+        help="run the split-brain torture classes (clean/even/asym splits, "
+             "fabric-wide gray and latency, flapping partitions)",
+    )
+    parser.add_argument(
         "--check", action="store_true",
-        help="with --gray: exit nonzero on dual-leader intervals, spurious "
-             "failovers, or incomplete flap/split coverage (CI gate)",
+        help="with --gray or --partition: exit nonzero on any invariant "
+             "violation — same-epoch dual leaders, minority-accepted "
+             "writes, spurious failovers, incomplete coverage (CI gate)",
     )
     args = parser.parse_args(argv)
+    if args.partition:
+        results = run_partition_campaign(
+            injections=args.injections if args.injections is not None else 2,
+            seed=args.seed,
+        )
+        print(render_partition_campaign(results))
+        if args.check:
+            problems = check_partition_campaign(results)
+            for problem in problems:
+                print(f"FAIL: {problem}")
+            if problems:
+                raise SystemExit(1)
+            print("partition campaign gates: OK")
+        return
     if args.gray:
-        results = run_gray_campaign(injections=args.injections, seed=args.seed)
+        results = run_gray_campaign(
+            injections=args.injections if args.injections is not None else 4,
+            seed=args.seed,
+        )
         print(render_gray_campaign(results))
         if args.check:
             problems = check_gray_campaign(results)
@@ -529,7 +992,10 @@ def main(argv: list[str] | None = None) -> None:
                 raise SystemExit(1)
             print("gray campaign gates: OK")
         return
-    print(render_campaign(run_campaign(injections=args.injections, seed=args.seed)))
+    print(render_campaign(run_campaign(
+        injections=args.injections if args.injections is not None else 8,
+        seed=args.seed,
+    )))
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@ bulletin, then runs one SQL-ish query (see
     python -m repro query "select state, count(*) as n from nodes group by state"
     python -m repro query --view "select _key, cpu_pct from nodes order by cpu_pct desc limit 5"
     python -m repro query --as-of -5 "select count(*) as n from jobs"
+    python -m repro query --repl                 # long-lived interactive session
 
 ``--view`` registers the query as a materialized view first and reads it
 back (exercising incremental maintenance instead of the full scan).
@@ -23,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import math
+import sys
 from dataclasses import replace
 from typing import Any
 
@@ -187,6 +189,130 @@ def run_check(seed: int = 7) -> list[str]:
     return problems
 
 
+REPL_HELP = """\
+Enter a query per line (select ... from nodes|services|health|jobs ...).
+Meta commands:
+  \\run [SECONDS]   advance virtual time (default 10 s) so the bulletin evolves
+  \\t               print the current virtual time
+  \\view NAME SQL   register SQL as materialized view NAME
+  \\read NAME       read a registered view back
+  \\h               this help
+  \\q               quit (also: quit, exit, EOF)
+Time travel: append "as of T" to a query (T <= 0 means seconds before now);
+the first as-of per table registers a bootstrap view, so history starts then."""
+
+
+def repl(
+    in_stream=None,
+    out_stream=None,
+    *,
+    partitions: int = 3,
+    computes: int = 4,
+    seed: int = 7,
+    warm: float = 30.0,
+) -> int:
+    """Long-lived interactive query session against one booted system.
+
+    Unlike :func:`run_query`, which boots a fresh cluster per invocation,
+    the REPL boots once and keeps the simulation alive between queries —
+    ``\\run`` advances virtual time, so consecutive queries (and ``AS
+    OF`` reads against the now-populated history) observe one evolving
+    bulletin.  Streams default to stdin/stdout and are injectable for
+    tests.  Returns a process exit code.
+    """
+    in_stream = in_stream if in_stream is not None else sys.stdin
+    out_stream = out_stream if out_stream is not None else sys.stdout
+
+    def say(text: str) -> None:
+        print(text, file=out_stream)
+
+    sim, kernel, client = boot_system(
+        partitions=partitions, computes=computes, seed=seed, warm=warm
+    )
+    say(
+        f"bulletin repl — {kernel.cluster.size} nodes / "
+        f"{len(kernel.cluster.partitions)} partitions, t={sim.now:.1f}s "
+        "(\\h for help, \\q to quit)"
+    )
+    bootstrapped: set[str] = set()
+    while True:
+        out_stream.write("query> ")
+        out_stream.flush()
+        line = in_stream.readline()
+        if not line:
+            say("")
+            break
+        line = line.strip()
+        if not line:
+            continue
+        if line in ("\\q", "quit", "exit"):
+            break
+        if line in ("\\h", "help"):
+            say(REPL_HELP)
+            continue
+        if line == "\\t":
+            say(f"t={sim.now:.1f}s")
+            continue
+        if line.split()[0] == "\\run":
+            parts = line.split()
+            try:
+                delta = float(parts[1]) if len(parts) > 1 else 10.0
+            except ValueError:
+                say("usage: \\run [seconds]")
+                continue
+            sim.run(until=sim.now + max(0.0, delta))
+            say(f"t={sim.now:.1f}s")
+            continue
+        if line.split()[0] in ("\\view", "\\read"):
+            parts = line.split(None, 2)
+            try:
+                if parts[0] == "\\view":
+                    if len(parts) < 3:
+                        raise ValueError("usage: \\view NAME SQL")
+                    reply = drive(sim, client.register_view(parts[1], parse(parts[2])))
+                    if not (reply and reply.get("ok")):
+                        raise ValueError(f"view registration failed: {reply!r}")
+                    say(f"view {parts[1]} registered")
+                else:
+                    if len(parts) < 2:
+                        raise ValueError("usage: \\read NAME")
+                    reply = drive(sim, client.read_view(parts[1]))
+                    if reply is None:
+                        raise ValueError("view read timed out")
+                    rows = reply.get("rows", [])
+                    say(render_rows(Query(table=parts[1]), rows,
+                                    title=f"{parts[1]}  [view, {len(rows)} rows]"))
+            except Exception as exc:  # noqa: BLE001 - REPL surfaces, never dies
+                say(f"error: {exc}")
+            continue
+        try:
+            query = parse(line)
+            if query.as_of is not None:
+                if query.as_of <= 0:
+                    query = replace(query, as_of=sim.now + query.as_of)
+                if query.table not in bootstrapped:
+                    # History only accumulates while a view keeps delta
+                    # maintenance (and thus checkpointing) on for the
+                    # table — bootstrap one on first as-of use.
+                    drive(sim, client.register_view(
+                        f"{CLI_VIEW}.asof.{query.table}", Query(table=query.table)
+                    ))
+                    sim.run(until=sim.now + 5.0)
+                    bootstrapped.add(query.table)
+                    say(f"(as-of history for {query.table!r} starts at "
+                        f"t={sim.now:.1f}s)")
+                query = replace(query, as_of=min(query.as_of, sim.now))
+            reply = drive(sim, client.exec_query(query))
+            if reply is None:
+                raise RuntimeError("query timed out")
+            rows = reply.get("rows", [])
+            source = "as-of" if query.as_of is not None else "scan"
+            say(render_rows(query, rows, title=f"[{source}, {len(rows)} rows]"))
+        except Exception as exc:  # noqa: BLE001 - REPL surfaces, never dies
+            say(f"error: {exc}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; see the module docstring for usage."""
     parser = argparse.ArgumentParser(
@@ -209,7 +335,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="virtual seconds to run before querying")
     parser.add_argument("--check", action="store_true",
                         help="CI smoke: equivalence + time travel, exit nonzero on failure")
+    parser.add_argument("--repl", action="store_true",
+                        help="interactive session against one long-lived booted system")
     args = parser.parse_args(argv)
+
+    if args.repl:
+        return repl(
+            partitions=args.partitions, computes=args.computes,
+            seed=args.seed, warm=args.warm,
+        )
 
     if args.check:
         problems = run_check(seed=args.seed)

@@ -30,7 +30,9 @@ class CheckpointDaemon(ServiceDaemon):
 
     def __init__(self, kernel, node_id: str) -> None:
         super().__init__(kernel, node_id)
-        self.store = CheckpointStore()
+        self.store = CheckpointStore(
+            retention_window=self.timings.ckpt_retention_window
+        )
         #: Per-key FIFO of pending saves: commits must follow arrival order,
         #: or a small (cheaper-to-write) stale save can overtake and clobber
         #: a larger fresh one while both pay the storage commit delay.
@@ -133,7 +135,9 @@ class CheckpointReplicaDaemon(ServiceDaemon):
 
     def __init__(self, kernel, node_id: str) -> None:
         super().__init__(kernel, node_id)
-        self.store = CheckpointStore()
+        self.store = CheckpointStore(
+            retention_window=self.timings.ckpt_retention_window
+        )
 
     def on_start(self) -> None:
         self.bind(ports.CKPT_REPLICA, self._dispatch)

@@ -32,10 +32,21 @@ class CheckpointStore:
     after saving, exactly like serializing to disk would isolate it).
     """
 
-    def __init__(self, history: int = 4) -> None:
+    def __init__(self, history: int = 4, retention_window: float | None = None) -> None:
+        """``history`` caps retained versions per key (default 4 — the
+        legacy bound that also bounds bulletin ``AS OF`` reach).  A
+        ``retention_window`` (seconds) replaces the count cap with a
+        time-based policy: every version younger than the window is kept
+        (plus always the latest), so time travel reaches the whole
+        configured span back regardless of save rate."""
         if history < 1:
             raise CheckpointError("history depth must be >= 1")
+        if retention_window is not None and retention_window <= 0:
+            raise CheckpointError("retention_window must be positive (or None)")
         self.history = history
+        self.retention_window = retention_window
+        maxlen = None if retention_window is not None else history
+        self._maxlen = maxlen
         self._entries: dict[str, deque[CheckpointEntry]] = {}
 
     def _latest(self, key: str) -> CheckpointEntry | None:
@@ -58,11 +69,17 @@ class CheckpointStore:
                 f"stale write for {key!r}: version {version} < {current.version}"
             )
         entry = CheckpointEntry(key=key, data=copy.deepcopy(data), version=version, saved_at=now)
-        versions = self._entries.setdefault(key, deque(maxlen=self.history))
+        versions = self._entries.setdefault(key, deque(maxlen=self._maxlen))
         if current is not None and version == current.version:
             versions[-1] = entry  # idempotent re-write of the same version
         else:
             versions.append(entry)
+        if self.retention_window is not None:
+            # Time-based retention: age out versions older than the
+            # window, always keeping the latest.
+            horizon = now - self.retention_window
+            while len(versions) > 1 and versions[0].saved_at < horizon:
+                versions.popleft()
         return version
 
     def load(

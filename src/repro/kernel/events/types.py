@@ -20,6 +20,11 @@ SERVICE_RECOVERY = "service.recovery"
 MEMBER_JOINED = "member.joined"
 MEMBER_LEFT = "member.left"
 LEADER_CHANGED = "leader.changed"
+#: Quorum-gated regroup (DESIGN.md §15): a meta-group member lost sight
+#: of a quorum of configured partitions and parked / regained it and
+#: resumed.
+QUORUM_LOST = "quorum.lost"
+QUORUM_REGAINED = "quorum.regained"
 APP_STARTED = "app.started"
 APP_EXITED = "app.exited"
 APP_FAILED = "app.failed"
@@ -38,6 +43,8 @@ ALL_TYPES = (
     MEMBER_JOINED,
     MEMBER_LEFT,
     LEADER_CHANGED,
+    QUORUM_LOST,
+    QUORUM_REGAINED,
     APP_STARTED,
     APP_EXITED,
     APP_FAILED,

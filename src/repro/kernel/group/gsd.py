@@ -59,6 +59,8 @@ class GSDDaemon(ServiceDaemon):
         )
         self._svc_recovering: set[str] = set()
         self._local_nics_ok: dict[str, bool] | None = None
+        #: Node-state changes seen while parked await a post-heal flush.
+        self._node_state_dirty = False
 
     def managed_services(self) -> tuple[str, ...]:
         """Kernel service group plus user services registered for this
@@ -181,6 +183,12 @@ class GSDDaemon(ServiceDaemon):
         if msg.mtype == ports.GSD_MEMBER_FAILED:
             self.metagroup.on_member_failed(msg)
             return None
+        if msg.mtype == ports.GSD_REGROUP_PROBE:
+            self.metagroup.on_regroup_probe(msg)
+            return None
+        if msg.mtype == ports.GSD_REGROUP_ACK:
+            self.metagroup.on_regroup_ack(msg)
+            return None
         if msg.mtype == ports.GSD_STATUS:
             view = self.metagroup.view
             return {
@@ -191,6 +199,7 @@ class GSDDaemon(ServiceDaemon):
                 "epoch": view.epoch if view else None,
                 "members": [list(m) for m in view.members] if view else [],
                 "is_leader": self.metagroup.is_leader,
+                "parked": self.metagroup.parked,
             }
         self.sim.trace.mark("gsd.unknown_mtype", mtype=msg.mtype)
         return None
@@ -394,13 +403,39 @@ class GSDDaemon(ServiceDaemon):
 
     def _set_node_state(self, node: str, state: str) -> None:
         self.node_state[node] = state
+        if self.metagroup.parked:
+            # Minority refusal (DESIGN.md §15): keep the in-memory belief,
+            # defer the checkpoint commit and bulletin export until quorum
+            # returns — a parked member must not write durable state.
+            self._node_state_dirty = True
+            self.sim.trace.mark(
+                "regroup.write_refused", node=self.node_id, kind="node_state",
+                subject=node, state=state,
+            )
+            return
+        self._commit_node_state()
+        self._export_node_state(node, state)
+
+    def _commit_node_state(self) -> None:
         ckpt_node = self.kernel.placement.get(("ckpt", self.partition_id))
         if ckpt_node is not None:
             self.send(
                 ckpt_node, ports.CKPT, ports.CKPT_SAVE,
                 {"key": self._ckpt_key(), "data": {"node_state": dict(self.node_state)}},
             )
-        self._export_node_state(node, state)
+
+    def on_unpark(self) -> None:
+        """Quorum regained: flush writes deferred while parked and rebuild
+        whatever this side hosted (service group, checkpoint replica)."""
+        if self._node_state_dirty:
+            self._node_state_dirty = False
+            self._commit_node_state()
+            self._export_all_node_state()
+        self.spawn(self._rebuild_after_park(), name=f"{self.node_id}/gsd.unpark")
+
+    def _rebuild_after_park(self):
+        yield from self._ensure_services()
+        yield from self._ensure_ckpt_replica()
 
     def _export_node_state(self, node: str, state: str) -> None:
         db_node = self.kernel.placement.get(("db", self.partition_id))

@@ -30,6 +30,30 @@ GSD was migrated while it was unreachable-but-alive) stands down: it
 stops itself and any co-located service group members whose placement
 moved — the post-heal reconciliation step that guarantees a heal can
 never leave two writers.
+
+Quorum-gated regroup (MCS-style, DESIGN.md §15): fencing reconciles a
+split *after* the heal; the regroup protocol keeps the minority side
+from acting *during* it.  Before a member acts on a failure that would
+shrink its live view to half or less of the **configured** partition
+count, it runs a census round — ``GSD_REGROUP_PROBE`` to every
+configured partition's GSD over all fabrics, counting distinct
+partitions that ack within ``regroup_timeout``:
+
+* strict majority reachable → proceed (evict / take over) as usual;
+* exact half reachable → the MCS tie-breaker decides: only the side
+  holding the lowest configured partition id survives, so a 2-vs-2
+  split converges to exactly one leader;
+* minority → **park**: refuse view broadcasts, leadership placement
+  writes, and ``gsd.state`` checkpoint commits (each refusal marked
+  ``regroup.write_refused``), keep ring beats flowing so the group can
+  re-form around us, and re-probe every ``regroup_heal_interval`` until
+  the partition heals — then rejoin through the existing epoch-fenced
+  reconciliation (including re-ensuring the service group and the
+  checkpoint replica the minority hosted).
+
+Census acks carry the responder's view, so the first post-heal round
+doubles as anti-entropy.  ``quorum_demotion=False`` restores the
+pre-quorum behavior (demote only when the view empties entirely).
 """
 
 from __future__ import annotations
@@ -136,6 +160,16 @@ class MetaGroup:
         #: asymmetric partition, so it probes for the surviving group
         #: instead of claiming leadership.
         self.demoted = False
+        #: Quorum-gated regroup state (DESIGN.md §15).  ``parked`` is the
+        #: minority-side refusal state; ``_regrouping`` serializes census
+        #: rounds; the ``_round_*`` slots collect the current round's acks.
+        self.parked = False
+        self._regrouping = False
+        self._heal_looping = False
+        self._round_seq = 0
+        self._round_id = 0
+        self._round_acks: dict[str, bool] = {}
+        self._round_best_view: View | None = None
 
     # -- identity helpers --------------------------------------------------
     @property
@@ -148,6 +182,7 @@ class MetaGroup:
             self.view is not None
             and self.view.leader()[1] == self.me
             and not self.demoted
+            and not self.parked
         )
 
     @property
@@ -163,6 +198,250 @@ class MetaGroup:
         if self.view is None or self.me not in self._ring or len(self._ring) < 2:
             return None
         return self._ring.predecessor(self.me)
+
+    # -- quorum-gated regroup (DESIGN.md §15) -----------------------------
+    def quorum_enabled(self) -> bool:
+        return self.gsd.timings.quorum_demotion and len(self.gsd.cluster.partitions) > 1
+
+    def tie_break_partition(self) -> str:
+        """The MCS tie-breaker: on an exact-half split, only the side
+        holding the lowest configured partition id keeps quorum."""
+        return min(p.partition_id for p in self.gsd.cluster.partitions)
+
+    def quorum_met(self, live_partitions) -> bool:
+        """MCS quorum rule over the *configured* partition count.
+
+        Strict majority wins outright; the exact half is decided by the
+        deterministic tie-breaker so two halves can never both claim it.
+        A true minority (including the tie-breaker side being dead) has
+        no quorum — parking is the correct answer even when the missing
+        members are really gone, because the two cases are
+        indistinguishable from inside.
+        """
+        n = len(self.gsd.cluster.partitions)
+        live = set(live_partitions)
+        if 2 * len(live) > n:
+            return True
+        if 2 * len(live) < n:
+            return False
+        return self.tie_break_partition() in live
+
+    def _view_quorate(self, view: View) -> bool:
+        return self.quorum_met(part for part, _ in view.members)
+
+    def _probe_targets(self, exclude: set[str]) -> dict[str, set[str]]:
+        """Candidate GSD hosts per remote partition: the kernel's current
+        placement plus our view's member (they differ across a split)."""
+        targets: dict[str, set[str]] = {}
+        for part in self.gsd.cluster.partitions:
+            pid = part.partition_id
+            if pid == self.gsd.partition_id:
+                continue
+            nodes: set[str] = set()
+            placed = self.gsd.kernel.placement.get(("gsd", pid))
+            if placed is not None:
+                nodes.add(placed)
+            if self.view is not None:
+                member = self.view.node_for(pid)
+                if member is not None:
+                    nodes.add(member)
+            nodes -= exclude
+            nodes.discard(self.me)
+            if nodes:
+                targets[pid] = nodes
+        return targets
+
+    def _regroup_round(self, reason: str, exclude: set[str] | None = None,
+                       initiate: bool = True):
+        """One census round: probe every configured partition's GSD over
+        all fabrics and collect distinct-partition acks for
+        ``regroup_timeout``.  Returns ``(live_partitions, best_view)``
+        where ``best_view`` is the newest view any responder carried
+        (the anti-entropy payload a healed minority rejoins through)."""
+        exclude = set(exclude or ())
+        self._round_seq += 1
+        self._round_id = round_id = self._round_seq
+        self._round_acks = {self.gsd.partition_id: True}
+        self._round_best_view = self.view
+        span = self.sim.trace.span(
+            "gsd.regroup", parent=self.sim.trace.scenario_id or None,
+            node=self.me, partition=self.gsd.partition_id, reason=reason,
+        )
+        span.mark(
+            "regroup.probe", node=self.me, partition=self.gsd.partition_id,
+            round=round_id, reason=reason,
+        )
+        payload = {
+            "node": self.me,
+            "partition": self.gsd.partition_id,
+            "round": round_id,
+            "initiate": initiate,
+        }
+        for nodes in self._probe_targets(exclude).values():
+            for node in nodes:
+                self.gsd.send_all_networks(node, ports.GSD, ports.GSD_REGROUP_PROBE, payload)
+        yield self.gsd.timings.regroup_period
+        self._round_id = 0  # stop collecting
+        live = set(self._round_acks)
+        best = self._round_best_view
+        span.end(live=len(live), quorum=self.quorum_met(live))
+        return live, best
+
+    def on_regroup_probe(self, msg: Message) -> None:
+        """Any live GSD answers a census probe — parked members included
+        (quorum is about connectivity, not state), view-less restarted
+        GSDs included (their ack is what lets a parked survivor count a
+        repaired partition and resume recovery)."""
+        prober = msg.payload.get("node")
+        if prober is None or prober == self.me:
+            return
+        ack = {
+            "node": self.me,
+            "partition": self.gsd.partition_id,
+            "round": msg.payload.get("round"),
+            "parked": self.parked,
+        }
+        if self.view is not None:
+            ack["view"] = self.view.to_payload()
+        self.gsd.send_all_networks(prober, ports.GSD, ports.GSD_REGROUP_ACK, ack)
+        if msg.payload.get("initiate") and not self.parked:
+            # Cascade assessment: a member opening a census suspects a
+            # split; peers on its side must discover it too (they may sit
+            # behind a live predecessor and never miss a beat).  Cascaded
+            # rounds probe with ``initiate=False``, bounding the depth.
+            self.assess_quorum("cascade", initiate=False)
+
+    def on_regroup_ack(self, msg: Message) -> None:
+        if not self._round_id or msg.payload.get("round") != self._round_id:
+            return
+        self._round_acks[msg.payload["partition"]] = True
+        view_payload = msg.payload.get("view")
+        if view_payload is not None:
+            theirs = View.from_payload(view_payload)
+            if self._round_best_view is None or theirs.key > self._round_best_view.key:
+                self._round_best_view = theirs
+
+    def assess_quorum(self, reason: str, initiate: bool = True) -> None:
+        """Kick off an asynchronous census (no-op if one is running,
+        we're parked/standing down, or quorum gating is off)."""
+        if (
+            not self.quorum_enabled()
+            or self._regrouping
+            or self.parked
+            or self._standing_down
+            or not self.gsd.alive
+        ):
+            return
+        self.gsd.spawn(self._assess(reason, initiate), name=f"{self.me}/mg.regroup")
+
+    def _assess(self, reason: str, initiate: bool):
+        if self._regrouping or self.parked or not self.gsd.alive:
+            return
+        self._regrouping = True
+        try:
+            live, _best = yield from self._regroup_round(reason, initiate=initiate)
+        finally:
+            self._regrouping = False
+        if not self.quorum_met(live):
+            self._park(reason, live)
+
+    def _park(self, reason: str, live) -> None:
+        """Enter the minority refusal state: no view broadcasts, no
+        leadership writes, no ``gsd.state`` checkpoint commits.  Ring
+        beats keep flowing (a restarted leader re-forms the group from
+        a parked member's beats) and a heal loop keeps probing."""
+        if self.parked or not self.quorum_enabled():
+            return
+        self.parked = True
+        view = self.view
+        self.sim.trace.mark(
+            "quorum.lost", node=self.me, partition=self.gsd.partition_id,
+            reason=reason, live=tuple(sorted(live)),
+            epoch=view.epoch if view else None,
+        )
+        self.gsd.publish(
+            ev.QUORUM_LOST,
+            {
+                "node": self.me,
+                "partition": self.gsd.partition_id,
+                "reason": reason,
+                "live": sorted(live),
+            },
+        )
+        # Stop reacting to ring silence: every cross-side predecessor
+        # would re-enter diagnosis forever.  WD monitoring of our own
+        # partition continues (splits are cross-partition; local repair
+        # stays our job) with its bulletin/ckpt exports deferred.
+        for subject in self.monitor.subjects():
+            self.monitor.forget(subject)
+        if not self._heal_looping:
+            self._heal_looping = True
+            self.gsd.spawn(self._heal_loop(), name=f"{self.me}/mg.heal")
+
+    def _unpark(self, reason: str) -> None:
+        if not self.parked:
+            return
+        self.parked = False
+        view = self.view
+        self.sim.trace.mark(
+            "quorum.regained", node=self.me, partition=self.gsd.partition_id,
+            reason=reason, epoch=view.epoch if view else None,
+        )
+        self.gsd.publish(
+            ev.QUORUM_REGAINED,
+            {"node": self.me, "partition": self.gsd.partition_id, "reason": reason},
+        )
+        pred = self.predecessor()
+        if pred is not None:
+            self.monitor.expect(pred)
+        self.gsd.on_unpark()
+
+    def _heal_probe_now(self):
+        """One immediate heal census (a JOIN reached us while parked)."""
+        if self._regrouping or not self.parked or not self.gsd.alive:
+            return
+        self._regrouping = True
+        try:
+            live, best = yield from self._regroup_round("heal", initiate=False)
+        finally:
+            self._regrouping = False
+        if self.parked and self.quorum_met(live):
+            self._unpark("heal")
+            self._adopt_after_heal(best)
+
+    def _adopt_after_heal(self, best: View | None) -> None:
+        """Adopt the newest view a heal census surfaced — via a scheduled
+        callback, never inline: installing it may stand this GSD down,
+        which kills the very heal process that is still executing."""
+        if best is not None and (self.view is None or best.key > self.view.key):
+            self.sim.schedule(0.0, self._install_if_newer, best)
+
+    def _install_if_newer(self, view: View) -> None:
+        if self.gsd.alive and (self.view is None or view.key > self.view.key):
+            self.install_view(view)
+
+    def _heal_loop(self):
+        """Parked side of the regroup: re-census every
+        ``regroup_heal_interval`` until quorum is reachable again, then
+        rejoin through the newest view any responder carried."""
+        try:
+            while self.gsd.alive and self.parked:
+                yield self.gsd.timings.regroup_heal_period
+                if not self.gsd.alive or not self.parked or self._regrouping:
+                    continue
+                self._regrouping = True
+                try:
+                    live, best = yield from self._regroup_round("heal", initiate=False)
+                finally:
+                    self._regrouping = False
+                if not self.parked:
+                    break
+                if self.quorum_met(live):
+                    self._unpark("heal")
+                    self._adopt_after_heal(best)
+                    break
+        finally:
+            self._heal_looping = False
 
     # -- view management -----------------------------------------------------
     def install_view(self, view: View) -> bool:
@@ -183,13 +462,27 @@ class MetaGroup:
             return False  # stale or duplicate
         old_pred = self.predecessor()
         was_leader = self.is_leader
+        old_members = len(self.view.members) if self.view is not None else None
         self.view = view
         self._ring = Ring(view.nodes())
         self._node_partition = {node: part for part, node in view.members}
         new_pred = self.predecessor()
         if old_pred is not None and old_pred != new_pred:
             self.monitor.forget(old_pred)
-        if new_pred is not None and new_pred != old_pred:
+        if new_pred is not None and new_pred != old_pred and not self.parked:
+            # While parked, ring monitoring stays off; _unpark re-arms it.
+            self.monitor.expect(new_pred)
+        elif (
+            new_pred is not None
+            and new_pred == old_pred
+            and not self.parked
+            and self.monitor.is_suspended(new_pred)
+        ):
+            # Same predecessor, but we had already declared it dead and our
+            # report went to a leader this view dethroned.  The new lineage
+            # asserts the member is alive, so it must prove itself again
+            # within one interval — otherwise its death would never be
+            # re-reported to the new leader.
             self.monitor.expect(new_pred)
         self.sim.trace.mark(
             "view.installed", node=self.me, view_id=view.view_id, epoch=view.epoch,
@@ -199,6 +492,11 @@ class MetaGroup:
             # A higher-epoch view dethroned us (we were the stale side of
             # a healed split, or a takeover raced our own view change).
             self.sim.trace.mark("leader.stepdown", node=self.me, epoch=view.epoch)
+        if self.parked and self._view_quorate(view):
+            # A quorate lineage reached us (its broadcast, a corrective
+            # push, or a ring beat made it through): the partition healed
+            # from their side before our next heal probe.
+            self._unpark("view_adopted")
         if not view.contains_node(self.me):
             replacement = view.node_for(self.gsd.partition_id)
             if replacement is not None and replacement != self.me:
@@ -213,6 +511,18 @@ class MetaGroup:
                 self.gsd.spawn(self._rejoin(), name=f"{self.me}/mg.rejoin")
         elif len(view.members) > 1:
             self.demoted = False
+            if (
+                not self.parked
+                and self.quorum_enabled()
+                and old_members is not None
+                and len(view.members) < old_members
+                and 2 * len(view.members) <= len(self.gsd.cluster.partitions)
+            ):
+                # The view shrank to half or less of the configured
+                # partitions: make sure we can still see a quorum before
+                # keeping faith in this membership (the evicted members
+                # may be the reachable majority's side of a split).
+                self.assess_quorum("small_view")
         elif len(self.gsd.cluster.partitions) > 1 and not self.demoted:
             # We just evicted our last peer.  A leader that watched every
             # member vanish is indistinguishable from a leader on the
@@ -272,6 +582,15 @@ class MetaGroup:
 
     def broadcast_view(self) -> None:
         assert self.view is not None
+        if self.parked:
+            # Minority refusal: a parked member's membership opinion must
+            # not leave the node (a broadcast is a write to every peer's
+            # view state).
+            self.sim.trace.mark(
+                "regroup.write_refused", node=self.me, kind="view_broadcast",
+                view_id=self.view.view_id, epoch=self.view.epoch,
+            )
+            return
         for _, node in self.view.members:
             if node != self.me:
                 self.gsd.send(node, ports.GSD, ports.GSD_VIEW, {"view": self.view.to_payload()})
@@ -280,6 +599,12 @@ class MetaGroup:
         """Publish the epoch-stamped leadership record to the bulletin, so
         monitoring readers can resolve conflicting claims by epoch."""
         if self.view is None:
+            return
+        if self.parked:
+            self.sim.trace.mark(
+                "regroup.write_refused", node=self.me, kind="leader_export",
+                epoch=self.view.epoch,
+            )
             return
         db_node = self.gsd.kernel.placement.get(("db", self.gsd.partition_id))
         if db_node is not None:
@@ -326,7 +651,7 @@ class MetaGroup:
             mine = self.view.key if self.view is not None else (0, 0)
             if theirs > mine:
                 self.install_view(View.from_payload(beat_view))
-            elif theirs < mine and sender is not None:
+            elif theirs < mine and sender is not None and not self.parked:
                 if theirs[0] < mine[0]:
                     # A beat from a superseded leader lineage.
                     self.sim.trace.mark(
@@ -335,7 +660,8 @@ class MetaGroup:
                     )
                 # The sender is behind (stale side of a healed split):
                 # push our view so its ring re-forms, it rejoins, or a
-                # superseded duplicate stands down.
+                # superseded duplicate stands down.  Parked members skip
+                # the push: their view is a minority opinion.
                 self.gsd.send(sender, ports.GSD, ports.GSD_VIEW,
                               {"view": self.view.to_payload()})
         if sender == self.predecessor():
@@ -344,6 +670,13 @@ class MetaGroup:
     # -- control messages ------------------------------------------------
     def on_join(self, msg: Message) -> None:
         """Leader side: admit a (re)joining GSD."""
+        if self.parked:
+            # No admissions from the minority side — but an inbound JOIN
+            # is evidence of connectivity, so pull the next heal probe
+            # forward instead of making the joiner wait a full period.
+            if not self._regrouping:
+                self.gsd.spawn(self._heal_probe_now(), name=f"{self.me}/mg.healnow")
+            return
         if self.demoted and self.view is not None and self.view.leader()[1] == self.me:
             # An isolated ex-leader that a joiner can still reach: the
             # group is re-forming around us — resume leadership.
@@ -386,7 +719,7 @@ class MetaGroup:
     def on_view(self, msg: Message) -> None:
         view = View.from_payload(msg.payload["view"])
         installed = self.install_view(view)
-        if not installed and self.view is not None and view.epoch < self.view.epoch:
+        if not installed and self.view is not None and view.epoch < self.view.epoch and not self.parked:
             # The sender is pushing a superseded lineage's view: reply
             # with the newer one so the stale side demotes, rejoins, or
             # stands down instead of retrying forever.
@@ -465,7 +798,7 @@ class MetaGroup:
         self.gsd.publish(ev.NETWORK_RECOVERY, {"node": subject, "network": network})
 
     def _on_full_miss(self, subject: str) -> None:
-        if not self.gsd.alive or subject in self._recovering:
+        if not self.gsd.alive or subject in self._recovering or self.parked:
             return
         self._recovering.add(subject)
         root = self.sim.trace.span("gsd.failover", component="gsd", node=subject)
@@ -476,6 +809,18 @@ class MetaGroup:
         if not self.gsd.alive:
             return
         self.sim.trace.mark("member.returned", node=subject, by=self.me)
+
+    def _report_watchdog(self, expected_key: tuple[int, int]) -> None:
+        """Fires one regroup period after a member-failed report went to a
+        remote leader: an unchanged view means nobody acted on it."""
+        if (
+            self.gsd.alive
+            and not self.parked
+            and not self._regrouping
+            and self.view is not None
+            and self.view.key == expected_key
+        ):
+            self.assess_quorum("leader_unreachable")
 
     # -- the takeover path -----------------------------------------------
     def _handle_member_failure(self, failed_node: str, root):
@@ -510,6 +855,39 @@ class MetaGroup:
                         "failure.diagnosed", component=svc, kind="node", node=failed_node, by=self.me
                     )
 
+            # Quorum gate: if dropping the failed member would leave half
+            # or less of the configured partitions, census first — across
+            # a split, "the others all died" and "we are the cut-off side"
+            # look identical from here, and only one of them may act.
+            if (
+                self.quorum_enabled()
+                and not self.parked
+                and not self._regrouping
+                and sum(1 for m in self.view.members if m[1] != failed_node) * 2
+                <= len(self.gsd.cluster.partitions)
+            ):
+                self._regrouping = True
+                try:
+                    live, _best = yield from self._regroup_round(
+                        "member_failure", exclude={failed_node}
+                    )
+                finally:
+                    self._regrouping = False
+                if not self.quorum_met(live):
+                    self._park("member_failure", live)
+                    root.end(kind=kind, parked=True)
+                    return
+                if (
+                    self.parked
+                    or self.view is None
+                    or not self.view.contains_node(failed_node)
+                ):
+                    # The census took time; a concurrent install already
+                    # resolved this membership change.
+                    root.end(kind=kind, superseded=True)
+                    return
+                was_leader = self.view.leader()[1] == failed_node
+
             # Membership first: the ring must close around the gap.
             members = tuple(m for m in self.view.members if m[1] != failed_node)
             if was_leader:
@@ -539,6 +917,16 @@ class MetaGroup:
                     )
                 else:
                     self.gsd.send(leader, ports.GSD, ports.GSD_MEMBER_FAILED, report)
+                    if self.quorum_enabled():
+                        # Report watchdog: if no new view lands within a
+                        # regroup period, the leader may be unreachable
+                        # too (we could be a cut-off member whose own
+                        # predecessor is still on our side) — census.
+                        expected_key = self.view.key
+                        self.sim.schedule(
+                            self.gsd.timings.regroup_period,
+                            self._report_watchdog, expected_key,
+                        )
 
             if kind == PROCESS:
                 self.gsd.publish(

@@ -35,6 +35,8 @@ GSD_JOIN = "gsd.join"
 GSD_VIEW = "gsd.view"
 GSD_MEMBER_FAILED = "gsd.member_failed"
 GSD_STATUS = "gsd.status"
+GSD_REGROUP_PROBE = "gsd.regroup_probe"  # quorum census probe (regroup round)
+GSD_REGROUP_ACK = "gsd.regroup_ack"  # census answer, carries responder's view
 
 # event service
 ES_SUBSCRIBE = "es.subscribe"

@@ -157,6 +157,33 @@ class KernelTimings:
     #: deployment's monitors filter on them); empty disables the buckets.
     es_indexed_where_keys: tuple[str, ...] = ("node",)
 
+    #: Quorum-gated regroup (MCS-style): a meta-group member whose live
+    #: view would drop to half or less of the *configured* partition count
+    #: runs a regroup probe round before acting on the failure, and parks
+    #: (refusing view broadcasts, placement writes, and checkpoint
+    #: commits) while it cannot reach a quorum.  The exact-half split is
+    #: decided by the lowest-surviving-partition tie-breaker, so a 2-vs-2
+    #: partition converges to exactly one leader.  Disable to restore the
+    #: pre-quorum behavior (demote only when the view empties), kept for
+    #: failing-before regression tests.
+    quorum_demotion: bool = True
+    #: How long a regroup round waits for probe acks before concluding the
+    #: unreachable members are really gone.  ``None`` means
+    #: ``max(2 * rpc_timeout, 0.25 * heartbeat_interval)`` — two control
+    #: round-trips, stretched on slow-beat deployments so one lossy
+    #: exchange cannot fake a lost quorum.
+    regroup_timeout: float | None = None
+    #: Re-probe period of a parked (minority-side) member looking for the
+    #: partition to heal.  ``None`` means ``heartbeat_interval``.
+    regroup_heal_interval: float | None = None
+
+    #: Time-based retention window (seconds) for checkpoint history — the
+    #: store that backs bulletin ``AS OF`` time travel.  ``None`` (default)
+    #: keeps the legacy fixed cap of 4 versions per key; a window keeps
+    #: every version younger than the window (plus always the latest), so
+    #: ``AS OF`` reaches the full configured span back.
+    ckpt_retention_window: float | None = None
+
     #: Period of each kernel daemon's ``kernel.health`` self-report to
     #: the data bulletin (span/histogram/counter snapshot, outbox depth,
     #: in-flight RPCs).  ``None`` disables the reports — monitoring
@@ -224,10 +251,30 @@ class KernelTimings:
             raise KernelError("es_deliver_slo must be positive (or None)")
         if any(not key or not isinstance(key, str) for key in self.es_indexed_where_keys):
             raise KernelError("es_indexed_where_keys must be non-empty strings")
+        if self.regroup_timeout is not None and self.regroup_timeout <= 0:
+            raise KernelError("regroup_timeout must be positive (or None)")
+        if self.regroup_heal_interval is not None and self.regroup_heal_interval <= 0:
+            raise KernelError("regroup_heal_interval must be positive (or None)")
+        if self.ckpt_retention_window is not None and self.ckpt_retention_window <= 0:
+            raise KernelError("ckpt_retention_window must be positive (or None)")
         if self.health_report_interval is not None and self.health_report_interval <= 0:
             raise KernelError("health_report_interval must be positive (or None)")
         if any(not cls or not isinstance(cls, str) for cls in self.quiesce_skippable):
             raise KernelError("quiesce_skippable entries must be non-empty strings")
+
+    @property
+    def regroup_period(self) -> float:
+        """Effective regroup probe timeout (resolves the ``None`` default)."""
+        if self.regroup_timeout is not None:
+            return self.regroup_timeout
+        return max(2.0 * self.rpc_timeout, 0.25 * self.heartbeat_interval)
+
+    @property
+    def regroup_heal_period(self) -> float:
+        """Effective parked-member heal probe period."""
+        if self.regroup_heal_interval is not None:
+            return self.regroup_heal_interval
+        return self.heartbeat_interval
 
     @property
     def service_check_period(self) -> float:

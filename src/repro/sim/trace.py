@@ -271,6 +271,11 @@ class Trace:
         self._filter_memo: dict[str, bool] = {}
         #: Total records ever marked (not capped by capacity or filters).
         self.total_marked = 0
+        #: Ambient scenario correlation id: while a fault-injection span is
+        #: open the injector mirrors its span id here, so protocol layers
+        #: (e.g. the meta-group regroup machine) can parent their spans on
+        #: the fault that triggered them without any plumbing.
+        self.scenario_id: str = ""
 
     # -- records ---------------------------------------------------------
     def mark(self, category: str, **fields: Any) -> TraceRecord:

@@ -327,10 +327,11 @@ def alerts(
     class_slos: dict[str, float] | None = None,
     view_stats: dict[str, dict[str, Any]] | None = None,
     view_staleness_limit: float | None = None,
+    quorum_events: list[dict[str, Any]] | None = None,
 ) -> list[Alert]:
     """Evaluate alert rules over a :func:`health_report` dict.
 
-    Five rule families:
+    Six rule families:
 
     * ``health.stale`` (critical) — a daemon's last ``kernel.health``
       self-report is older than the report's staleness threshold (its
@@ -348,7 +349,15 @@ def alerts(
     * ``view.staleness`` (warning) — a materialized view's event-time lag
       (``view_stats``, the ``views`` map of a :func:`view_report`) exceeds
       ``view_staleness_limit`` — the owner is falling behind its delta
-      feed, so console reads show the past.
+      feed, so console reads show the past;
+    * ``quorum.lost`` (critical) / ``quorum.regained`` (warning) — from
+      ``quorum_events``: dicts with ``type`` (``"quorum.lost"`` /
+      ``"quorum.regained"``), ``node``, and optionally ``partition`` /
+      ``live``, e.g. the data of :data:`repro.kernel.events.types`
+      quorum events or ``quorum.*`` trace records.  A node whose latest
+      event is a loss pages critical (it is parked, refusing writes); a
+      node that regained quorum leaves a warning breadcrumb so the
+      partition incident stays visible on the console after it heals.
 
     Also works over a latency-only report (e.g. built from an exported
     trace), where ``services``/``stale`` are simply absent.
@@ -437,6 +446,37 @@ def alerts(
                         f"materialized view {view_name} lags its base tables "
                         f"by {lag:.2f}s (limit {lag_limit:.2f}s)"
                     ),
+                )
+            )
+    latest_quorum: dict[str, dict[str, Any]] = {}
+    for event in quorum_events or []:
+        node = str(event.get("node", ""))
+        if node and event.get("type") in ("quorum.lost", "quorum.regained"):
+            latest_quorum[node] = event
+    for node, event in sorted(latest_quorum.items()):
+        live = event.get("live")
+        if event["type"] == "quorum.lost":
+            detail = f" (sees only {', '.join(str(p) for p in live)})" if live else ""
+            fired.append(
+                Alert(
+                    severity="critical",
+                    rule="quorum.lost",
+                    subject=node,
+                    value=float(len(live)) if live is not None else 0.0,
+                    message=(
+                        f"{node} lost quorum and parked{detail}: "
+                        "refusing placement and checkpoint writes"
+                    ),
+                )
+            )
+        else:
+            fired.append(
+                Alert(
+                    severity="warning",
+                    rule="quorum.regained",
+                    subject=node,
+                    value=0.0,
+                    message=f"{node} regained quorum and resumed after a partition",
                 )
             )
     fired.sort(key=lambda a: (a.severity != "critical", a.rule, a.subject))

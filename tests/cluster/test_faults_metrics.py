@@ -77,6 +77,71 @@ def test_injected_list_accumulates(cluster, injector):
     assert [f.kind for f in injector.injected] == ["process", "node"]
 
 
+# -- correlated fabric-wide degradation ------------------------------------
+
+
+def test_degrade_fabric_applies_one_profile_to_whole_fabric(cluster, sim, injector):
+    fault = injector.degrade_fabric("ipc", loss=0.2, latency_mult=2.0, case="gray")
+    assert fault.kind == "degrade_fabric"
+    profile = cluster.networks["ipc"].fabric_degradation()
+    assert profile is not None
+    assert profile.loss == 0.2 and profile.latency_mult == 2.0
+    # Other fabrics untouched; per-link profiles unaffected.
+    assert cluster.networks["mgmt"].fabric_degradation() is None
+    rec = sim.trace.first("fault.injected", case="gray")
+    assert rec["kind"] == "degrade_fabric" and rec["target"] == "ipc"
+    assert rec["loss"] == 0.2 and rec["latency_mult"] == 2.0
+
+
+def test_restore_fabric_quality_pairs_repair_mark(cluster, sim, injector):
+    injector.degrade_fabric("data", loss=0.1, case="gray2")
+    injector.restore_fabric_quality("data", case="gray2")
+    assert cluster.networks["data"].fabric_degradation() is None
+    injected = sim.trace.first("fault.injected", case="gray2")
+    repaired = sim.trace.first("fault.repaired", case="gray2")
+    assert injected is not None and repaired is not None
+    assert repaired["kind"] == "degrade_fabric"
+    assert repaired.time >= injected.time
+
+
+def test_degrade_fabric_drops_are_counted(cluster, sim, injector):
+    net = cluster.networks["ipc"]
+    injector.degrade_fabric("ipc", loss=1.0)
+    t = cluster.transport
+    t.bind("p0c1", "ping", lambda msg: None)
+    # loss=1.0 drops at send time; the sender sees it as a silent loss.
+    assert not t.send("p0c0", "p0c1", "ping", "hello", {}, network="ipc")
+    sim.run(until=sim.now + 1.0)
+    assert net.dropped > 0
+    assert sim.trace.counter("net.ipc.degraded_drops") > 0
+
+
+def test_latency_only_profile_delays_but_never_drops(cluster, sim, injector):
+    """``loss=0, latency_mult>1`` is pure congestion: zero drops, and
+    delivery takes measurably longer than on a clean fabric."""
+    t = cluster.transport
+    arrivals = []
+    t.bind("p0c1", "ping", lambda msg: arrivals.append(sim.now))
+    t0 = sim.now
+    t.send("p0c0", "p0c1", "ping", "hello", {}, network="ipc")
+    sim.run(until=sim.now + 5.0)
+    clean_rtt = arrivals[0] - t0
+    injector.degrade_fabric("ipc", loss=0.0, latency_mult=8.0)
+    t1 = sim.now
+    t.send("p0c0", "p0c1", "ping", "hello", {}, network="ipc")
+    sim.run(until=sim.now + 5.0)
+    assert len(arrivals) == 2
+    assert sim.trace.counter("net.ipc.degraded_drops") == 0
+    assert arrivals[1] - t1 > clean_rtt  # inflated latency, no loss
+
+
+def test_degrade_fabric_unknown_network(injector):
+    with pytest.raises(ClusterError):
+        injector.degrade_fabric("nope", loss=0.5)
+    with pytest.raises(ClusterError):
+        injector.restore_fabric_quality("nope")
+
+
 # -- resource model --------------------------------------------------------
 
 

@@ -89,3 +89,56 @@ def test_campaign_injections_are_spanned(wd_process_campaign):
 
 def test_campaign_spans_one_per_injection(wd_process_campaign):
     assert wd_process_campaign.fault_spans == wd_process_campaign.injected
+
+
+# -- partition campaign (quorum-gated regroup) --------------------------------
+
+
+@pytest.fixture(scope="module")
+def even_split_campaign():
+    from repro.experiments.fault_campaign import run_partition_class
+
+    return run_partition_class("even-split", injections=1, seed=0)
+
+
+def test_partition_classes_table_sane():
+    from repro.experiments.fault_campaign import PARTITION_CLASSES
+
+    assert "even-split" in PARTITION_CLASSES
+    assert "fabric-gray" in PARTITION_CLASSES and "fabric-latency" in PARTITION_CLASSES
+    assert len(PARTITION_CLASSES) == len(set(PARTITION_CLASSES))
+
+
+def test_even_split_invariants(even_split_campaign):
+    r = even_split_campaign
+    assert r.injected == 1 and r.coverage == 1.0
+    assert r.dual_leader_intervals == 0
+    assert r.minority_placement_writes == 0
+    assert r.minority_ckpt_writes == 0
+    assert r.parks == 2 and r.unparks == 2  # both minority partitions
+    assert r.takeovers == 0  # tie-break keeps the p0-side leader
+    assert len(r.detect) == r.injected  # first park latency per injection
+    assert all(0.0 < d <= 60.0 for d in r.detect)  # bounded time-to-park
+
+
+def test_even_split_regroups_correlate_with_fault_spans(even_split_campaign):
+    """Every regroup census runs span-correlated under ``campaign.fault``."""
+    assert even_split_campaign.correlated_regroups > 0
+
+
+def test_partition_render_and_check(even_split_campaign):
+    from repro.experiments.fault_campaign import (
+        check_partition_campaign,
+        render_partition_campaign,
+    )
+
+    results = {"even-split": even_split_campaign}
+    text = render_partition_campaign(results)
+    assert "even-split" in text and "dual-leader" in text
+    assert check_partition_campaign(results) == []
+    # A doctored dual-leader interval trips the gate.
+    import dataclasses
+
+    bad = dataclasses.replace(even_split_campaign, dual_leader_intervals=1)
+    problems = check_partition_campaign({"even-split": bad})
+    assert any("dual-leader" in p for p in problems)

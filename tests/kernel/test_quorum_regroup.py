@@ -1,0 +1,319 @@
+"""Quorum-gated regroup: tie-breaker, minority refusal, bounded demotion.
+
+Covers DESIGN.md §15: the MCS-style census protocol that parks any GSD
+whose reachable set drops to half or less of the configured partitions,
+the deterministic lowest-partition tie-breaker for exact-half splits,
+and the minority side's write refusals while parked.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, ClusterSpec, FaultInjector
+from repro.errors import KernelError
+from repro.kernel import KernelTimings, PhoenixKernel
+from repro.sim import Simulator
+
+HB = 10.0
+
+
+def build(seed=5, partitions=4, quorum=True, interval=HB):
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, ClusterSpec.build(partitions=partitions, computes=2))
+    timings = KernelTimings(heartbeat_interval=interval, quorum_demotion=quorum)
+    kernel = PhoenixKernel(cluster, timings=timings)
+    kernel.boot()
+    return sim, cluster, kernel
+
+
+def split_all(cluster, injector, side_a, side_b):
+    for net in cluster.networks:
+        injector.split_network(net, [side_a, side_b])
+
+
+def heal_all(cluster, injector):
+    for net in cluster.networks:
+        injector.heal_network(net)
+
+
+def sides(cluster, minority=("p2", "p3")):
+    wanted = set(minority)
+    a, b = set(), set()
+    for part in cluster.partitions:
+        (b if part.partition_id in wanted else a).update(part.all_nodes)
+    return a, b
+
+
+def leader_claims(kernel):
+    claims = []
+    for (service, node), daemon in kernel._live.items():
+        if service != "gsd" or not daemon.alive:
+            continue
+        mg = daemon.metagroup
+        if mg.view is not None and mg.is_leader:
+            claims.append((node, mg.view.epoch))
+    return claims
+
+
+def gsd_on(kernel, node):
+    return kernel._live.get(("gsd", node))
+
+
+# -- quorum rule unit tests ---------------------------------------------------
+
+def test_quorum_met_rule():
+    sim, cluster, kernel = build()
+    mg = kernel.gsd("p0").metagroup
+    assert mg.quorum_met({"p0", "p1", "p2"})          # strict majority
+    assert mg.quorum_met({"p1", "p2", "p3"})          # majority without p0
+    assert not mg.quorum_met({"p3"})                  # strict minority
+    assert mg.quorum_met({"p0", "p1"})                # exact half, tie-break side
+    assert not mg.quorum_met({"p2", "p3"})            # exact half, other side
+    assert mg.tie_break_partition() == "p0"
+
+
+def test_quorum_rule_both_halves_never_win():
+    """No 2-subset and its complement can both hold quorum."""
+    sim, cluster, kernel = build()
+    mg = kernel.gsd("p0").metagroup
+    parts = {p.partition_id for p in cluster.partitions}
+    import itertools
+
+    for k in range(len(parts) + 1):
+        for subset in itertools.combinations(sorted(parts), k):
+            assert not (mg.quorum_met(subset) and mg.quorum_met(parts - set(subset)))
+
+
+def test_regroup_timing_knobs_validated():
+    with pytest.raises(KernelError):
+        KernelTimings(regroup_timeout=0.0)
+    with pytest.raises(KernelError):
+        KernelTimings(regroup_heal_interval=-1.0)
+    t = KernelTimings(heartbeat_interval=10.0)
+    assert t.regroup_period == pytest.approx(2.5)  # max(2*rpc, hb/4)
+    assert t.regroup_heal_period == pytest.approx(10.0)
+    assert KernelTimings(regroup_timeout=7.0).regroup_period == 7.0
+
+
+# -- the 2-vs-2 tie-breaker ---------------------------------------------------
+
+def test_even_split_tie_breaker_one_leader():
+    """A 2-vs-2 split converges to exactly one leader: the side holding
+    the lowest configured partition id evicts the other; the other side
+    parks instead of evicting back."""
+    sim, cluster, kernel = build()
+    injector = FaultInjector(cluster)
+    sim.run(until=20.001)
+    side_a, side_b = sides(cluster)
+    split_all(cluster, injector, side_a, side_b)
+    sim.run(until=sim.now + 12 * HB)
+
+    # Tie-break side kept its leader and evicted the other side.
+    view_a = kernel.gsd("p0").metagroup.view
+    assert {part for part, _ in view_a.members} == {"p0", "p1"}
+    claims = leader_claims(kernel)
+    assert len(claims) == 1 and claims[0][0] == "p0s0"
+
+    # The losing half parked (quorum.lost) — with members still in view:
+    # this is failing-*before* semantics, not waiting for an empty view.
+    for pid in ("p2", "p3"):
+        mg = kernel.gsd(pid).metagroup
+        assert mg.parked
+        assert not mg.is_leader
+        assert len(mg.view.members) >= 2
+    parked_nodes = {r["node"] for r in sim.trace.records("quorum.lost")}
+    assert {"p2s0", "p3s0"} <= parked_nodes
+
+    # Heal: the parked side rejoins through epoch-fenced reconciliation.
+    heal_all(cluster, injector)
+    sim.run(until=sim.now + 15 * HB)
+    views = {kernel.gsd(p.partition_id).metagroup.view.key for p in cluster.partitions}
+    assert len(views) == 1
+    assert all(not kernel.gsd(p.partition_id).metagroup.parked for p in cluster.partitions)
+    claims = leader_claims(kernel)
+    assert len(claims) == 1 and claims[0][0] == "p0s0"
+    regained = {r["node"] for r in sim.trace.records("quorum.regained")}
+    assert {"p2s0", "p3s0"} <= regained
+
+
+def test_minority_refuses_writes_while_parked():
+    """A parked GSD defers ``gsd.state`` checkpoint commits and bulletin
+    exports (marked ``regroup.write_refused``), then flushes on unpark."""
+    sim, cluster, kernel = build()
+    injector = FaultInjector(cluster)
+    sim.run(until=20.001)
+    side_a, side_b = sides(cluster)
+    split_all(cluster, injector, side_a, side_b)
+    sim.run(until=sim.now + 10 * HB)
+    assert kernel.gsd("p3").metagroup.parked
+
+    # A real state change on the parked side: one of p3's computes dies.
+    injector.crash_node("p3c0")
+    sim.run(until=sim.now + 6 * HB)
+    refusals = [
+        r for r in sim.trace.records("regroup.write_refused", kind="node_state")
+        if r["node"] == "p3s0" and r.get("subject") == "p3c0"
+    ]
+    assert refusals, "parked GSD should refuse (defer) the node-state commit"
+    assert kernel.gsd("p3").node_state["p3c0"] == "down"  # local belief kept
+
+    # Heal: the deferred state reaches the checkpoint store after unpark.
+    heal_all(cluster, injector)
+    sim.run(until=sim.now + 15 * HB)
+    assert not kernel.gsd("p3").metagroup.parked
+    ckpt = kernel._partition_daemon("ckpt", "p3")
+    entry = ckpt.store.load("gsd.state.p3")
+    assert entry is not None and entry.data["node_state"]["p3c0"] == "down"
+
+
+def test_quorum_demotion_off_restores_view_emptiness_behavior():
+    """``quorum_demotion=False`` is the pre-quorum kernel: an isolated
+    leader keeps evicting until its view empties, and only then demotes
+    (``leader.isolated``).  With gating on, it parks *before* that —
+    while peers are still in the view — and never reigns alone."""
+    # Old behavior: no parks, demotion only at empty view.
+    sim, cluster, kernel = build(quorum=False)
+    injector = FaultInjector(cluster)
+    sim.run(until=20.001)
+    leader = cluster.partition("p0").all_nodes
+    side_a, side_b = sides(cluster, minority=("p1", "p2", "p3"))
+    split_all(cluster, injector, set(leader), side_b | (side_a - set(leader)))
+    sim.run(until=sim.now + 20 * HB)
+    assert sim.trace.records("quorum.lost") == []
+    assert sim.trace.records("leader.isolated")  # evicted everyone first
+    assert len(kernel.gsd("p0").metagroup.view.members) == 1
+
+    # Quorum gating: the cut-off leader parks with peers still in view.
+    sim2, cluster2, kernel2 = build(quorum=True)
+    injector2 = FaultInjector(cluster2)
+    sim2.run(until=20.001)
+    leader2 = cluster2.partition("p0").all_nodes
+    side_a2, side_b2 = sides(cluster2, minority=("p1", "p2", "p3"))
+    split_all(cluster2, injector2, set(leader2), side_b2 | (side_a2 - set(leader2)))
+    sim2.run(until=sim2.now + 20 * HB)
+    parks = sim2.trace.records("quorum.lost", node="p0s0")
+    assert parks
+    mg = kernel2.gsd("p0").metagroup
+    assert mg.parked and not mg.is_leader
+    assert len(mg.view.members) >= 2  # parked before the view emptied
+
+
+def test_time_to_park_is_bounded():
+    """A cut-off member parks within detection + diagnosis + report
+    watchdog + one census round — well under six heartbeat intervals."""
+    sim, cluster, kernel = build()
+    injector = FaultInjector(cluster)
+    sim.run(until=20.001)
+    t0 = sim.now
+    side_a, side_b = sides(cluster)
+    split_all(cluster, injector, side_a, side_b)
+    sim.run(until=t0 + 6 * HB)
+    parks = sim.trace.records("quorum.lost")
+    assert parks
+    assert all(r.time - t0 <= 6 * HB for r in parks)
+
+
+def test_regroup_census_spans_and_marks():
+    """Census rounds are spanned (``gsd.regroup``) and probe marks carry
+    the round id; parks pair with unparks across a heal."""
+    sim, cluster, kernel = build()
+    injector = FaultInjector(cluster)
+    sim.run(until=20.001)
+    side_a, side_b = sides(cluster)
+    split_all(cluster, injector, side_a, side_b)
+    sim.run(until=sim.now + 12 * HB)
+    heal_all(cluster, injector)
+    sim.run(until=sim.now + 15 * HB)
+    spans = [r for r in sim.trace.records("gsd.regroup") if r.get("duration") is not None]
+    assert spans
+    assert all("live" in r.fields and "quorum" in r.fields for r in spans)
+    probes = sim.trace.records("regroup.probe")
+    assert probes and all(r.get("round") for r in probes)
+    lost = sim.trace.records("quorum.lost")
+    regained = sim.trace.records("quorum.regained")
+    assert len(lost) == len(regained) >= 2
+
+
+# -- property: no split schedule yields two quorum-side leaders ---------------
+
+@pytest.mark.slow
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    minority=st.sets(st.sampled_from(["p1", "p2", "p3"]), min_size=1, max_size=2),
+    include_p0=st.booleans(),
+    phase=st.floats(min_value=0.0, max_value=HB),
+    hold=st.integers(min_value=8, max_value=14),
+)
+def test_property_at_most_one_quorum_leader_and_no_minority_writes(
+    minority, include_p0, phase, hold
+):
+    """Any partition-aligned split schedule: at every instant at most one
+    non-parked leader claim per epoch, and after the bounded regroup
+    window (6 heartbeats) the minority side never gets a leadership
+    placement write accepted.
+
+    A minority-side princess may transiently take over (epoch-fenced)
+    when she detects the leader's death before discovering the rest of
+    the cluster is unreachable — the census then parks her; that is why
+    the write window starts at ``t0 + 6*HB`` rather than ``t0``."""
+    cut = set(minority) | ({"p0"} if include_p0 and len(minority) < 3 else set())
+    sim, cluster, kernel = build(seed=7)
+    injector = FaultInjector(cluster)
+    sim.run(until=20.001 + phase)
+
+    # The quorum rule decides which side is the minority (tie-break: p0).
+    mg = kernel.gsd("p0").metagroup
+    minority_parts = cut if not mg.quorum_met(cut) else (
+        {p.partition_id for p in cluster.partitions} - cut
+    )
+    minority_nodes = set()
+    for part in cluster.partitions:
+        if part.partition_id in minority_parts:
+            minority_nodes.update(part.all_nodes)
+
+    placements = []
+    orig = kernel.note_placement
+
+    def spy(service, scope, node_id, epoch=None):
+        ok = orig(service, scope, node_id, epoch=epoch)
+        if ok and (service, scope) == ("metagroup", "leader"):
+            placements.append((sim.now, node_id))
+        return ok
+
+    kernel.note_placement = spy
+    side_a, side_b = sides(cluster, minority=sorted(cut))
+    split_all(cluster, injector, side_a, side_b)
+    t0 = sim.now
+    end = t0 + hold * HB
+
+    def assert_single_leader_per_epoch():
+        by_epoch = {}
+        for node, epoch in leader_claims(kernel):
+            by_epoch.setdefault(epoch, []).append(node)
+        for epoch, nodes in by_epoch.items():
+            assert len(nodes) == 1, f"epoch {epoch} has leaders {nodes}"
+
+    while sim.now < end:
+        sim.run(until=min(sim.now + 0.25 * HB, end))
+        assert_single_leader_per_epoch()
+    # By the end of the hold every minority-side GSD has parked.
+    for pid in sorted(minority_parts):
+        mg_min = kernel.gsd(pid).metagroup
+        assert mg_min.parked and not mg_min.is_leader
+    heal_all(cluster, injector)
+    settle = sim.now + 15 * HB
+    while sim.now < settle:
+        sim.run(until=min(sim.now + 0.25 * HB, settle))
+        assert_single_leader_per_epoch()
+
+    violations = [
+        (t, n) for t, n in placements
+        if t0 + 6 * HB <= t <= end and n in minority_nodes
+    ]
+    assert violations == []
+    assert len(leader_claims(kernel)) == 1

@@ -119,3 +119,41 @@ def test_query_command_text_view_and_order(capsys):
 def test_query_command_check_smoke(capsys):
     assert main(["query", "--check"]) == 0
     assert "query smoke: OK" in capsys.readouterr().out
+
+
+def test_query_repl_session():
+    """One long-lived REPL session: time advances between queries, AS OF
+    reads the now-populated history, and errors never kill the loop."""
+    import io
+
+    from repro.experiments.query_cli import repl
+
+    script = "\n".join([
+        "\\t",
+        "select state, count(*) as n from nodes group by state",
+        "\\run 20",
+        "select * from nodes as of -5",          # relative time travel
+        "\\view repl_v select node, state from nodes where state = 'up'",
+        "\\read repl_v",
+        "select bogus syntax here",               # surfaced, not fatal
+        "\\q",
+    ]) + "\n"
+    out = io.StringIO()
+    assert repl(io.StringIO(script), out, partitions=2, computes=2, warm=20.0) == 0
+    text = out.getvalue()
+    assert "bulletin repl" in text
+    assert text.count("query>") >= 8
+    assert "[scan" in text and "[as-of" in text
+    assert "as-of history for 'nodes' starts at" in text
+    assert "view repl_v registered" in text and "[view" in text
+    assert "error:" in text  # the bogus query reported, session continued
+
+
+def test_query_repl_stdin_eof(monkeypatch, capsys):
+    """``--repl`` with an exhausted stdin exits cleanly (exit code 0)."""
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO("\\t\n"))
+    assert main(["query", "--repl", "--partitions", "2",
+                 "--computes", "2", "--warm", "20"]) == 0
+    assert "bulletin repl" in capsys.readouterr().out

@@ -283,6 +283,38 @@ def test_alerts_view_staleness_rule():
     assert alerts(report, view_stats=stats, view_staleness_limit=10.0) == []
 
 
+def test_alerts_quorum_rule():
+    """``quorum.lost`` pages critical with the surviving set; a later
+    ``quorum.regained`` for the same node downgrades it to a warning
+    breadcrumb (latest event per node wins)."""
+    report = {"latency": {}}
+    events = [
+        {"type": "quorum.lost", "node": "p2s0", "partition": "p2",
+         "live": ["p2", "p3"]},
+        {"type": "quorum.lost", "node": "p3s0", "partition": "p3",
+         "live": ["p2", "p3"]},
+    ]
+    fired = alerts(report, quorum_events=events)
+    assert [(a.severity, a.rule, a.subject) for a in fired] == [
+        ("critical", "quorum.lost", "p2s0"),
+        ("critical", "quorum.lost", "p3s0"),
+    ]
+    assert fired[0].value == pytest.approx(2.0)
+    assert "sees only p2, p3" in fired[0].message
+    assert "refusing placement and checkpoint writes" in fired[0].message
+
+    # The heal: regained supersedes lost for that node.
+    events.append({"type": "quorum.regained", "node": "p2s0", "partition": "p2"})
+    fired = alerts(report, quorum_events=events)
+    assert [(a.severity, a.rule, a.subject) for a in fired] == [
+        ("critical", "quorum.lost", "p3s0"),
+        ("warning", "quorum.regained", "p2s0"),
+    ]
+    # Unknown event types and node-less events are ignored.
+    assert alerts(report, quorum_events=[{"type": "quorum.lost"},
+                                         {"type": "other", "node": "x"}]) == []
+
+
 def test_view_report_plugs_into_alerts():
     from repro.userenv.monitoring import view_report
 
