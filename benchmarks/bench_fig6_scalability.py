@@ -31,6 +31,14 @@ FF_NODES = 16384
 #: telemetry and non-scalar payloads); everything else must be identical.
 _ENGINE_SHAPE_KEYS = ("ff_skipped", "events_executed", "snapshot")
 
+#: Two-tier federation points (DESIGN.md §16): region_size ≈ √partitions,
+#: the analytic optimum for the O(P/R + R) per-partition datagram bound.
+TWO_TIER_POINTS = ((1024, 8), (4096, 16), (FF_NODES, 32))
+#: Flat-mesh references for the same scales.  There is deliberately no
+#: flat 16384 point: an all-pairs storm there is ~1M datagrams — the
+#: O(P^2) wall this topology exists to break.
+FLAT_REFS = (1024, 4096)
+
 
 @pytest.mark.benchmark(group="fig6")
 def test_fig6_scalability_sweep(benchmark, save_artifact):
@@ -116,3 +124,93 @@ def test_fig6_extended_fast_forward_point(benchmark, save_artifact):
         + f"\n(16384-node point fast-forwarded: {big['ff_skipped']} cascades "
         f"batch-accounted, {big['events_executed']} events executed)\n",
     )
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_two_tier_federation(benchmark, save_artifact):
+    """Two-tier federation breaks the O(P^2) all-pairs wall (DESIGN.md
+    §16).  Every partition publishes one event simultaneously; flat
+    federation answers with P-1 datagrams per partition (quadratic in
+    total), the region topology with O(P/R + R).  The per-partition
+    counts land in the bench JSON under one-sided ``growth_`` keys, so
+    check_baseline.py fails any regression back toward super-linear
+    growth while letting further improvements through silently."""
+
+    def work():
+        gate = run_point(256, region_size=4, allpairs_storm=True)
+        gate_ff = run_point(256, region_size=4, allpairs_storm=True, fast_forward=True)
+        flat = {n: run_point(n, fast_forward=True, allpairs_storm=True) for n in FLAT_REFS}
+        two = {
+            n: run_point(n, fast_forward=True, region_size=r, allpairs_storm=True)
+            for n, r in TWO_TIER_POINTS
+        }
+        return gate, gate_ff, flat, two
+
+    gate, gate_ff, flat, two = once(benchmark, work)
+
+    # Twin-engine gate on a two-tier point: fast-forward must not change
+    # any measured quantity when regions are on either.
+    for key, value in gate.items():
+        if key not in _ENGINE_SHAPE_KEYS:
+            assert gate_ff[key] == value, f"engine divergence on {key!r}"
+    assert gate_ff["ff_skipped"] > 0
+
+    # Full machine visibility survives the digested cross-region path.
+    for nodes, region_size in TWO_TIER_POINTS:
+        point = two[nodes]
+        assert point["rows_per_refresh"] == nodes
+        assert point["regions"] == point["partitions"] // region_size
+        assert point["allpairs"]["cross"] > 0  # digests actually crossed regions
+
+    # At matched scales the two-tier all-pairs storm costs each
+    # partition strictly fewer federation datagrams than the flat mesh.
+    for nodes in FLAT_REFS:
+        assert flat[nodes]["allpairs"]["per_partition"] > 2 * two[nodes]["allpairs"]["per_partition"]
+
+    # Flat per-partition cost is Θ(P): 4x the partitions, ~4x the cost.
+    flat_growth = (
+        flat[4096]["allpairs"]["per_partition"] / flat[1024]["allpairs"]["per_partition"]
+    )
+    assert flat_growth > 3.0
+    # Two-tier per-partition cost at region_size ≈ √P grows ~√P: 16x the
+    # partitions from 1024 to 16384 nodes must cost well under 8x.
+    two_growth = (
+        two[FF_NODES]["allpairs"]["per_partition"] / two[1024]["allpairs"]["per_partition"]
+    )
+    assert two_growth < 8.0
+
+    benchmark.extra_info["two_tier"] = {
+        nodes: {
+            "regions": two[nodes]["regions"],
+            "allpairs_intra": two[nodes]["allpairs"]["intra"],
+            "allpairs_cross": two[nodes]["allpairs"]["cross"],
+        }
+        for nodes, _ in TWO_TIER_POINTS
+    }
+    # One-sided guards: check_baseline.py fails only if these grow.
+    benchmark.extra_info["growth_allpairs_per_partition"] = {
+        f"flat_{nodes}": flat[nodes]["allpairs"]["per_partition"] for nodes in FLAT_REFS
+    } | {
+        f"two_tier_{nodes}": two[nodes]["allpairs"]["per_partition"]
+        for nodes, _ in TWO_TIER_POINTS
+    }
+    benchmark.extra_info["growth_two_tier_ratio_16384_over_1024"] = two_growth
+
+    lines = ["§5.3 extension — all-pairs storm, flat mesh vs two-tier federation", ""]
+    lines.append(f"{'nodes':>7} {'parts':>6} {'topology':>12} {'datagrams':>10} {'per-part':>9}")
+    for nodes in FLAT_REFS:
+        ap = flat[nodes]["allpairs"]
+        lines.append(
+            f"{nodes:>7} {flat[nodes]['partitions']:>6} {'flat':>12} "
+            f"{ap['batches']:>10.0f} {ap['per_partition']:>9.1f}"
+        )
+    for nodes, region_size in TWO_TIER_POINTS:
+        ap = two[nodes]["allpairs"]
+        lines.append(
+            f"{nodes:>7} {two[nodes]['partitions']:>6} {f'regions/{region_size}':>12} "
+            f"{ap['batches']:>10.0f} {ap['per_partition']:>9.1f}"
+        )
+    lines.append("")
+    lines.append(f"flat growth 1024->4096: {flat_growth:.2f}x   "
+                 f"two-tier growth 1024->16384: {two_growth:.2f}x")
+    save_artifact("fig6_two_tier", "\n".join(lines))

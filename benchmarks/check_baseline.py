@@ -34,6 +34,11 @@ TIME_FACTOR = 5.0
 #: (events/sec, marks/sec) recorded for the record but never compared —
 #: only the deterministic keys gate.
 WALLCLOCK_PREFIX = "wallclock_"
+#: ``extra_info`` keys with this prefix are scaling costs gated
+#: one-sided: CI fails only when the current run *exceeds* baseline +
+#: tolerance (super-linear growth regression), while improvements pass
+#: without a baseline refresh.
+GROWTH_PREFIX = "growth_"
 
 
 def load_results(path: Path) -> dict[str, dict[str, Any]]:
@@ -56,9 +61,17 @@ def _close(expected: float, actual: float, rel_tol: float) -> bool:
 
 
 def compare_values(
-    expected: Any, actual: Any, rel_tol: float, path: str, problems: list[str]
+    expected: Any,
+    actual: Any,
+    rel_tol: float,
+    path: str,
+    problems: list[str],
+    one_sided: bool = False,
 ) -> None:
-    """Recursively compare extra_info values; numbers get ``rel_tol``."""
+    """Recursively compare extra_info values; numbers get ``rel_tol``.
+
+    ``one_sided`` (inherited by everything under a ``growth_`` key)
+    flags only increases beyond tolerance, never decreases."""
     if isinstance(expected, dict) and isinstance(actual, dict):
         for key in expected:
             if isinstance(key, str) and key.startswith(WALLCLOCK_PREFIX):
@@ -66,14 +79,24 @@ def compare_values(
             if key not in actual:
                 problems.append(f"{path}.{key}: missing from current run")
             else:
-                compare_values(expected[key], actual[key], rel_tol, f"{path}.{key}", problems)
+                compare_values(
+                    expected[key], actual[key], rel_tol, f"{path}.{key}", problems,
+                    one_sided=one_sided
+                    or (isinstance(key, str) and key.startswith(GROWTH_PREFIX)),
+                )
         return
     if isinstance(expected, bool) or isinstance(actual, bool):  # bool is an int; compare exactly
         if expected != actual:
             problems.append(f"{path}: expected {expected!r}, got {actual!r}")
         return
     if isinstance(expected, (int, float)) and isinstance(actual, (int, float)):
-        if not _close(float(expected), float(actual), rel_tol):
+        if one_sided:
+            if actual > expected and not _close(float(expected), float(actual), rel_tol):
+                problems.append(
+                    f"{path}: {actual!r} exceeds baseline {expected!r} "
+                    f"by more than {rel_tol:.0%} (one-sided growth guard)"
+                )
+        elif not _close(float(expected), float(actual), rel_tol):
             problems.append(
                 f"{path}: {actual!r} outside ±{rel_tol:.0%} of baseline {expected!r}"
             )

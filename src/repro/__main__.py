@@ -14,7 +14,9 @@ reproduce the paper without writing driver code:
       [--gray|--partition] [--check]  #   gray failures / split-brain torture
     python -m repro query [SQL]       # relational query / view / AS OF time travel
     python -m repro query --repl      # long-lived interactive query session
+      [--socket PATH]                 #   ...served over a unix socket
     python -m repro trace FILE        # span tree / histograms / critical path
+    python -m repro tracecheck FILE.. # leadership invariants from exported traces
     python -m repro demo              # boot + fault + recovery narration
 """
 
@@ -67,6 +69,10 @@ def main(argv: list[str] | None = None) -> int:
         return run(rest)
     elif command == "trace":
         from repro.experiments.trace_view import main as run
+
+        return run(rest)
+    elif command == "tracecheck":
+        from repro.experiments.trace_check import main as run
 
         return run(rest)
     elif command == "demo":

@@ -17,6 +17,7 @@ endpoints owned by it stop accepting messages.
 
 from __future__ import annotations
 
+import copy
 from collections.abc import Callable, Generator
 from typing import Any
 
@@ -76,6 +77,12 @@ class HostOS:
         self.sim = sim
         self.node = node
         self._table: dict[str, HostProcess] = {}
+        #: Local stable storage (the node's disk): survives process death
+        #: and node crash/boot — only losing the physical node loses it.
+        #: Daemons journal here what must outlive their own incarnation
+        #: (e.g. a parked GSD's deferred state commits, spilled aged
+        #: checkpoint versions).
+        self.stable_store: dict[str, Any] = {}
         node.hostos = self
 
     # -- process lifecycle ---------------------------------------------------
@@ -109,6 +116,19 @@ class HostOS:
 
     def running(self) -> list[str]:
         return sorted(name for name, hp in self._table.items() if hp.alive)
+
+    # -- local stable storage ------------------------------------------------
+    def stable_write(self, key: str, value: Any) -> None:
+        """Persist ``value`` on the node's disk (deep-copied: a journal
+        record is a snapshot, not a live reference)."""
+        self.stable_store[key] = copy.deepcopy(value)
+
+    def stable_read(self, key: str, default: Any = None) -> Any:
+        value = self.stable_store.get(key, default)
+        return copy.deepcopy(value)
+
+    def stable_delete(self, key: str) -> bool:
+        return self.stable_store.pop(key, None) is not None
 
     # -- node power events -----------------------------------------------
     def handle_node_crash(self) -> None:

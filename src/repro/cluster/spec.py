@@ -110,17 +110,30 @@ class PartitionSpec:
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """Full static cluster description."""
+    """Full static cluster description.
+
+    ``region_size`` opts into hierarchical two-tier federation
+    (DESIGN.md §16): consecutive partitions (in configured order) are
+    grouped into *regions* of at most ``region_size`` partitions.
+    Within a region the kernel services keep the flat full-mesh
+    federation; across regions only each region's elected *aggregator*
+    partition exchanges digested state.  ``None`` (the default) keeps
+    the original flat all-pairs federation, byte-identical to before
+    the knob existed.
+    """
 
     partitions: tuple[PartitionSpec, ...]
     networks: tuple[NetworkSpec, ...]
     nodes: dict[str, NodeSpec] = field(hash=False)
+    region_size: int | None = None
 
     def __post_init__(self) -> None:
         if not self.partitions:
             raise ClusterError("cluster must have at least one partition")
         if not self.networks:
             raise ClusterError("cluster must have at least one network")
+        if self.region_size is not None and self.region_size < 1:
+            raise ClusterError("region_size must be >= 1 (or None for flat federation)")
         names = [n.name for n in self.networks]
         if len(set(names)) != len(names):
             raise ClusterError("duplicate network names")
@@ -145,6 +158,30 @@ class ClusterSpec:
                 return part
         raise ClusterError(f"node {node_id}: unknown partition {part_id}")
 
+    # -- region topology (two-tier federation, DESIGN.md §16) --------------
+    def regions(self) -> tuple[tuple[str, ...], ...]:
+        """Partition ids grouped into regions, in configured order.
+
+        With ``region_size=None`` the whole cluster is one region (flat
+        federation).  Grouping is positional — partition ``k`` lives in
+        region ``k // region_size`` — so region membership is a pure
+        function of the spec and every node computes it identically.
+        """
+        pids = tuple(p.partition_id for p in self.partitions)
+        if self.region_size is None:
+            return (pids,)
+        size = self.region_size
+        return tuple(pids[i : i + size] for i in range(0, len(pids), size))
+
+    def region_of(self, partition_id: str) -> int:
+        """Region index of a partition (0 when federation is flat)."""
+        if self.region_size is None:
+            return 0
+        for idx, part in enumerate(self.partitions):
+            if part.partition_id == partition_id:
+                return idx // self.region_size
+        raise ClusterError(f"unknown partition {partition_id!r}")
+
     # -- builders ----------------------------------------------------------
     @classmethod
     def build(
@@ -158,12 +195,15 @@ class ClusterSpec:
         base_latency: float = usec(100),
         jitter: float = usec(50),
         loss_rate: float = 0.0,
+        region_size: int | None = None,
     ) -> "ClusterSpec":
         """Build a regular Dawning-4000A-like layout.
 
         ``partitions`` partitions, each with 1 server node, ``backups``
         backup server nodes and ``computes`` compute nodes, all attached
-        to every network in ``networks``.
+        to every network in ``networks``.  ``region_size`` groups
+        partitions into two-tier federation regions (see
+        :class:`ClusterSpec`).
         """
         if partitions <= 0 or computes < 0 or backups <= 0:
             raise ClusterError("partitions and backups must be positive, computes >= 0")
@@ -194,7 +234,12 @@ class ClusterSpec:
             NetworkSpec(name=name, base_latency=base_latency, jitter=jitter, loss_rate=loss_rate)
             for name in networks
         )
-        return cls(partitions=tuple(part_specs), networks=net_specs, nodes=node_specs)
+        return cls(
+            partitions=tuple(part_specs),
+            networks=net_specs,
+            nodes=node_specs,
+            region_size=region_size,
+        )
 
     @classmethod
     def paper_fault_testbed(cls) -> "ClusterSpec":

@@ -639,8 +639,13 @@ def run_partition_class(
     seed: int = 0,
     heartbeat_interval: float = 10.0,
     spec: ClusterSpec | None = None,
+    trace_export: str | None = None,
 ) -> PartitionCampaignResult:
-    """Run one partition fault class; see module docstring for scenarios."""
+    """Run one partition fault class; see module docstring for scenarios.
+
+    ``trace_export`` writes the full trace (with commit marks) to a JSONL
+    file afterwards, so :mod:`repro.experiments.trace_check` can re-verify
+    the leadership invariants without the in-process spies."""
     if kind not in PARTITION_CLASSES:
         raise ValueError(
             f"unknown partition class {kind!r}; expected one of {PARTITION_CLASSES}"
@@ -648,7 +653,13 @@ def run_partition_class(
     hb = heartbeat_interval
     sim = Simulator(seed=seed, trace_capacity=None)
     cluster = Cluster(sim, spec or ClusterSpec.build(partitions=4, computes=2))
-    kernel = PhoenixKernel(cluster, timings=KernelTimings(heartbeat_interval=hb))
+    # Commit marks make the exported trace self-contained evidence for
+    # the external checker (they are off by default for byte-identity of
+    # the figure traces; this campaign is not one of those).
+    kernel = PhoenixKernel(
+        cluster,
+        timings=KernelTimings(heartbeat_interval=hb, trace_commit_marks=True),
+    )
     kernel.boot()
     injector = FaultInjector(cluster)
     rng = sim.rngs.stream(f"campaign.partition.{kind}")
@@ -831,15 +842,23 @@ def run_partition_class(
         1 for r in sim.trace.iter_records("gsd.regroup")
         if r.get("duration") is not None and r.get("parent_id") in fault_span_ids
     )
+    if trace_export is not None:
+        sim.trace.export_jsonl(trace_export)
     return result
 
 
 def run_partition_campaign(
-    injections: int = 2, seed: int = 0
+    injections: int = 2, seed: int = 0, trace_dir: str | None = None
 ) -> dict[str, PartitionCampaignResult]:
-    """One PartitionCampaignResult per class in PARTITION_CLASSES."""
+    """One PartitionCampaignResult per class in PARTITION_CLASSES.
+
+    ``trace_dir`` exports one ``partition-<kind>.jsonl`` trace per class
+    for the external :mod:`repro.experiments.trace_check` audit."""
     return {
-        kind: run_partition_class(kind, injections=injections, seed=seed)
+        kind: run_partition_class(
+            kind, injections=injections, seed=seed,
+            trace_export=f"{trace_dir}/partition-{kind}.jsonl" if trace_dir else None,
+        )
         for kind in PARTITION_CLASSES
     }
 
@@ -963,11 +982,17 @@ def main(argv: list[str] | None = None) -> None:
              "violation — same-epoch dual leaders, minority-accepted "
              "writes, spurious failovers, incomplete coverage (CI gate)",
     )
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="with --partition: export one partition-<class>.jsonl trace "
+             "per class for `python -m repro tracecheck`",
+    )
     args = parser.parse_args(argv)
     if args.partition:
         results = run_partition_campaign(
             injections=args.injections if args.injections is not None else 2,
             seed=args.seed,
+            trace_dir=args.trace_dir,
         )
         print(render_partition_campaign(results))
         if args.check:

@@ -9,6 +9,7 @@ bulletin, then runs one SQL-ish query (see
     python -m repro query --view "select _key, cpu_pct from nodes order by cpu_pct desc limit 5"
     python -m repro query --as-of -5 "select count(*) as n from jobs"
     python -m repro query --repl                 # long-lived interactive session
+    python -m repro query --repl --socket /tmp/q.sock   # serve sessions over AF_UNIX
 
 ``--view`` registers the query as a materialized view first and reads it
 back (exercising incremental maintenance instead of the full scan).
@@ -24,6 +25,8 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
+import socket
 import sys
 from dataclasses import replace
 from typing import Any
@@ -202,39 +205,21 @@ Time travel: append "as of T" to a query (T <= 0 means seconds before now);
 the first as-of per table registers a bootstrap view, so history starts then."""
 
 
-def repl(
-    in_stream=None,
-    out_stream=None,
-    *,
-    partitions: int = 3,
-    computes: int = 4,
-    seed: int = 7,
-    warm: float = 30.0,
-) -> int:
-    """Long-lived interactive query session against one booted system.
+def _session(sim, kernel, client, in_stream, out_stream, bootstrapped: set[str]) -> None:
+    """One interactive session loop over an already-booted system.
 
-    Unlike :func:`run_query`, which boots a fresh cluster per invocation,
-    the REPL boots once and keeps the simulation alive between queries —
-    ``\\run`` advances virtual time, so consecutive queries (and ``AS
-    OF`` reads against the now-populated history) observe one evolving
-    bulletin.  Streams default to stdin/stdout and are injectable for
-    tests.  Returns a process exit code.
-    """
-    in_stream = in_stream if in_stream is not None else sys.stdin
-    out_stream = out_stream if out_stream is not None else sys.stdout
+    The system (and the ``bootstrapped`` as-of registry) outlives the
+    session: the stdin REPL runs exactly one, the ``--socket`` server
+    runs one per accepted connection against the same evolving sim."""
 
     def say(text: str) -> None:
         print(text, file=out_stream)
 
-    sim, kernel, client = boot_system(
-        partitions=partitions, computes=computes, seed=seed, warm=warm
-    )
     say(
         f"bulletin repl — {kernel.cluster.size} nodes / "
         f"{len(kernel.cluster.partitions)} partitions, t={sim.now:.1f}s "
         "(\\h for help, \\q to quit)"
     )
-    bootstrapped: set[str] = set()
     while True:
         out_stream.write("query> ")
         out_stream.flush()
@@ -310,6 +295,97 @@ def repl(
             say(render_rows(query, rows, title=f"[{source}, {len(rows)} rows]"))
         except Exception as exc:  # noqa: BLE001 - REPL surfaces, never dies
             say(f"error: {exc}")
+
+
+def repl(
+    in_stream=None,
+    out_stream=None,
+    *,
+    partitions: int = 3,
+    computes: int = 4,
+    seed: int = 7,
+    warm: float = 30.0,
+) -> int:
+    """Long-lived interactive query session against one booted system.
+
+    Unlike :func:`run_query`, which boots a fresh cluster per invocation,
+    the REPL boots once and keeps the simulation alive between queries —
+    ``\\run`` advances virtual time, so consecutive queries (and ``AS
+    OF`` reads against the now-populated history) observe one evolving
+    bulletin.  Streams default to stdin/stdout and are injectable for
+    tests.  Returns a process exit code.
+    """
+    sim, kernel, client = boot_system(
+        partitions=partitions, computes=computes, seed=seed, warm=warm
+    )
+    _session(
+        sim, kernel, client,
+        in_stream if in_stream is not None else sys.stdin,
+        out_stream if out_stream is not None else sys.stdout,
+        set(),
+    )
+    return 0
+
+
+def serve(
+    socket_path: str,
+    *,
+    partitions: int = 3,
+    computes: int = 4,
+    seed: int = 7,
+    warm: float = 30.0,
+    max_sessions: int | None = None,
+    log_stream=None,
+) -> int:
+    """REPL sessions over an AF_UNIX socket, one connection at a time.
+
+    The system boots once and persists across connections — virtual time
+    advanced (and as-of history accumulated) in one session is visible
+    to the next, so a later ``nc -U SOCKET`` picks up where the previous
+    session left off.  Connections are served sequentially: the sim is
+    single-threaded, so concurrency would interleave ``sim.run`` calls.
+    ``max_sessions`` bounds the accept loop (tests); default runs until
+    interrupted.
+    """
+    log = log_stream if log_stream is not None else sys.stdout
+    sim, kernel, client = boot_system(
+        partitions=partitions, computes=computes, seed=seed, warm=warm
+    )
+    bootstrapped: set[str] = set()
+    try:
+        os.unlink(socket_path)
+    except FileNotFoundError:
+        pass
+    server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        server.bind(socket_path)
+        server.listen(1)
+        print(
+            f"bulletin repl listening on {socket_path} "
+            f"(connect: nc -U {socket_path}; ctrl-c stops)",
+            file=log, flush=True,
+        )
+        served = 0
+        while max_sessions is None or served < max_sessions:
+            try:
+                conn, _addr = server.accept()
+            except (KeyboardInterrupt, OSError):
+                break
+            with conn, conn.makefile("r", encoding="utf-8") as rf, \
+                    conn.makefile("w", encoding="utf-8") as wf:
+                try:
+                    _session(sim, kernel, client, rf, wf, bootstrapped)
+                except (BrokenPipeError, ConnectionResetError):
+                    pass  # client hung up mid-reply; keep serving
+            served += 1
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        try:
+            os.unlink(socket_path)
+        except FileNotFoundError:
+            pass
     return 0
 
 
@@ -337,9 +413,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="CI smoke: equivalence + time travel, exit nonzero on failure")
     parser.add_argument("--repl", action="store_true",
                         help="interactive session against one long-lived booted system")
+    parser.add_argument("--socket", default=None, metavar="PATH",
+                        help="with --repl: serve sessions on an AF_UNIX socket "
+                             "(nc -U PATH) instead of stdin; the booted system "
+                             "persists across connections")
     args = parser.parse_args(argv)
 
     if args.repl:
+        if args.socket:
+            return serve(
+                args.socket, partitions=args.partitions, computes=args.computes,
+                seed=args.seed, warm=args.warm,
+            )
         return repl(
             partitions=args.partitions, computes=args.computes,
             seed=args.seed, warm=args.warm,

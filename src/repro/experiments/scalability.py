@@ -32,12 +32,16 @@ NODES_PER_PARTITION = 16
 STORM_EVENTS = 20
 
 
-def spec_for(nodes: int) -> ClusterSpec:
-    """Regular 16-nodes-per-partition spec for a node count."""
+def spec_for(nodes: int, region_size: int | None = None) -> ClusterSpec:
+    """Regular 16-nodes-per-partition spec for a node count.
+
+    ``region_size`` (partitions per region) switches the federation to
+    the two-tier topology (DESIGN.md §16) — None keeps the flat mesh."""
     if nodes % NODES_PER_PARTITION:
         raise ValueError(f"nodes must be a multiple of {NODES_PER_PARTITION}")
     return ClusterSpec.build(
-        partitions=nodes // NODES_PER_PARTITION, computes=NODES_PER_PARTITION - 2, backups=1
+        partitions=nodes // NODES_PER_PARTITION, computes=NODES_PER_PARTITION - 2, backups=1,
+        region_size=region_size,
     )
 
 
@@ -48,6 +52,8 @@ def run_point(
     measure_time: float = 90.0,
     heartbeat_interval: float = 30.0,
     fast_forward: bool = False,
+    region_size: int | None = None,
+    allpairs_storm: bool = False,
 ) -> dict:
     """One sweep point; returns the measured scaling quantities.
 
@@ -63,7 +69,7 @@ def run_point(
     # filtering at mark time keeps the 2048/4096-node points from paying a
     # record allocation per heartbeat/export mark they will never read.
     sim.trace.set_record_filter(("gridview.",))
-    cluster = Cluster(sim, spec_for(nodes))
+    cluster = Cluster(sim, spec_for(nodes, region_size=region_size))
     kernel = PhoenixKernel(cluster, timings=KernelTimings(heartbeat_interval=heartbeat_interval))
     kernel.boot()
     gv = install_gridview(kernel, refresh_interval=refresh_interval)
@@ -92,6 +98,8 @@ def run_point(
     published0 = sim.trace.counter("es.published")
     batches0 = sim.trace.counter("es.forward_batches")
     batched0 = sim.trace.counter("es.forward_batched_events")
+    intra0 = sim.trace.counter("es.forward_batches_intra")
+    cross0 = sim.trace.counter("es.forward_batches_cross")
     client = kernel.client(access_node)
     for i in range(STORM_EVENTS):
         client.publish("app.started", {"node": access_node, "seq": i})
@@ -99,10 +107,44 @@ def run_point(
     storm_published = sim.trace.counter("es.published") - published0
     forward_batches = sim.trace.counter("es.forward_batches") - batches0
     forwarded_events = sim.trace.counter("es.forward_batched_events") - batched0
+    storm_intra = sim.trace.counter("es.forward_batches_intra") - intra0
+    storm_cross = sim.trace.counter("es.forward_batches_cross") - cross0
 
+    # All-pairs storm (opt-in): one publish from *every* partition at
+    # once — the cost profile the two-tier topology exists to change.
+    # Flat federation opens P-1 streams per publisher (O(P) datagrams
+    # per partition, O(P^2) total); two-tier coalesces cross-region
+    # traffic through aggregators (O(P/R + R) per partition).
+    allpairs = None
+    if allpairs_storm:
+        ap0 = sim.trace.counter("es.forward_batches")
+        api0 = sim.trace.counter("es.forward_batches_intra")
+        apc0 = sim.trace.counter("es.forward_batches_cross")
+        for part in cluster.spec.partitions:
+            kernel.client(part.server).publish("config.changed", {"src": part.partition_id})
+        sim.run(until=sim.now + 5.0)
+        ap_batches = sim.trace.counter("es.forward_batches") - ap0
+        allpairs = {
+            "batches": ap_batches,
+            "intra": sim.trace.counter("es.forward_batches_intra") - api0,
+            "cross": sim.trace.counter("es.forward_batches_cross") - apc0,
+            "per_partition": ap_batches / len(cluster.partitions),
+        }
+
+    partitions = len(cluster.partitions)
     return {
         "nodes": nodes,
-        "partitions": len(cluster.partitions),
+        "partitions": partitions,
+        "region_size": region_size,
+        "regions": len(cluster.spec.regions()) if region_size is not None else 1,
+        # Per-partition federation datagram counts for the storm window:
+        # flat mode is O(P) per partition (every publisher batches to
+        # every peer), two-tier is O(R + P/R).  The fig6 bench guards
+        # these against super-linear growth regressions.
+        "fed_msgs_per_partition": forward_batches / partitions,
+        "fed_msgs_intra": storm_intra,
+        "fed_msgs_cross": storm_cross,
+        "allpairs": allpairs,
         "refreshes": len(refreshes),
         "rows_per_refresh": refreshes[-1]["rows"],
         "refresh_latency_ms": 1000.0 * sum(latencies) / len(latencies),
@@ -161,10 +203,14 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--fast-forward", action="store_true",
                         help="batch-account healthy periodic cascades (DESIGN.md §13); "
                              "observably identical results, far fewer executed events")
+    parser.add_argument("--region-size", type=int, default=None,
+                        help="partitions per region: two-tier federation "
+                             "(DESIGN.md §16); omit for the flat mesh")
     parser.add_argument("--show-snapshot", action="store_true",
                         help="print the Figure 6 style board for the largest point")
     args = parser.parse_args(argv)
-    rows = run_sweep(tuple(args.nodes), seed=args.seed, fast_forward=args.fast_forward)
+    rows = run_sweep(tuple(args.nodes), seed=args.seed, fast_forward=args.fast_forward,
+                     region_size=args.region_size)
     print(render_sweep(rows))
     if args.show_snapshot:
         print()

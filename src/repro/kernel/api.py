@@ -78,6 +78,18 @@ class PhoenixKernel:
         #: Monotone bulletin incarnation counters per partition, stamped
         #: into delta/read watermarks for failover fencing.
         self._db_epochs: dict[str, int] = {}
+        #: Two-tier federation bookkeeping (DESIGN.md §16): region index
+        #: -> aggregator partition id, recomputed (epoch-fenced) from
+        #: every installed meta-group view.  Empty in flat mode.
+        self._region_partitions: tuple[tuple[str, ...], ...] = ()
+        self._region_index: dict[str, int] = {}
+        self.region_aggregators: dict[int, str] = {}
+        self._aggregator_epoch = 0
+        if cluster.spec.region_size is not None:
+            self._region_partitions = cluster.spec.regions()
+            for idx, pids in enumerate(self._region_partitions):
+                for pid in pids:
+                    self._region_index[pid] = idx
         self.booted = False
         self._register_default_factories()
 
@@ -123,7 +135,10 @@ class PhoenixKernel:
         for part in self.cluster.partitions:
             self.gsd(part.partition_id).metagroup.install_view(view)
         self.note_placement("metagroup", "leader", members[0][1], epoch=view.epoch)
+        self.note_view(view)
         self.booted = True
+        if self.timings.trace_commit_marks:
+            self.sim.trace.mark("leader.claimed", node=members[0][1], epoch=view.epoch)
         self.sim.trace.mark("kernel.booted", nodes=self.cluster.size, partitions=len(members))
 
     # -- service lifecycle ---------------------------------------------------
@@ -185,7 +200,68 @@ class PhoenixKernel:
                 return False
             self._placement_epochs[key] = epoch
         self.placement[key] = node_id
+        if self.timings.trace_commit_marks:
+            self.sim.trace.mark(
+                "placement.committed", service=service, scope=scope,
+                node=node_id, epoch=epoch,
+            )
         return True
+
+    # -- two-tier federation topology (DESIGN.md §16) -----------------------
+    @property
+    def regions_enabled(self) -> bool:
+        """True when the spec groups partitions into more than one region."""
+        return len(self._region_partitions) > 1
+
+    def region_of(self, partition_id: str) -> int:
+        """Region index of a partition (0 in flat mode)."""
+        return self._region_index.get(partition_id, 0)
+
+    def region_partitions(self, partition_id: str) -> tuple[str, ...]:
+        """Configured partition ids of ``partition_id``'s region."""
+        if not self._region_partitions:
+            return tuple(p.partition_id for p in self.cluster.partitions)
+        return self._region_partitions[self.region_of(partition_id)]
+
+    def is_aggregator(self, partition_id: str) -> bool:
+        """Is this partition its region's currently elected aggregator?"""
+        if not self.regions_enabled:
+            return False
+        return self.region_aggregators.get(self.region_of(partition_id)) == partition_id
+
+    def remote_aggregators(self, partition_id: str) -> list[str]:
+        """Aggregator partition of every *other* region, in region order."""
+        if not self.regions_enabled:
+            return []
+        own = self.region_of(partition_id)
+        return [
+            agg for idx, agg in sorted(self.region_aggregators.items())
+            if idx != own
+        ]
+
+    def note_view(self, view) -> None:
+        """Recompute region aggregators from an installed meta-group view.
+
+        Election is deterministic: each region's aggregator is its first
+        configured partition still present in the view (fallback: the
+        first configured partition, so a fully evicted region keeps a
+        stable target for retries until it rejoins).  Updates are fenced
+        by the view epoch — a stale view from a healed minority cannot
+        roll the aggregator map backwards.
+        """
+        if not self.regions_enabled or view is None:
+            return
+        if view.epoch < self._aggregator_epoch:
+            return
+        self._aggregator_epoch = view.epoch
+        present = {pid for pid, _ in view.members}
+        for idx, pids in enumerate(self._region_partitions):
+            agg = next((pid for pid in pids if pid in present), pids[0])
+            if self.region_aggregators.get(idx) != agg:
+                self.region_aggregators[idx] = agg
+                self.sim.trace.mark(
+                    "region.aggregator", region=idx, partition=agg, epoch=view.epoch
+                )
 
     # -- service accessors (host-side introspection) -------------------------
     def _partition_daemon(self, service: str, partition_id: str) -> ServiceDaemon:

@@ -34,7 +34,7 @@ from repro.kernel.bulletin import query as rel
 from repro.kernel.bulletin.store import BulletinStore
 from repro.kernel.bulletin.views import MaterializedView, ViewEngine
 from repro.kernel.daemon import ServiceDaemon
-from repro.kernel.events.types import DB_DELTA
+from repro.kernel.events.types import DB_DELTA, DB_DELTA_DIGEST
 from repro.kernel.query import aggregate_rows, merge_aggregates, validate_where
 
 #: Well-known bulletin tables.
@@ -235,6 +235,8 @@ class BulletinDaemon(ServiceDaemon):
             return self._on_view_list(msg)
         if msg.mtype == ports.DB_MAINT:
             return self._on_maint(msg)
+        if msg.mtype == ports.DB_ASOF:
+            return self._on_asof(msg)
         self.sim.trace.mark("db.unknown_mtype", mtype=msg.mtype)
         return None
 
@@ -266,22 +268,57 @@ class BulletinDaemon(ServiceDaemon):
             return {"rows": local_rows, "partitions_missing": [], "watermark": watermark}
         # Global scope: fan out to peers asynchronously, then answer the RPC
         # ourselves (the handler returns None so the transport does not
-        # auto-reply).
+        # auto-reply).  Region scope (two-tier federation only) is the
+        # same flow restricted to this instance's region mesh — remote
+        # aggregators answer it on a global query's behalf.
         span = self.sim.trace.span(
             "db.query", parent=msg.payload.get("_span", ""), node=self.node_id, table=table
         )
+        if scope == "region":
+            peers = self._region_query_peers()
+        else:
+            peers = self._federation_query_peers()
         self.spawn(
-            self._global_query(msg, table, where, aggregate, local_rows, span),
+            self._global_query(msg, table, where, aggregate, local_rows, span, peers),
             name=f"{self.node_id}/db.fanout",
         )
         return None
 
-    def _global_query(self, msg: Message, table: str, where, aggregate, local_rows, span):
-        peers = {
-            part_id: node
-            for part_id, node in self.kernel.db_locations().items()
-            if part_id != self.partition_id
+    def _region_query_peers(self) -> dict[str, tuple[str, str]]:
+        """Own region's placed peers, each probed with local scope."""
+        locations = self.kernel.db_locations()
+        return {
+            pid: (locations[pid], "local")
+            for pid in self.kernel.region_partitions(self.partition_id)
+            if pid != self.partition_id and pid in locations
         }
+
+    def _federation_query_peers(self) -> dict[str, tuple[str, str]]:
+        """Fan-out set for a global query: ``part_id -> (node, scope)``.
+
+        Flat federation: every placed peer, local scope.  Two-tier: own
+        region's mesh (local scope) plus one region-scope probe per
+        remote aggregator — O(R + P/R) requests instead of O(P)."""
+        locations = self.kernel.db_locations()
+        if not self.kernel.regions_enabled:
+            return {
+                part_id: (node, "local")
+                for part_id, node in locations.items()
+                if part_id != self.partition_id
+            }
+        peers = self._region_query_peers()
+        for pid in self.kernel.remote_aggregators(self.partition_id):
+            if pid in locations:
+                peers[pid] = (locations[pid], "region")
+        return peers
+
+    def _peer_covers(self, part_id: str, peer_scope: str) -> list[str]:
+        """Partitions hidden when the probe to ``part_id`` goes unanswered."""
+        if peer_scope == "region":
+            return list(self.kernel.region_partitions(part_id))
+        return [part_id]
+
+    def _global_query(self, msg: Message, table: str, where, aggregate, local_rows, span, peers):
         request = {"table": table, "where": where, "scope": "local"}
         if aggregate:
             request["aggregate"] = aggregate
@@ -289,10 +326,11 @@ class BulletinDaemon(ServiceDaemon):
         # budget so one lost datagram does not hide a partition's rows.
         signals = {
             part_id: self.rpc_retry(
-                node, ports.DB, ports.DB_QUERY, dict(request), span=span,
-                call_class="bulletin.fanout",
+                node, ports.DB, ports.DB_QUERY,
+                dict(request) if peer_scope == "local" else dict(request, scope="region"),
+                span=span, call_class="bulletin.fanout",
             )
-            for part_id, node in peers.items()
+            for part_id, (node, peer_scope) in peers.items()
         }
         rows = list(local_rows)
         partials = [aggregate_rows(local_rows, aggregate)] if aggregate else []
@@ -305,11 +343,14 @@ class BulletinDaemon(ServiceDaemon):
         for part_id, signal in signals.items():
             reply = yield signal
             if reply is None:
-                missing.append(part_id)
+                missing.extend(self._peer_covers(part_id, peers[part_id][1]))
                 continue
             wm = reply.get("watermark")
             if wm is not None:
                 watermarks[part_id] = int(wm["epoch"])
+            for pid, epoch in (reply.get("watermarks") or {}).items():
+                watermarks[pid] = int(epoch)
+            missing.extend(reply.get("partitions_missing", ()))
             if aggregate:
                 partials.append(reply.get("aggregate", {}))
                 row_count += int(reply.get("row_count", 0))
@@ -358,17 +399,15 @@ class BulletinDaemon(ServiceDaemon):
         rows_by_table: dict[str, list[dict[str, Any]]] = {
             table: self.store.query(table) for table in tables
         }
-        peers = {
-            part_id: node
-            for part_id, node in self.kernel.db_locations().items()
-            if part_id != self.partition_id
-        }
+        peers = self._federation_query_peers()
         signals = {
             (part_id, table): self.rpc_retry(
-                node, ports.DB, ports.DB_QUERY, {"table": table, "scope": "local"},
+                node, ports.DB, ports.DB_QUERY,
+                {"table": table, "scope": "local"} if peer_scope == "local"
+                else {"table": table, "scope": "region"},
                 span=span, call_class="bulletin.fanout",
             )
-            for part_id, node in sorted(peers.items())
+            for part_id, (node, peer_scope) in sorted(peers.items())
             for table in tables
         }
         missing: set[str] = set()
@@ -376,12 +415,15 @@ class BulletinDaemon(ServiceDaemon):
         for (part_id, table), signal in signals.items():
             reply = yield signal
             if reply is None:
-                missing.add(part_id)
+                missing.update(self._peer_covers(part_id, peers[part_id][1]))
                 continue
             rows_by_table[table].extend(reply.get("rows", []))
             wm = reply.get("watermark")
             if wm is not None:
                 watermarks[part_id] = int(wm["epoch"])
+            for pid, epoch in (reply.get("watermarks") or {}).items():
+                watermarks[pid] = int(epoch)
+            missing.update(reply.get("partitions_missing", ()))
 
         def get_rows(table: str) -> list[dict[str, Any]]:
             return sorted(
@@ -401,8 +443,15 @@ class BulletinDaemon(ServiceDaemon):
         """Time-travel: answer from checkpointed base tables instead of
         live stores — "what did the cluster look like at t" (§time-travel
         in DESIGN.md §14).  Requires view maintenance to have been on
-        around ``t`` (that is what checkpoints the base tables)."""
-        partitions = sorted(p.partition_id for p in self.kernel.cluster.partitions)
+        around ``t`` (that is what checkpoints the base tables).
+
+        Flat federation pulls every partition's checkpoint directory;
+        two-tier pulls its own region's directly and asks each remote
+        aggregator for a ``DB_ASOF`` directory summary of its region."""
+        if self.kernel.regions_enabled:
+            partitions = sorted(self.kernel.region_partitions(self.partition_id))
+        else:
+            partitions = sorted(p.partition_id for p in self.kernel.cluster.partitions)
         signals = {}
         for part_id in partitions:
             ckpt_node = self.kernel.placement.get(("ckpt", part_id))
@@ -414,6 +463,18 @@ class BulletinDaemon(ServiceDaemon):
                 span=span, call_class="ckpt.pull",
             )
         missing = [p for p in partitions if p not in signals]
+        agg_signals = {}
+        if self.kernel.regions_enabled:
+            locations = self.kernel.db_locations()
+            for agg in self.kernel.remote_aggregators(self.partition_id):
+                node = locations.get(agg)
+                if node is None:
+                    missing.extend(self.kernel.region_partitions(agg))
+                    continue
+                agg_signals[agg] = self.rpc_retry(
+                    node, ports.DB, ports.DB_ASOF, {"as_of": q.as_of},
+                    span=span, call_class="bulletin.fanout",
+                )
         rows_by_table: dict[str, list[dict[str, Any]]] = {}
         versions: dict[str, dict[str, Any]] = {}
         for part_id, signal in signals.items():
@@ -425,6 +486,15 @@ class BulletinDaemon(ServiceDaemon):
             versions[part_id] = {"version": reply.get("version"), "t": data.get("t")}
             for table, rows in (data.get("tables") or {}).items():
                 rows_by_table.setdefault(table, []).extend(rows.values())
+        for agg, signal in agg_signals.items():
+            reply = yield signal
+            if reply is None:
+                missing.extend(self.kernel.region_partitions(agg))
+                continue
+            missing.extend(reply.get("partitions_missing", ()))
+            versions.update(reply.get("versions") or {})
+            for table, rows in (reply.get("tables") or {}).items():
+                rows_by_table.setdefault(table, []).extend(rows)
 
         def get_rows(table: str) -> list[dict[str, Any]]:
             return sorted(
@@ -440,6 +510,46 @@ class BulletinDaemon(ServiceDaemon):
             "versions": versions,
         })
         span.end(rows=len(result), missing=len(missing), as_of=q.as_of)
+
+    def _on_asof(self, msg: Message) -> None:
+        """Aggregator-side AS OF summary (two-tier federation): pull this
+        region's checkpointed base-table directories at ``as_of`` and ship
+        the merged rows, so a remote querier needs one RPC per region
+        instead of one checkpoint pull per partition."""
+        self.sim.trace.count("db.asof_summaries")
+        self.spawn(self._asof_flow(msg), name=f"{self.node_id}/db.asof")
+        return None
+
+    def _asof_flow(self, msg: Message):
+        as_of = msg.payload.get("as_of")
+        region = sorted(self.kernel.region_partitions(self.partition_id))
+        signals = {}
+        for part_id in region:
+            ckpt_node = self.kernel.placement.get(("ckpt", part_id))
+            if ckpt_node is None:
+                continue
+            signals[part_id] = self.rpc_retry(
+                ckpt_node, ports.CKPT, ports.CKPT_LOAD,
+                {"key": f"db.tables.{part_id}", "at_time": as_of},
+                call_class="ckpt.pull",
+            )
+        missing = [p for p in region if p not in signals]
+        tables: dict[str, list[dict[str, Any]]] = {}
+        versions: dict[str, dict[str, Any]] = {}
+        for part_id, signal in signals.items():
+            reply = yield signal
+            if reply is None or not reply.get("found"):
+                missing.append(part_id)
+                continue
+            data = reply.get("data") or {}
+            versions[part_id] = {"version": reply.get("version"), "t": data.get("t")}
+            for table, rows in (data.get("tables") or {}).items():
+                tables.setdefault(table, []).extend(rows.values())
+        self.reply(msg, {
+            "tables": tables,
+            "versions": versions,
+            "partitions_missing": sorted(missing),
+        })
 
     # -- materialized views -------------------------------------------------
     def _on_view_register(self, msg: Message) -> dict[str, Any] | None:
@@ -488,6 +598,12 @@ class BulletinDaemon(ServiceDaemon):
         es_node = self.kernel.es_locations().get(self.partition_id)
         if es_node is None:
             return
+        # Two-tier mode: cross-region delta runs arrive coalesced as
+        # db.delta_digest events; flat mode keeps the historical
+        # single-type subscription so its checkpoints stay byte-identical.
+        types = [DB_DELTA]
+        if self.kernel.regions_enabled:
+            types.append(DB_DELTA_DIGEST)
         for table in sorted(tables):
             yield self.rpc_retry(
                 es_node, ports.ES, ports.ES_SUBSCRIBE,
@@ -495,34 +611,55 @@ class BulletinDaemon(ServiceDaemon):
                     "consumer_id": f"db.views.{self.partition_id}.{table}",
                     "node": self.node_id,
                     "port": VIEW_EVENTS_PORT,
-                    "types": [DB_DELTA],
+                    "types": types,
                     "where": {"table": table},
                     "replay": 0,
                 },
             )
 
+    def _maint_targets(self) -> dict[str, tuple[str, bool]]:
+        """``part_id -> (node, relay)`` for a maintenance broadcast.
+
+        Flat federation: every placed peer.  Two-tier: own region's mesh
+        plus remote aggregators, the latter flagged to re-relay into
+        their region so config still reaches everyone in O(R + P/R)."""
+        locations = self.kernel.db_locations()
+        if not self.kernel.regions_enabled:
+            return {
+                part_id: (node, False)
+                for part_id, node in locations.items()
+                if part_id != self.partition_id
+            }
+        targets = {
+            pid: (locations[pid], False)
+            for pid in self.kernel.region_partitions(self.partition_id)
+            if pid != self.partition_id and pid in locations
+        }
+        for pid in self.kernel.remote_aggregators(self.partition_id):
+            if pid in locations:
+                targets[pid] = (locations[pid], True)
+        return targets
+
     def _broadcast_maint(self):
         payload = self._maint_payload()
-        peers = {
-            part_id: node
-            for part_id, node in self.kernel.db_locations().items()
-            if part_id != self.partition_id
-        }
         signals = {
             part_id: self.rpc_retry(
-                node, ports.DB, ports.DB_MAINT, dict(payload),
+                node, ports.DB, ports.DB_MAINT,
+                dict(payload, relay=True) if relay else dict(payload),
                 call_class="bulletin.fanout",
             )
-            for part_id, node in sorted(peers.items())
+            for part_id, (node, relay) in sorted(self._maint_targets().items())
         }
         for signal in signals.values():
             yield signal  # best-effort: housekeeping re-broadcasts heal stragglers
 
     def _rebroadcast_maint(self) -> None:
         payload = self._maint_payload()
-        for part_id, node in sorted(self.kernel.db_locations().items()):
-            if part_id != self.partition_id:
-                self.send(node, ports.DB, ports.DB_MAINT, dict(payload))
+        for part_id, (node, relay) in sorted(self._maint_targets().items()):
+            self.send(
+                node, ports.DB, ports.DB_MAINT,
+                dict(payload, relay=True) if relay else dict(payload),
+            )
 
     def _maint_payload(self) -> dict[str, Any]:
         return {
@@ -535,6 +672,15 @@ class BulletinDaemon(ServiceDaemon):
 
     def _on_maint(self, msg: Message) -> dict[str, Any] | None:
         self.kernel.view_maintenance = True
+        if msg.payload.get("relay") and self.kernel.regions_enabled:
+            # Two-tier federation: the sender only reached this region's
+            # aggregator — re-relay the config into the local mesh (one
+            # hop only; the relayed copy drops the flag).
+            relayed = {k: v for k, v in msg.payload.items() if k != "relay"}
+            locations = self.kernel.db_locations()
+            for part_id in self.kernel.region_partitions(self.partition_id):
+                if part_id != self.partition_id and part_id in locations:
+                    self.send(locations[part_id], ports.DB, ports.DB_MAINT, dict(relayed))
         for name, part_id in (msg.payload.get("views") or {}).items():
             self.kernel.view_owners[name] = part_id
         new = set(msg.payload.get("tables", ())) - self._publish_tables
@@ -595,7 +741,11 @@ class BulletinDaemon(ServiceDaemon):
             return
         event = msg.payload.get("event") or {}
         delta = event.get("data") or {}
-        if delta.get("table"):
+        if not delta.get("table"):
+            return
+        if event.get("type") == DB_DELTA_DIGEST:
+            self.engine.on_delta_digest(delta, self.sim.now)
+        else:
             self.engine.on_delta(delta, self.sim.now)
 
     def _recover_maintenance(self):

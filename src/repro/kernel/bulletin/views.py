@@ -269,6 +269,13 @@ class ViewEngine:
         return self.views[name].rows()
 
     # -- delta intake --------------------------------------------------------
+    def _intake(self, payload: dict[str, Any], now: float) -> None:
+        """Dispatch one buffered feed payload (plain delta or digest)."""
+        if "seq_hi" in payload:
+            self.on_delta_digest(payload, now)
+        else:
+            self.on_delta(payload, now)
+
     def on_delta(self, delta: dict[str, Any], now: float) -> None:
         """Entry point for one ``db.delta`` event payload."""
         table = delta.get("table", "")
@@ -283,6 +290,54 @@ class ViewEngine:
             pending.append(delta)
             return
         self._admit(delta, now)
+
+    def on_delta_digest(self, digest: dict[str, Any], now: float) -> None:
+        """Entry point for one ``db.delta_digest`` payload (two-tier
+        federation): a contiguous ``[seq_lo, seq_hi]`` slice of one
+        source's delta stream, carrying the per-key latest delta only.
+        Shares the plain feed's buffering/resync discipline."""
+        table = digest.get("table", "")
+        if table not in self.tables():
+            return
+        if not self.ready:
+            self._startup_buffer.append(digest)
+            return
+        source = (digest["partition"], table)
+        pending = self._resyncing.get(source)
+        if pending is not None:
+            pending.append(digest)
+            return
+        self._admit_digest(digest, now)
+
+    def _admit_digest(self, digest: dict[str, Any], now: float) -> None:
+        part, table = digest["partition"], digest["table"]
+        epoch = int(digest["epoch"])
+        lo, hi = int(digest["seq_lo"]), int(digest["seq_hi"])
+        known = self.sources.get((part, table))
+        if known is None:
+            self._start_resync(part, table, first=digest)
+            return
+        cur_epoch, cur_seq = known
+        if epoch < cur_epoch or (epoch == cur_epoch and hi <= cur_seq):
+            self.daemon.sim.trace.count("db.view_delta_stale")
+            return
+        if epoch > cur_epoch or lo > cur_seq + 1:
+            # New incarnation or a gap ahead of the digest: rescan.
+            self._start_resync(part, table, first=digest)
+            return
+        # Contiguous (possibly overlapping an already-applied prefix):
+        # apply the unseen suffix.  Dropped intermediate versions of a key
+        # are safe — _apply derives old rows from the mirror, so folding
+        # (old->v1, v1->v2) into (old->v2) is the same transition.
+        self.sources[(part, table)] = (epoch, hi)
+        self.daemon.sim.trace.count("db.view_digests_applied")
+        for delta in digest.get("deltas", []):
+            if int(delta["seq"]) > cur_seq:
+                self._apply(
+                    table, delta["key"],
+                    delta.get("row") if delta["op"] == "put" else None,
+                    float(delta.get("t", now)), now,
+                )
 
     def _admit(self, delta: dict[str, Any], now: float) -> None:
         part, table = delta["partition"], delta["table"]
@@ -369,7 +424,10 @@ class ViewEngine:
     def _admit_post_resync(self, delta: dict[str, Any], now: float) -> None:
         """Drain one buffered delta after a resync landed; a residual gap
         (delta newer than the scan plus one) re-triggers the resync."""
-        self._admit(delta, now)
+        if "seq_hi" in delta:
+            self._admit_digest(delta, now)
+        else:
+            self._admit(delta, now)
 
     def _scan_source(
         self, part: str, table: str
@@ -468,7 +526,7 @@ class ViewEngine:
         buffered, self._startup_buffer = self._startup_buffer, []
         now = daemon.sim.now
         for delta in buffered:
-            self.on_delta(delta, now)
+            self._intake(delta, now)
 
     def build_table(self, table: str) -> Generator[Any, Any, None]:
         """Bring one *additional* base table under maintenance (a later

@@ -23,6 +23,14 @@ from repro.kernel.checkpoint.store import CheckpointStore
 from repro.kernel.daemon import ServiceDaemon
 
 
+def _spill_tier(kernel, node_id: str, slot: str) -> dict:
+    """Aged-version spill tier on the node's local disk: a dict slot in
+    the HostOS stable store, so spilled history survives daemon restarts
+    and node crash/boot cycles and a restarted instance on the same node
+    finds its old spill."""
+    return kernel.cluster.hostos(node_id).stable_store.setdefault(slot, {})
+
+
 class CheckpointDaemon(ServiceDaemon):
     """Primary checkpoint service instance of one partition."""
 
@@ -31,7 +39,8 @@ class CheckpointDaemon(ServiceDaemon):
     def __init__(self, kernel, node_id: str) -> None:
         super().__init__(kernel, node_id)
         self.store = CheckpointStore(
-            retention_window=self.timings.ckpt_retention_window
+            retention_window=self.timings.ckpt_retention_window,
+            spill=_spill_tier(kernel, node_id, "ckpt.spill") if self.timings.ckpt_spill_aged else None,
         )
         #: Per-key FIFO of pending saves: commits must follow arrival order,
         #: or a small (cheaper-to-write) stale save can overtake and clobber
@@ -110,6 +119,13 @@ class CheckpointDaemon(ServiceDaemon):
             data = msg.payload["data"]
             yield self.timings.ckpt_write_cost(len(repr(data)))
             version = self.store.save(key, data, self.sim.now)
+            if self.timings.trace_commit_marks:
+                # Commit evidence for the external trace-only checker
+                # (repro.experiments.trace_check) — off by default so
+                # exported traces stay byte-identical.
+                self.sim.trace.mark(
+                    "ckpt.committed", key=key, node=self.node_id, version=version
+                )
             self._replicate(key, data, version)
             self.sim.trace.count("ckpt.saves")
             self.reply(msg, {"ok": True, "version": version})
@@ -136,7 +152,9 @@ class CheckpointReplicaDaemon(ServiceDaemon):
     def __init__(self, kernel, node_id: str) -> None:
         super().__init__(kernel, node_id)
         self.store = CheckpointStore(
-            retention_window=self.timings.ckpt_retention_window
+            retention_window=self.timings.ckpt_retention_window,
+            spill=_spill_tier(kernel, node_id, "ckpt.replica.spill")
+            if self.timings.ckpt_spill_aged else None,
         )
 
     def on_start(self) -> None:

@@ -43,6 +43,7 @@ from typing import Any
 from repro.cluster.message import Message
 from repro.kernel import ports
 from repro.kernel.daemon import ServiceDaemon
+from repro.kernel.events.digest import digest_batch
 from repro.kernel.events.filters import Subscription, SubscriptionIndex
 from repro.kernel.events.types import Event, batch_to_payload, events_from_batch
 from repro.sim import Timer
@@ -128,10 +129,20 @@ class EventServiceDaemon(ServiceDaemon):
                 )
                 if restored:
                     self._arm_flush()
-        # Tell peers (their peer table may point at a dead node after migration).
-        for part_id, peer in self.kernel.es_locations().items():
-            if part_id != self.partition_id:
-                self.send(peer, ports.ES, ports.ES_PEERS, {"partition": self.partition_id, "node": self.node_id})
+        # Tell peers (their peer table may point at a dead node after
+        # migration).  Two-tier mode announces along federation edges only
+        # — the intra-region mesh plus the aggregator overlay — instead of
+        # the O(P) complete graph.
+        locations = self.kernel.es_locations()
+        if self.kernel.regions_enabled:
+            announce = set(self.kernel.region_partitions(self.partition_id))
+            announce.update(self.kernel.remote_aggregators(self.partition_id))
+            announce.discard(self.partition_id)
+            targets = {pid: locations[pid] for pid in sorted(announce) if pid in locations}
+        else:
+            targets = {pid: node for pid, node in locations.items() if pid != self.partition_id}
+        for part_id, peer in targets.items():
+            self.send(peer, ports.ES, ports.ES_PEERS, {"partition": self.partition_id, "node": self.node_id})
 
     # -- message dispatch ----------------------------------------------------
     def _dispatch(self, msg: Message) -> dict[str, Any] | None:
@@ -196,19 +207,75 @@ class EventServiceDaemon(ServiceDaemon):
         self._history.append(event)
         self._deliver_local(event)
         payload = event.to_payload()
-        for part_id in self.kernel.es_locations():
-            if part_id != self.partition_id:
-                self._enqueue_forward(part_id, payload)
+        for part_id in self._federation_peers():
+            self._enqueue_forward(part_id, payload)
         self._arm_flush()
         pub_span.end(event_id=event.event_id)
         return {"ok": True, "event_id": event.event_id}
 
+    def _federation_peers(self) -> list[str]:
+        """Peers this instance forwards its own publishes to.
+
+        Flat federation: every other placed instance (complete graph).
+        Two-tier (DESIGN.md §16): the instance's intra-region mesh, plus —
+        when this partition is its region's elected aggregator — every
+        other region's aggregator.
+        """
+        locations = self.kernel.es_locations()
+        if not self.kernel.regions_enabled:
+            return [pid for pid in locations if pid != self.partition_id]
+        region = self.kernel.region_partitions(self.partition_id)
+        peers = [pid for pid in region if pid != self.partition_id and pid in locations]
+        if self.kernel.is_aggregator(self.partition_id):
+            peers.extend(
+                pid for pid in self.kernel.remote_aggregators(self.partition_id)
+                if pid in locations
+            )
+        return peers
+
     def _on_forward_batch(self, msg: Message) -> dict[str, Any]:
+        origin = str(msg.payload.get("origin", ""))
         accepted = 0
         for event in events_from_batch(msg.payload):
             if self._accept_forward(event):
                 accepted += 1
+                self._relay_forward(event, origin)
         return {"ok": True, "accepted": accepted}
+
+    def _relay_forward(self, event: Event, origin_part: str) -> None:
+        """Two-tier relay rules, applied on first acceptance of a forward.
+
+        *Ingress*: a batch arriving from another region (necessarily via
+        an aggregator funnel) is fanned out to this region's mesh, so
+        every partition sees it exactly as it would under flat
+        federation.  *Egress*: when a home-region event reaches this
+        instance over the intra-region mesh and this partition currently
+        holds the aggregator role, it is queued to every other region's
+        aggregator.  Both decisions are taken receiver-side from the
+        batch's origin partition, so they stay correct across aggregator
+        handovers mid-stream; duplicate suppression absorbs any overlap
+        when old and new aggregators race during a handover.
+        """
+        kernel = self.kernel
+        if not kernel.regions_enabled or not origin_part:
+            return
+        my_region = kernel.region_of(self.partition_id)
+        locations = kernel.es_locations()
+        if kernel.region_of(origin_part) != my_region:
+            payload = event.to_payload()
+            for pid in kernel.region_partitions(self.partition_id):
+                if pid != self.partition_id and pid in locations:
+                    self._enqueue_forward(pid, payload)
+            self._arm_flush()
+        elif (
+            kernel.region_of(event.partition) == my_region
+            and kernel.is_aggregator(self.partition_id)
+        ):
+            payload = event.to_payload()
+            for pid in kernel.remote_aggregators(self.partition_id):
+                if pid in locations:
+                    self._enqueue_forward(pid, payload)
+            self._arm_flush()
 
     def _accept_forward(self, event: Event) -> bool:
         """Deliver one federated event, suppressing re-received duplicates
@@ -271,10 +338,21 @@ class EventServiceDaemon(ServiceDaemon):
             if not pending or part_id in self._inflight_batch:
                 continue
             batch = [pending.popleft() for _ in range(min(len(pending), cap))]
+            if self._cross_region(part_id):
+                # Aggregator-to-aggregator hops carry digested state:
+                # contiguous db.delta runs coalesce per (table, key).
+                batch = digest_batch(batch)
             self._inflight_batch[part_id] = batch
             self.spawn(self._send_batch(part_id, batch),
                        name=f"{self.node_id}/es.fwd.{part_id}")
         self._arm_flush()  # overflow past the cap waits for the next window
+
+    def _cross_region(self, part_id: str) -> bool:
+        """Does the hop to ``part_id`` cross a region boundary?"""
+        kernel = self.kernel
+        return kernel.regions_enabled and (
+            kernel.region_of(part_id) != kernel.region_of(self.partition_id)
+        )
 
     def _send_batch(self, part_id: str, batch: list[dict[str, Any]]):
         span = self.sim.trace.span(
@@ -288,6 +366,7 @@ class EventServiceDaemon(ServiceDaemon):
                 self.forward_batched_events += len(batch)
                 self.sim.trace.count("es.forward_batches")
                 self.sim.trace.count("es.forward_batched_events", len(batch))
+                self._count_tier(part_id, len(batch))
                 reply = yield self.rpc_retry(
                     peer, ports.ES, ports.ES_FORWARD_BATCH,
                     batch_to_payload(self.partition_id, batch),
@@ -324,12 +403,24 @@ class EventServiceDaemon(ServiceDaemon):
                 continue
             while pending:
                 batch = [pending.popleft() for _ in range(min(len(pending), cap))]
+                if self._cross_region(part_id):
+                    batch = digest_batch(batch)
                 self.forward_batches += 1
                 self.forward_batched_events += len(batch)
                 self.sim.trace.count("es.forward_batches")
                 self.sim.trace.count("es.forward_batched_events", len(batch))
+                self._count_tier(part_id, len(batch))
                 self.send(peer, ports.ES, ports.ES_FORWARD_BATCH,
                           batch_to_payload(self.partition_id, batch))
+
+    def _count_tier(self, part_id: str, events: int) -> None:
+        """Intra/cross-region breakdown of federation traffic (two-tier
+        mode only, so flat-mode counter sets stay byte-identical)."""
+        if not self.kernel.regions_enabled:
+            return
+        tier = "cross" if self._cross_region(part_id) else "intra"
+        self.sim.trace.count(f"es.forward_batches_{tier}")
+        self.sim.trace.count(f"es.forward_batched_events_{tier}", events)
 
     # -- internals -----------------------------------------------------------
     def _deliver_local(self, event: Event) -> None:

@@ -32,6 +32,12 @@ CONFIG_CHANGED = "config.changed"
 #: Base-table change feed published by bulletin instances while any
 #: materialized view is registered (see :mod:`repro.kernel.bulletin.views`).
 DB_DELTA = "db.delta"
+#: A contiguous run of ``db.delta`` events coalesced per ``(table, key)``
+#: for cross-region federation (two-tier mode, DESIGN.md §16).  Carries
+#: the covered ``[seq_lo, seq_hi]`` range plus the per-key latest delta
+#: of the run, so view owners advance their watermark across the whole
+#: range in one step.
+DB_DELTA_DIGEST = "db.delta_digest"
 
 ALL_TYPES = (
     NODE_FAILURE,

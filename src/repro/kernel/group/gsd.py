@@ -93,6 +93,30 @@ class GSDDaemon(ServiceDaemon):
         self._export_all_node_state()
         # 4. (Re)join the meta-group if we are not in the current view.
         yield from self.metagroup.join_loop()
+        # 5. A journal replay left deferred state: flush now that we are
+        #    joined — unless we are (still) on a minority side, in which
+        #    case on_unpark flushes when quorum returns.  View membership
+        #    cannot decide this (a stale full view survives a split), so
+        #    when quorum gating is on we run one explicit census first:
+        #    a restarted-while-split GSD parks here instead of committing.
+        if self._node_state_dirty and not self.metagroup.parked:
+            mg = self.metagroup
+            quorate = True
+            if mg.quorum_enabled() and not mg._regrouping:
+                mg._regrouping = True
+                try:
+                    live, _best = yield from mg._regroup_round(
+                        "journal_flush", initiate=False
+                    )
+                finally:
+                    mg._regrouping = False
+                quorate = mg.quorum_met(live)
+                if not quorate:
+                    mg._park("journal_flush", live)
+            if quorate and not mg.parked and self._node_state_dirty:
+                self._node_state_dirty = False
+                self._commit_node_state()
+                self._export_all_node_state()
 
     def _announce_to_wds(self) -> None:
         for member in self.cluster.partition(self.partition_id).all_nodes:
@@ -164,6 +188,23 @@ class GSDDaemon(ServiceDaemon):
         if reply and reply.get("found"):
             self.node_state = dict(reply["data"].get("node_state", {}))
             self.sim.trace.mark("gsd.state_recovered", node=self.node_id, entries=len(self.node_state))
+        # Replay a parked-era journal from the local disk: a predecessor
+        # that crashed while parked deferred these commits, and the shared
+        # checkpoint never saw them.  Merge, then flush once we are joined
+        # and unparked (see _startup step 5 / on_unpark).
+        host = self.kernel.cluster.hostos(self.node_id)
+        journal = host.stable_read(self._journal_key())
+        if journal:
+            deferred = dict(journal.get("node_state", {}))
+            changed = {n: s for n, s in deferred.items() if self.node_state.get(n) != s}
+            if changed:
+                self.node_state.update(changed)
+                self._node_state_dirty = True
+                self.sim.trace.mark(
+                    "gsd.journal_replayed", node=self.node_id, entries=len(changed)
+                )
+            else:
+                host.stable_delete(self._journal_key())
 
     # -- messaging ---------------------------------------------------------
     def _on_heartbeat(self, msg: Message) -> None:
@@ -401,13 +442,22 @@ class GSDDaemon(ServiceDaemon):
     def _ckpt_key(self) -> str:
         return f"gsd.state.{self.partition_id}"
 
+    def _journal_key(self) -> str:
+        return f"gsd.journal.{self.partition_id}"
+
     def _set_node_state(self, node: str, state: str) -> None:
         self.node_state[node] = state
         if self.metagroup.parked:
             # Minority refusal (DESIGN.md §15): keep the in-memory belief,
             # defer the checkpoint commit and bulletin export until quorum
             # returns — a parked member must not write durable state.
+            # The node's *own disk* is not shared state though: journal the
+            # deferred belief there so a crash while parked does not lose
+            # it (the restarted GSD replays the journal in _load_state).
             self._node_state_dirty = True
+            self.kernel.cluster.hostos(self.node_id).stable_write(
+                self._journal_key(), {"node_state": dict(self.node_state)}
+            )
             self.sim.trace.mark(
                 "regroup.write_refused", node=self.node_id, kind="node_state",
                 subject=node, state=state,
@@ -423,6 +473,8 @@ class GSDDaemon(ServiceDaemon):
                 ckpt_node, ports.CKPT, ports.CKPT_SAVE,
                 {"key": self._ckpt_key(), "data": {"node_state": dict(self.node_state)}},
             )
+        # The shared commit supersedes any parked-era local journal.
+        self.kernel.cluster.hostos(self.node_id).stable_delete(self._journal_key())
 
     def on_unpark(self) -> None:
         """Quorum regained: flush writes deferred while parked and rebuild

@@ -488,6 +488,10 @@ class MetaGroup:
             "view.installed", node=self.me, view_id=view.view_id, epoch=view.epoch,
             members=len(view.members),
         )
+        # Two-tier federation (DESIGN.md §16): every adopted view refreshes
+        # the host-side region-aggregator map (epoch-fenced, no-op in flat
+        # mode) so aggregator handover rides the existing view machinery.
+        self.gsd.kernel.note_view(view)
         if was_leader and not self.is_leader:
             # A higher-epoch view dethroned us (we were the stale side of
             # a healed split, or a takeover raced our own view change).

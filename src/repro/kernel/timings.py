@@ -183,6 +183,22 @@ class KernelTimings:
     #: every version younger than the window (plus always the latest), so
     #: ``AS OF`` reaches the full configured span back.
     ckpt_retention_window: float | None = None
+    #: Spill versions aged past ``ckpt_retention_window`` to the
+    #: checkpoint service's stable store instead of dropping them, so
+    #: ``AS OF`` reads reach back beyond the in-memory window (the spilled
+    #: tier is consulted only when the in-memory history cannot satisfy a
+    #: read).  Off by default: the in-memory-only history keeps the
+    #: paper-calibrated benchmarks byte-identical.
+    ckpt_spill_aged: bool = False
+
+    #: Emit ``placement.committed`` / ``ckpt.committed`` /
+    #: ``leader.claimed`` trace marks on every *accepted* leadership
+    #: placement write, ``gsd.state`` checkpoint commit, and boot-time
+    #: leader claim.  These make exported JSONL traces self-contained for
+    #: the external trace-only leadership checker
+    #: (:mod:`repro.experiments.trace_check`).  Off by default so default
+    #: traces (fig4 export among them) stay byte-identical.
+    trace_commit_marks: bool = False
 
     #: Period of each kernel daemon's ``kernel.health`` self-report to
     #: the data bulletin (span/histogram/counter snapshot, outbox depth,

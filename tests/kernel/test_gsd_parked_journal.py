@@ -1,0 +1,86 @@
+"""Parked-minority journal (DESIGN.md §16 satellite): crash while parked.
+
+A parked GSD defers ``gsd.state`` commits (DESIGN.md §15) but keeps its
+local belief.  Before this journal existed, a crash while parked lost
+that deferred state: the restarted GSD reloaded the *pre-park* checkpoint
+and the heal committed stale membership.  Now every deferred
+``_set_node_state`` is journaled to the node's local stable store
+(node-local disk survives process death and node reboot), and
+``_load_state`` replays it — so the post-heal commit carries the change
+observed while parked.
+"""
+
+from repro.cluster import Cluster, ClusterSpec, FaultInjector
+from repro.kernel import KernelTimings, PhoenixKernel
+from repro.sim import Simulator
+from tests.kernel.test_quorum_regroup import HB, heal_all, sides, split_all
+
+
+def _park_minority_with_deferred_change():
+    """Split 4 partitions 2-vs-2, park p3, kill p3c0 so the parked GSD
+    defers a node-state commit.  Returns (sim, cluster, kernel, injector)."""
+    sim = Simulator(seed=5)
+    cluster = Cluster(sim, ClusterSpec.build(partitions=4, computes=2))
+    kernel = PhoenixKernel(cluster, timings=KernelTimings(heartbeat_interval=HB))
+    kernel.boot()
+    injector = FaultInjector(cluster)
+    sim.run(until=20.001)
+    split_all(cluster, injector, *sides(cluster))
+    sim.run(until=sim.now + 10 * HB)
+    assert kernel.gsd("p3").metagroup.parked
+    injector.crash_node("p3c0")
+    sim.run(until=sim.now + 6 * HB)
+    assert sim.trace.records("regroup.write_refused", kind="node_state")
+    assert kernel.gsd("p3").node_state["p3c0"] == "down"
+    return sim, cluster, kernel, injector
+
+
+def test_deferred_commits_are_journaled_to_local_stable_store():
+    sim, cluster, kernel, injector = _park_minority_with_deferred_change()
+    journal = cluster.hostos("p3s0").stable_read("gsd.journal.p3")
+    assert journal is not None
+    assert journal["node_state"]["p3c0"] == "down"
+
+
+def test_crash_while_parked_replays_journal_and_commits_after_heal():
+    """The regression: GSD process dies mid-park, restarts on the same
+    node, replays the journal, stays deferred (still a minority), and the
+    deferred state reaches the shared checkpoint only after the heal."""
+    sim, cluster, kernel, injector = _park_minority_with_deferred_change()
+
+    # Process death while parked; supervised restart on the same node.
+    injector.kill_process("p3s0", "gsd")
+    sim.run(until=sim.now + 1.0)
+    kernel.start_service("gsd", "p3s0")
+    sim.run(until=sim.now + 6 * HB)
+    replays = sim.trace.records("gsd.journal_replayed", node="p3s0")
+    assert replays and replays[0]["entries"] >= 1
+    # The replayed belief is live again, but still not committed: the
+    # restarted GSD is still on the minority side.
+    assert kernel.gsd("p3").node_state["p3c0"] == "down"
+    ckpt = kernel._partition_daemon("ckpt", "p3")
+    entry = ckpt.store.load("gsd.state.p3")
+    committed = entry.data["node_state"].get("p3c0") if entry else None
+    assert committed != "down", "minority must not commit while split"
+
+    # Heal: quorum returns, the journal flushes into the shared commit,
+    # and the journal itself is cleared (the commit supersedes it).
+    heal_all(cluster, injector)
+    sim.run(until=sim.now + 15 * HB)
+    assert not kernel.gsd("p3").metagroup.parked
+    entry = ckpt.store.load("gsd.state.p3")
+    assert entry is not None and entry.data["node_state"]["p3c0"] == "down"
+    assert cluster.hostos("p3s0").stable_read("gsd.journal.p3") is None
+
+
+def test_journal_cleared_by_ordinary_commit():
+    """Without a crash, the unpark flush both commits and deletes the
+    journal — no stale replay on a later restart."""
+    sim, cluster, kernel, injector = _park_minority_with_deferred_change()
+    heal_all(cluster, injector)
+    sim.run(until=sim.now + 15 * HB)
+    assert not kernel.gsd("p3").metagroup.parked
+    ckpt = kernel._partition_daemon("ckpt", "p3")
+    entry = ckpt.store.load("gsd.state.p3")
+    assert entry is not None and entry.data["node_state"]["p3c0"] == "down"
+    assert cluster.hostos("p3s0").stable_read("gsd.journal.p3") is None

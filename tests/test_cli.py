@@ -149,6 +149,60 @@ def test_query_repl_session():
     assert "error:" in text  # the bogus query reported, session continued
 
 
+def test_query_repl_socket_sessions_share_one_cluster(tmp_path):
+    """``--repl --socket`` serves sequential connections off one booted
+    cluster: virtual time advanced by the first session is where the
+    second session starts."""
+    import io
+    import re
+    import socket as socketlib
+    import threading
+
+    from repro.experiments.query_cli import serve
+
+    path = str(tmp_path / "repl.sock")
+    server = threading.Thread(
+        target=serve,
+        args=(path,),
+        kwargs={"partitions": 2, "computes": 2, "warm": 20.0,
+                "max_sessions": 2, "log_stream": io.StringIO()},
+        daemon=True,
+    )
+    server.start()
+
+    def session(lines):
+        deadline = threading.Event()
+        for _ in range(100):
+            try:
+                conn = socketlib.socket(socketlib.AF_UNIX)
+                conn.connect(path)
+                break
+            except (FileNotFoundError, ConnectionRefusedError):
+                conn.close()
+                deadline.wait(0.1)
+        else:
+            raise AssertionError("socket server never came up")
+        with conn, conn.makefile("rw", encoding="utf-8") as stream:
+            stream.write("\n".join(lines) + "\n")
+            stream.flush()
+            conn.shutdown(socketlib.SHUT_WR)
+            return stream.read()
+
+    first = session(["\\t", "\\run 15", "\\t", "\\q"])
+    second = session(["\\t", "select state, count(*) as n from nodes group by state",
+                      "\\q"])
+    server.join(timeout=120)
+    assert not server.is_alive()
+
+    assert "bulletin repl" in first and "bulletin repl" in second
+    times_first = [float(m) for m in re.findall(r"t=([\d.]+)s", first)]
+    times_second = [float(m) for m in re.findall(r"t=([\d.]+)s", second)]
+    assert times_first[0] == 20.0 and times_first[-1] == 35.0
+    # The second connection resumes the same cluster, not a fresh boot.
+    assert times_second[0] == 35.0
+    assert "[scan" in second and "up" in second
+
+
 def test_query_repl_stdin_eof(monkeypatch, capsys):
     """``--repl`` with an exhausted stdin exits cleanly (exit code 0)."""
     import io
